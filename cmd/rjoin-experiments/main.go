@@ -1,0 +1,81 @@
+// Command rjoin-experiments regenerates the figures of the paper's
+// experimental analysis (Section 8) and prints each as a table of the
+// series the paper plots.
+//
+// Usage:
+//
+//	rjoin-experiments [-fig N] [-scale S] [-nodes N] [-queries Q] [-seed S]
+//
+// With no -fig, every figure runs in paper order. The default scale is
+// 0.25 (a quarter of the paper's query and tuple counts at the full
+// 1000-node overlay) so the whole suite completes on a laptop in
+// minutes; pass -scale 1 for the paper's exact workload sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rjoin/internal/experiments"
+	"rjoin/internal/metrics"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (2-9); empty runs all")
+	scale := flag.Float64("scale", 0.25, "workload scale in (0,1]: fraction of the paper's query/tuple counts")
+	nodes := flag.Int("nodes", 1000, "overlay size")
+	queries := flag.Int("queries", 20000, "continuous queries before scaling")
+	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	flag.Parse()
+
+	p := experiments.Default(*scale)
+	p.Nodes = *nodes
+	p.Queries = *queries
+	p.Seed = *seed
+
+	runners := map[string]func(experiments.Params) []*metrics.Table{
+		"2": experiments.Fig2,
+		"3": experiments.Fig3,
+		"4": experiments.Fig4,
+		"5": experiments.Fig5,
+		"6": experiments.Fig6,
+		"7": experiments.Fig7,
+		"8": experiments.Fig8,
+		"9": experiments.Fig9,
+	}
+
+	var figs []string
+	if *fig == "" {
+		// Figures 7 and 8 share one experiment run; the sentinel "7+8"
+		// computes both together.
+		figs = []string{"2", "3", "4", "5", "6", "7+8", "9"}
+	} else {
+		if _, ok := runners[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9)\n", *fig)
+			os.Exit(2)
+		}
+		figs = []string{*fig}
+	}
+
+	fmt.Printf("# RJoin experiments  nodes=%d queries=%d scale=%.2f seed=%d\n\n",
+		p.Nodes, p.Queries, p.Scale, p.Seed)
+	for _, f := range figs {
+		start := time.Now()
+		if f == "7+8" {
+			f7, f8 := experiments.Fig7And8(p)
+			printTables(append(f7, f8...), start)
+			continue
+		}
+		printTables(runners[f](p), start)
+	}
+}
+
+func printTables(tabs []*metrics.Table, start time.Time) {
+	for _, t := range tabs {
+		t.WriteTo(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Printf("(elapsed %.1fs)\n\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,255 @@
+package chord
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rjoin/internal/id"
+)
+
+// buildRing joins n nodes with deterministic pseudo-random identifiers
+// and converges routing state.
+func buildRing(t testing.TB, n int, seed int64) *Ring {
+	t.Helper()
+	r := NewRing()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for {
+			if _, err := r.Join(id.ID(rng.Uint64())); err == nil {
+				break
+			}
+		}
+	}
+	r.BuildPerfect()
+	return r
+}
+
+func TestSingletonRing(t *testing.T) {
+	r := NewRing()
+	n, err := r.Join(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Successor() != n {
+		t.Fatal("singleton node must be its own successor")
+	}
+	owner, path := n.Lookup(999)
+	if owner != n {
+		t.Fatal("singleton lookup must return self")
+	}
+	if len(path) != 0 {
+		t.Fatalf("singleton lookup should be local, got %d hops", len(path))
+	}
+}
+
+func TestJoinDuplicateID(t *testing.T) {
+	r := NewRing()
+	if _, err := r.Join(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join(7); err == nil {
+		t.Fatal("duplicate join must fail")
+	}
+}
+
+func TestLookupFindsGroundTruthOwner(t *testing.T) {
+	r := buildRing(t, 200, 1)
+	rng := rand.New(rand.NewSource(2))
+	nodes := r.Nodes()
+	for i := 0; i < 500; i++ {
+		from := nodes[rng.Intn(len(nodes))]
+		target := id.ID(rng.Uint64())
+		owner, _ := from.Lookup(target)
+		if want := r.Owner(target); owner != want {
+			t.Fatalf("lookup(%v) from %v = %v, want %v", target, from, owner, want)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		r := buildRing(t, n, int64(n))
+		rng := rand.New(rand.NewSource(99))
+		nodes := r.Nodes()
+		total := 0
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			from := nodes[rng.Intn(len(nodes))]
+			_, path := from.Lookup(id.ID(rng.Uint64()))
+			total += len(path)
+		}
+		mean := float64(total) / trials
+		// Chord: mean hops ~ (1/2) log2 N. Allow generous slack.
+		bound := 1.5*math.Log2(float64(n)) + 2
+		if mean > bound {
+			t.Errorf("N=%d: mean hops %.2f exceeds bound %.2f", n, mean, bound)
+		}
+	}
+}
+
+func TestOwnerIsSuccessorRule(t *testing.T) {
+	r := buildRing(t, 50, 3)
+	nodes := r.Nodes()
+	// Every key between pred(n) exclusive and n inclusive belongs to n.
+	for i, n := range nodes {
+		prev := nodes[(i-1+len(nodes))%len(nodes)]
+		if got := r.Owner(n.ID()); got != n {
+			t.Fatalf("Owner(n.ID()) != n")
+		}
+		mid := prev.ID() + (n.ID()-prev.ID())/2
+		if prev.ID() != n.ID() {
+			if got := r.Owner(mid + 1); !id.BetweenRightIncl(mid+1, prev.ID(), n.ID()) || got != n {
+				// only assert when mid+1 actually falls in the arc
+				if id.BetweenRightIncl(mid+1, prev.ID(), n.ID()) {
+					t.Fatalf("Owner(mid) = %v, want %v", got, n)
+				}
+			}
+		}
+	}
+}
+
+func TestVoluntaryLeave(t *testing.T) {
+	r := buildRing(t, 100, 4)
+	nodes := append([]*Node(nil), r.Nodes()...)
+	victim := nodes[17]
+	vid := victim.ID()
+	r.Leave(victim)
+	r.StabilizeAll()
+	if r.Node(vid) != nil {
+		t.Fatal("left node still resolvable")
+	}
+	owner := r.Owner(vid)
+	if owner == victim {
+		t.Fatal("keys of left node not reassigned")
+	}
+	// Lookups still converge from every node.
+	for _, from := range r.Nodes() {
+		got, _ := from.Lookup(vid)
+		if got != owner {
+			t.Fatalf("post-leave lookup diverged: %v vs %v", got, owner)
+		}
+	}
+}
+
+func TestAbruptFailureRepairedByStabilization(t *testing.T) {
+	r := buildRing(t, 100, 5)
+	rng := rand.New(rand.NewSource(6))
+	// Fail 10 random nodes without notice.
+	for i := 0; i < 10; i++ {
+		nodes := r.Nodes()
+		r.Fail(nodes[rng.Intn(len(nodes))])
+	}
+	// A few stabilization rounds must repair the ring.
+	for i := 0; i < 3; i++ {
+		r.StabilizeAll()
+	}
+	for i := 0; i < 200; i++ {
+		nodes := r.Nodes()
+		from := nodes[rng.Intn(len(nodes))]
+		target := id.ID(rng.Uint64())
+		owner, _ := from.Lookup(target)
+		if want := r.Owner(target); owner != want {
+			t.Fatalf("post-failure lookup(%v) = %v, want %v", target, owner, want)
+		}
+	}
+}
+
+func TestIncrementalJoinConverges(t *testing.T) {
+	// Join nodes one at a time with stabilization only (no BuildPerfect)
+	// and check lookups stay correct throughout.
+	r := NewRing()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		if _, err := r.Join(id.ID(rng.Uint64())); err != nil {
+			t.Fatal(err)
+		}
+		r.StabilizeAll()
+	}
+	for i := 0; i < 200; i++ {
+		nodes := r.Nodes()
+		from := nodes[rng.Intn(len(nodes))]
+		target := id.ID(rng.Uint64())
+		owner, _ := from.Lookup(target)
+		if want := r.Owner(target); owner != want {
+			t.Fatalf("incremental ring lookup(%v) = %v, want %v", target, owner, want)
+		}
+	}
+}
+
+// Property: ownership partitions the key space — for random keys the
+// owner is the unique alive node whose arc covers the key.
+func TestOwnershipPartitionProperty(t *testing.T) {
+	r := buildRing(t, 128, 8)
+	nodes := r.Nodes()
+	f := func(key uint64) bool {
+		owner := r.Owner(id.ID(key))
+		count := 0
+		for i, n := range nodes {
+			prev := nodes[(i-1+len(nodes))%len(nodes)]
+			if id.BetweenRightIncl(id.ID(key), prev.ID(), n.ID()) {
+				count++
+				if n != owner {
+					return false
+				}
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerTablesPointAtSuccessors(t *testing.T) {
+	r := buildRing(t, 64, 9)
+	for _, n := range r.Nodes() {
+		for i := 0; i < id.Bits; i += 7 { // sample fingers
+			start := id.FingerStart(n.ID(), i)
+			if n.finger[i] != r.Owner(start) {
+				t.Fatalf("finger[%d] of %v stale", i, n)
+			}
+		}
+	}
+}
+
+func TestLookupPathExcludesOrigin(t *testing.T) {
+	r := buildRing(t, 128, 10)
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		from := nodes[rng.Intn(len(nodes))]
+		_, path := from.Lookup(id.ID(rng.Uint64()))
+		for _, p := range path {
+			if p == from {
+				t.Fatal("origin appears in its own hop path")
+			}
+		}
+	}
+}
+
+func BenchmarkLookup1024(b *testing.B) {
+	r := buildRing(b, 1024, 12)
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := nodes[rng.Intn(len(nodes))]
+		from.Lookup(id.ID(rng.Uint64()))
+	}
+}
+
+func ExampleRing_Owner() {
+	r := NewRing()
+	r.Join(100)
+	r.Join(200)
+	r.Join(300)
+	r.BuildPerfect()
+	fmt.Println(r.Owner(150).ID() == 200)
+	fmt.Println(r.Owner(301).ID() == 100) // wraps around
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,147 @@
+// Package core implements RJoin, the paper's primary contribution: the
+// recursive evaluation of continuous multi-way equi-joins on top of a
+// DHT. Tuples are indexed at attribute and value level (Procedure 1);
+// nodes receiving tuples trigger and rewrite locally stored queries
+// (Procedure 2); nodes receiving rewritten queries store them and match
+// them against locally stored tuples (Procedure 3); completed rewrites
+// become answers delivered directly to the query owner. The package
+// also implements the ALTT completeness mechanism of Section 4,
+// duplicate elimination for DISTINCT queries, the sliding/tumbling
+// window rules of Section 5, and the RIC-informed placement machinery
+// of Sections 6–7 (rate statistics, candidate tables, piggy-backed RIC
+// info, chained RIC request walks).
+package core
+
+// Strategy selects how nextKey() places input and rewritten queries
+// among their index candidates (Sections 3 and 6). The experiments of
+// Figure 2 compare the three.
+type Strategy uint8
+
+const (
+	// StrategyRIC is RJoin proper: poll candidates for their observed
+	// rate of incoming tuples and index the query where the predicted
+	// rate is lowest.
+	StrategyRIC Strategy = iota
+	// StrategyRandom picks a candidate uniformly at random.
+	StrategyRandom
+	// StrategyWorst is the paper's adversarial baseline: always place
+	// the query at the candidate with the highest rate of incoming
+	// tuples. It consults the simulator's ground truth (an oracle), so
+	// it pays no RIC traffic, only the consequences of bad placement.
+	StrategyWorst
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRIC:
+		return "RJoin"
+	case StrategyRandom:
+		return "Random"
+	case StrategyWorst:
+		return "Worst"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the RJoin engine. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Strategy is the query-placement strategy.
+	Strategy Strategy
+
+	// Delta is the ALTT retention Δ of Section 4 in virtual-time ticks.
+	// Zero selects an automatic bound derived from the overlay's
+	// maximum message delay (Network.MaxDelta), which preserves
+	// eventual completeness. Negative disables the ALTT entirely
+	// (used by ablation benchmarks to demonstrate lost answers).
+	Delta int64
+
+	// RICWindow is the length in ticks of the rate-measurement epoch:
+	// a key's predicted rate is the number of tuple arrivals observed
+	// in the last complete epoch ("we observe what has happened during
+	// the last time window and assume a similar behavior").
+	RICWindow int64
+
+	// CTValidity bounds how long a candidate-table entry is trusted
+	// before a fresh RIC poll is required (Section 7).
+	CTValidity int64
+
+	// UseCT enables the candidate-table cache of Section 7. Disabling
+	// it forces a RIC poll for every unknown candidate (ablation).
+	UseCT bool
+
+	// PiggybackRIC attaches the sender's RIC knowledge about a
+	// rewritten query's candidates to the Eval message (Section 7), so
+	// the receiver typically needs to poll only the one candidate the
+	// rewriting step introduced.
+	PiggybackRIC bool
+
+	// AllowAttrRewrites permits rewritten queries to be indexed at
+	// attribute-level candidates, the full candidate set of Section 6.
+	// It is off by default because attribute-level nodes only retain Δ
+	// of tuple history (the ALTT), so a rewritten query anchored
+	// out of publication order can miss tuples older than Δ — the
+	// eventual-completeness proof of Theorem 1 covers the generalized
+	// placement only under in-order anchoring. With the flag off,
+	// rewritten queries use value-level candidates (Section 3's rule),
+	// whose tuple stores are unbounded, preserving completeness.
+	AllowAttrRewrites bool
+
+	// AttrReplicas spreads attribute-level load over r replica keys
+	// per Rel+Attr pair — the replication remedy of [18] the paper
+	// points to for attribute-level hotspots ("a node responsible for
+	// R.B receives more tuples to process than a node responsible for
+	// R.B+v"). Queries indexed at attribute level are stored at every
+	// replica; each tuple is delivered to exactly one replica (round
+	// robin on its publication sequence), so every (query, tuple) pair
+	// still meets exactly once and both completeness and bag semantics
+	// are unchanged. Values < 2 disable replication.
+	AttrReplicas int
+
+	// EnableMigration turns on the future-work extension the paper
+	// sketches in Section 10: on-line adaptation of the distributed
+	// query plan by query migration. A stored value-level rewritten
+	// query that keeps being triggered at a hot key relocates itself to
+	// the coldest of its candidates (judged from the node's candidate
+	// table), carrying an exclusion set of already-combined tuples so
+	// no answer is duplicated. Migration is restricted to value-level
+	// rewritten queries, whose destination tuple stores are unbounded,
+	// so eventual completeness is preserved.
+	EnableMigration bool
+
+	// MigrationMinTriggers is how many local triggers a stored query
+	// must accumulate before migration is considered (default 8).
+	MigrationMinTriggers int
+
+	// MigrationFactor requires the local key's observed rate to exceed
+	// the best alternative candidate's rate by this factor before a
+	// migration fires (default 4).
+	MigrationFactor float64
+
+	// TupleGC drops stored value-level tuples that can no longer fall
+	// inside any window of size <= MaxWindowHint. It reduces memory
+	// only; the storage-load metric counts store events and is
+	// unaffected.
+	TupleGC bool
+
+	// MaxWindowHint is the largest window size any submitted query
+	// uses, consulted by TupleGC. Zero disables tuple GC even when
+	// TupleGC is set.
+	MaxWindowHint int64
+}
+
+// DefaultConfig returns the configuration the paper's experiments run
+// under: RIC placement with candidate-table caching and piggy-backed
+// RIC info.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:     StrategyRIC,
+		Delta:        0, // auto
+		RICWindow:    2048,
+		CTValidity:   16384,
+		UseCT:        true,
+		PiggybackRIC: true,
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+
+	"rjoin/internal/chord"
+	"rjoin/internal/id"
+	"rjoin/internal/metrics"
+	"rjoin/internal/overlay"
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+	"rjoin/internal/sim"
+)
+
+// TagRIC is the traffic tag under which all RIC-request traffic is
+// charged, so the experiment harness can report it separately (the
+// "Request RIC" series of the figures).
+const TagRIC = "ric"
+
+// Answer is one result row delivered to a query owner.
+type Answer struct {
+	QueryID string
+	Values  []relation.Value
+	At      sim.Time
+}
+
+// Counters aggregates engine-wide event counts, useful for tests,
+// ablations and the experiment reports.
+type Counters struct {
+	TuplesPublished      int64
+	TuplesReceived       int64
+	TuplesStored         int64
+	TuplesCollected      int64
+	ALTTStored           int64
+	ALTTExpired          int64
+	QueriesSubmitted     int64
+	InputQueriesStored   int64
+	RewritesCreated      int64
+	DeepRewrites         int64 // rewrites of already-rewritten queries (Depth >= 2)
+	RewritesStored       int64
+	QueriesExpired       int64
+	AnswersDelivered     int64
+	AnswerDupesFiltered  int64
+	DuplicatesSuppressed int64
+	ContradictoryDropped int64
+	UnplaceableDropped   int64
+	RICRequests          int64
+	QueriesMigrated      int64
+	RICReplies           int64
+}
+
+// Engine runs RJoin over an overlay: it owns one Proc per DHT node,
+// assigns query identities, publishes tuples (Procedure 1) and collects
+// answers.
+type Engine struct {
+	Cfg      Config
+	Counters Counters
+
+	// QPL and SL are the paper's query-processing-load and
+	// storage-load measures.
+	QPL *metrics.Load
+	SL  *metrics.Load
+
+	ring  *chord.Ring
+	sim   *sim.Engine
+	net   *overlay.Network
+	procs map[id.ID]*Proc
+
+	answers    map[string][]Answer
+	distinctQs map[string]bool
+	seenRows   map[string]map[string]bool // owner-side DISTINCT filter
+
+	delta    int64
+	pubSeq   int64
+	queryCnt int64
+	reqCnt   int64
+}
+
+// NewEngine attaches an RJoin processor to every node of the ring. The
+// ring must already contain its nodes (changes in membership are
+// supported afterwards via NodeJoined/NodeLeft).
+func NewEngine(ring *chord.Ring, se *sim.Engine, net *overlay.Network, cfg Config) *Engine {
+	if cfg.RICWindow <= 0 {
+		cfg.RICWindow = DefaultConfig().RICWindow
+	}
+	if cfg.CTValidity <= 0 {
+		cfg.CTValidity = DefaultConfig().CTValidity
+	}
+	e := &Engine{
+		Cfg:        cfg,
+		QPL:        metrics.NewLoad(),
+		SL:         metrics.NewLoad(),
+		ring:       ring,
+		sim:        se,
+		net:        net,
+		procs:      make(map[id.ID]*Proc),
+		answers:    make(map[string][]Answer),
+		distinctQs: make(map[string]bool),
+		seenRows:   make(map[string]map[string]bool),
+	}
+	e.delta = cfg.Delta
+	if cfg.Delta == 0 {
+		e.delta = net.MaxDelta()
+	}
+	for _, n := range ring.Nodes() {
+		e.NodeJoined(n)
+	}
+	return e
+}
+
+// Ring exposes the underlying overlay ring.
+func (e *Engine) Ring() *chord.Ring { return e.ring }
+
+// Net exposes the messaging layer (for traffic metrics).
+func (e *Engine) Net() *overlay.Network { return e.net }
+
+// Sim exposes the event engine.
+func (e *Engine) Sim() *sim.Engine { return e.sim }
+
+// Delta returns the effective ALTT retention.
+func (e *Engine) Delta() int64 { return e.delta }
+
+// NodeJoined attaches a processor to a node that joined the overlay.
+func (e *Engine) NodeJoined(n *chord.Node) *Proc {
+	p := newProc(e, n)
+	e.procs[n.ID()] = p
+	e.net.Attach(n, p)
+	return p
+}
+
+// NodeLeft detaches a node's processor; its stored state is lost, as in
+// a real failure.
+func (e *Engine) NodeLeft(n *chord.Node) {
+	e.net.Detach(n)
+	delete(e.procs, n.ID())
+}
+
+// Proc returns the processor of a node (tests and the load balancer
+// introspect node state through it).
+func (e *Engine) Proc(n *chord.Node) *Proc { return e.procs[n.ID()] }
+
+func (e *Engine) nextReqID() int64 {
+	e.reqCnt++
+	return e.reqCnt
+}
+
+// oracleRate is the simulator-level ground truth used by
+// StrategyWorst: the actual current rate at the node responsible for a
+// key. RJoin proper never calls this.
+func (e *Engine) oracleRate(key string, now sim.Time) float64 {
+	owner := e.ring.Owner(id.HashKey(key))
+	if owner == nil {
+		return 0
+	}
+	p, ok := e.procs[owner.ID()]
+	if !ok {
+		return 0
+	}
+	return p.rate(key, now)
+}
+
+// SubmitQuery registers an input query owned by the given node, stamps
+// its identity and insertion time, and indexes it in the network using
+// the placement strategy. It returns the query ID answers will be
+// reported under. The query must already be validated.
+func (e *Engine) SubmitQuery(owner *chord.Node, q *query.Query) (string, error) {
+	p, ok := e.procs[owner.ID()]
+	if !ok {
+		return "", fmt.Errorf("core: owner node %s has no processor", owner.ID())
+	}
+	if len(q.Relations) == 0 {
+		return "", fmt.Errorf("core: query joins no relations")
+	}
+	e.queryCnt++
+	q = q.Clone()
+	q.ID = fmt.Sprintf("%s#%d", owner.ID(), e.queryCnt)
+	q.Owner = uint64(owner.ID())
+	q.InsertTime = int64(e.sim.Now())
+	q.Depth = 0
+	e.Counters.QueriesSubmitted++
+	if q.Distinct {
+		e.distinctQs[q.ID] = true
+	}
+	p.place(e.sim.Now(), q)
+	return q.ID, nil
+}
+
+// PublishTuple implements Procedure 1: the publisher indexes the tuple
+// under the attribute-level and value-level keys of every attribute,
+// delivering all 2k messages with one grouped multiSend. The engine
+// stamps publication time and sequence.
+func (e *Engine) PublishTuple(publisher *chord.Node, t *relation.Tuple) {
+	e.pubSeq++
+	t.PubSeq = e.pubSeq
+	t.PubTime = int64(e.sim.Now())
+	e.Counters.TuplesPublished++
+
+	attrKeys, valueKeys := t.Keys()
+	msgs := make([]overlay.Message, 0, 2*len(attrKeys))
+	ids := make([]id.ID, 0, 2*len(attrKeys))
+	for i := range attrKeys {
+		// With attribute-level replication each tuple is delivered to
+		// exactly one replica of its Rel+Attr key, chosen round robin.
+		akey := e.attrKey(attrKeys[i], t.PubSeq)
+		msgs = append(msgs, &tupleMsg{T: t, Key: akey, Level: query.AttrLevel, Publisher: publisher.ID()})
+		ids = append(ids, id.HashKey(akey))
+		msgs = append(msgs, &tupleMsg{T: t, Key: valueKeys[i], Level: query.ValueLevel, Publisher: publisher.ID()})
+		ids = append(ids, id.HashKey(valueKeys[i]))
+	}
+	e.net.MultiSend(publisher, msgs, ids)
+}
+
+// attrKey maps a base attribute-level key to the replica that should
+// receive the tuple with the given publication sequence.
+func (e *Engine) attrKey(base string, pubSeq int64) string {
+	if e.Cfg.AttrReplicas < 2 {
+		return base
+	}
+	return replicaKey(base, int(pubSeq%int64(e.Cfg.AttrReplicas)))
+}
+
+// replicaKey derives the i-th replica key of an attribute-level key.
+// Replica 0 keeps the base name so single-replica deployments are
+// byte-compatible.
+func replicaKey(base string, i int) string {
+	if i == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s#r%d", base, i)
+}
+
+// recordAnswer collects an answer at its owner, applying the owner-side
+// set-semantics filter for DISTINCT queries (a final local safety net on
+// top of the distributed projection rule).
+func (e *Engine) recordAnswer(now sim.Time, m *answerMsg) {
+	if e.distinctQs[m.QueryID] {
+		rows, ok := e.seenRows[m.QueryID]
+		if !ok {
+			rows = make(map[string]bool)
+			e.seenRows[m.QueryID] = rows
+		}
+		key := rowKey(m.Values)
+		if rows[key] {
+			e.Counters.AnswerDupesFiltered++
+			return
+		}
+		rows[key] = true
+	}
+	e.Counters.AnswersDelivered++
+	e.answers[m.QueryID] = append(e.answers[m.QueryID], Answer{
+		QueryID: m.QueryID,
+		Values:  m.Values,
+		At:      now,
+	})
+}
+
+func rowKey(vals []relation.Value) string {
+	s := ""
+	for _, v := range vals {
+		s += v.String() + "\x00"
+	}
+	return s
+}
+
+// Answers returns the rows delivered so far for a query, in delivery
+// order. The returned slice is shared; callers must not mutate it.
+func (e *Engine) Answers(queryID string) []Answer { return e.answers[queryID] }
+
+// TotalAnswers returns the number of answers delivered across all
+// queries.
+func (e *Engine) TotalAnswers() int64 { return e.Counters.AnswersDelivered }
+
+// Run drains all scheduled work (message deliveries and their
+// cascades) to quiescence.
+func (e *Engine) Run() { e.sim.Run() }
+
+// RunUntil processes work up to the given virtual time.
+func (e *Engine) RunUntil(t sim.Time) { e.sim.RunUntil(t) }
+
+// ResetMetrics zeroes the engine's load measures, event counters and
+// the overlay's traffic accounting, without touching stored state or
+// the virtual clock. The experiment harness calls it after a warmup
+// stream so that measurements cover only the experiment proper.
+func (e *Engine) ResetMetrics() {
+	e.QPL.Reset()
+	e.SL.Reset()
+	e.Counters = Counters{}
+	e.net.ResetTraffic()
+}
+
+// SweepALTT prunes expired ALTT entries on every node. Expiry is
+// otherwise lazy (entries are checked when their key is touched); the
+// harness calls this between measurement points to keep memory bounded.
+func (e *Engine) SweepALTT() {
+	now := e.sim.Now()
+	for _, p := range e.procs {
+		for key := range p.altt {
+			p.alttScan(key, now)
+		}
+	}
+}
+
+// StoredState reports the total live stored queries and tuples across
+// the network (instantaneous occupancy, unlike the cumulative SL
+// metric). Used by window tests to show state stays bounded.
+func (e *Engine) StoredState() (queries, tuples, altt int) {
+	for _, p := range e.procs {
+		for _, qs := range p.queries {
+			queries += len(qs)
+		}
+		for _, ts := range p.tuples {
+			tuples += len(ts)
+		}
+		for _, es := range p.altt {
+			altt += len(es)
+		}
+	}
+	return
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"rjoin/internal/overlay"
+	"rjoin/internal/query"
+	"rjoin/internal/refeval"
+	"rjoin/internal/relation"
+	"rjoin/internal/sqlparse"
+)
+
+func TestSweepALTTRemovesExpired(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Delta = 50
+	eng, nodes := testNet(t, 32, 100, cfg, overlay.DefaultConfig())
+	eng.PublishTuple(nodes[0], mkTuple("R", 1, 2, 3))
+	eng.Run()
+	_, _, altt := eng.StoredState()
+	if altt == 0 {
+		t.Fatal("no ALTT entries after publication")
+	}
+	eng.RunUntil(eng.Sim().Now() + 1000) // far past Delta
+	eng.SweepALTT()
+	if _, _, after := eng.StoredState(); after != 0 {
+		t.Fatalf("%d ALTT entries survive sweep past Delta", after)
+	}
+	if eng.Counters.ALTTExpired == 0 {
+		t.Fatal("expiry not counted")
+	}
+}
+
+func TestResetMetricsClearsEverything(t *testing.T) {
+	eng, nodes := testNet(t, 32, 101, DefaultConfig(), overlay.DefaultConfig())
+	q := sqlparse.MustParse("select R.B, S.B from R,S where R.A=S.A", testCat)
+	if _, err := eng.SubmitQuery(nodes[0], q); err != nil {
+		t.Fatal(err)
+	}
+	eng.PublishTuple(nodes[1], mkTuple("R", 1, 2, 3))
+	eng.Run()
+	if eng.QPL.Total() == 0 || eng.Net().Traffic.Total() == 0 {
+		t.Fatal("no load before reset")
+	}
+	eng.ResetMetrics()
+	if eng.QPL.Total() != 0 || eng.SL.Total() != 0 {
+		t.Fatal("load metrics survive reset")
+	}
+	if eng.Net().Traffic.Total() != 0 || eng.Net().TaggedTraffic(TagRIC).Total() != 0 {
+		t.Fatal("traffic survives reset")
+	}
+	if eng.Counters != (Counters{}) {
+		t.Fatalf("counters survive reset: %+v", eng.Counters)
+	}
+	// Stored state must survive: the query still answers.
+	queries, _, _ := eng.StoredState()
+	if queries == 0 {
+		t.Fatal("stored queries lost by metric reset")
+	}
+}
+
+func TestDeltaAccessorAndAuto(t *testing.T) {
+	eng, _ := testNet(t, 32, 102, DefaultConfig(), overlay.DefaultConfig())
+	if eng.Delta() <= 0 {
+		t.Fatalf("auto delta = %d", eng.Delta())
+	}
+	cfg := DefaultConfig()
+	cfg.Delta = 123
+	eng2, _ := testNet(t, 32, 103, cfg, overlay.DefaultConfig())
+	if eng2.Delta() != 123 {
+		t.Fatalf("explicit delta = %d", eng2.Delta())
+	}
+}
+
+func TestTotalAnswersAndProcAccessor(t *testing.T) {
+	eng, nodes := testNet(t, 32, 104, DefaultConfig(), overlay.DefaultConfig())
+	if eng.Proc(nodes[0]) == nil {
+		t.Fatal("Proc accessor nil")
+	}
+	q := sqlparse.MustParse("select R.B, S.B from R,S where R.A=S.A", testCat)
+	qid, _ := eng.SubmitQuery(nodes[0], q)
+	eng.Run()
+	eng.PublishTuple(nodes[1], mkTuple("R", 1, 2, 3))
+	eng.PublishTuple(nodes[1], mkTuple("S", 1, 9, 3))
+	eng.Run()
+	if eng.TotalAnswers() != 1 || len(eng.Answers(qid)) != 1 {
+		t.Fatalf("answers: total=%d", eng.TotalAnswers())
+	}
+}
+
+func TestMoveNodeTransfersState(t *testing.T) {
+	eng, nodes := testNet(t, 48, 105, DefaultConfig(), overlay.DefaultConfig())
+	q := sqlparse.MustParse("select R.B, S.B from R,S where R.A=S.A", testCat)
+	qid, _ := eng.SubmitQuery(nodes[0], q)
+	eng.Run()
+	q.InsertTime = 0
+	var tuples []*relation.Tuple
+	pub := func(tu *relation.Tuple) {
+		eng.PublishTuple(nodes[1], tu)
+		eng.Run()
+		tuples = append(tuples, tu)
+	}
+	pub(mkTuple("R", 1, 10, 0))
+	// Move a non-owner node across the ring mid-run; stored state must
+	// follow ownership and the join must still complete.
+	victim := nodes[7]
+	if victim == nodes[0] {
+		victim = nodes[8]
+	}
+	if _, err := eng.MoveNode(victim, victim.ID()+1<<60); err != nil {
+		t.Fatal(err)
+	}
+	pub(mkTuple("S", 1, 20, 0))
+	want := refeval.Evaluate(q, tuples)
+	got := answersToRows(eng.Answers(qid))
+	if !refeval.EqualBags(got, want) {
+		t.Fatalf("answers after MoveNode: got %d want %d", len(got), len(want))
+	}
+}
+
+func TestMoveNodeUnknownNode(t *testing.T) {
+	eng, _ := testNet(t, 8, 106, DefaultConfig(), overlay.DefaultConfig())
+	other, _ := testNet(t, 8, 107, DefaultConfig(), overlay.DefaultConfig())
+	foreign := other.Ring().Nodes()[0]
+	if _, err := eng.MoveNode(foreign, 42); err == nil {
+		t.Fatal("moving a foreign node succeeded")
+	}
+}
+
+func TestRehomeKeysIdempotent(t *testing.T) {
+	eng, nodes := testNet(t, 32, 108, DefaultConfig(), overlay.DefaultConfig())
+	eng.PublishTuple(nodes[0], mkTuple("R", 1, 2, 3))
+	eng.Run()
+	if moved := eng.RehomeKeys(); moved != 0 {
+		t.Fatalf("stable network rehomed %d entries", moved)
+	}
+}
+
+func TestTupleGCDropsUnreachable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TupleGC = true
+	cfg.MaxWindowHint = 10
+	eng, nodes := testNet(t, 16, 109, cfg, overlay.DefaultConfig())
+	// 96 identical tuples pile onto the same value keys; GC fires every
+	// 32 stores per key and drops those outside the window hint.
+	for i := 0; i < 96; i++ {
+		eng.PublishTuple(nodes[0], mkTuple("R", 1, 1, 1))
+		eng.RunUntil(eng.Sim().Now() + 20)
+	}
+	eng.Run()
+	if eng.Counters.TuplesCollected == 0 {
+		t.Fatal("tuple GC collected nothing")
+	}
+	_, live, _ := eng.StoredState()
+	if live >= int(eng.Counters.TuplesStored) {
+		t.Fatalf("GC did not shrink live store: %d live of %d stored",
+			live, eng.Counters.TuplesStored)
+	}
+}
+
+func TestSubmitQueryValidation(t *testing.T) {
+	eng, nodes := testNet(t, 8, 110, DefaultConfig(), overlay.DefaultConfig())
+	if _, err := eng.SubmitQuery(nodes[0], &query.Query{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	other, _ := testNet(t, 8, 111, DefaultConfig(), overlay.DefaultConfig())
+	foreign := other.Ring().Nodes()[0]
+	q := sqlparse.MustParse("select R.B, S.B from R,S where R.A=S.A", testCat)
+	if _, err := eng.SubmitQuery(foreign, q); err == nil {
+		t.Fatal("foreign owner accepted")
+	}
+}
+
+func TestStrategyStringer(t *testing.T) {
+	if StrategyRIC.String() != "RJoin" || StrategyRandom.String() != "Random" ||
+		StrategyWorst.String() != "Worst" || Strategy(99).String() != "unknown" {
+		t.Fatal("Strategy.String wrong")
+	}
+}

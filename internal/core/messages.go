@@ -1,0 +1,63 @@
+package core
+
+import (
+	"rjoin/internal/id"
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+	"rjoin/internal/sim"
+)
+
+// tupleMsg is Procedure 1's newTuple(t, Key, IP(x), Level) message: one
+// copy per index key of the tuple.
+type tupleMsg struct {
+	T         *relation.Tuple
+	Key       string
+	Level     query.Level
+	Publisher id.ID
+}
+
+// evalMsg carries an input or rewritten query to the node that will
+// store it (the paper's Eval(q, Key, Owner(q)) message; input-query
+// indexing uses the same shape). RIC entries learned by the sender are
+// piggy-backed per Section 7.
+type evalMsg struct {
+	Q     *query.Query
+	Key   string
+	Level query.Level
+	RIC   []ricInfo
+}
+
+// answerMsg delivers one answer row directly to the input query's
+// owner.
+type answerMsg struct {
+	QueryID string
+	Values  []relation.Value
+}
+
+// ricInfo is one candidate's report: the key it is responsible for, the
+// rate of incoming tuples it observes for that key, its address (so the
+// decision maker can reach it in one hop), and when the report was
+// produced.
+type ricInfo struct {
+	Key  string
+	Rate float64
+	Addr id.ID
+	At   sim.Time
+}
+
+// ricRequestMsg implements the chained RIC collection walk of Section
+// 6: the message visits each pending candidate key in turn, every
+// visited node appends its report, and the last node returns the
+// collected reports directly to the origin.
+type ricRequestMsg struct {
+	Origin  id.ID
+	ReqID   int64
+	Pending []string // candidate keys not yet visited, in visit order
+	Got     []ricInfo
+}
+
+// ricReplyMsg returns the collected reports to the origin.
+type ricReplyMsg struct {
+	ReqID int64
+	Got   []ricInfo
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rjoin/internal/overlay"
+	"rjoin/internal/query"
+	"rjoin/internal/refeval"
+	"rjoin/internal/relation"
+	"rjoin/internal/sqlparse"
+)
+
+// starCat is a schema where one hub relation joins two spokes on the
+// same attribute — rewrites of the star query get two value-level
+// candidates, so migration has somewhere to go.
+var starCat = func() *relation.Catalog {
+	cat, _ := relation.NewCatalog(
+		relation.MustSchema("H", "A", "B"),
+		relation.MustSchema("X", "A", "B"),
+		relation.MustSchema("Y", "A", "B"),
+	)
+	return cat
+}()
+
+func starTuple(rel string, a, b int64) *relation.Tuple {
+	s, _ := starCat.Schema(rel)
+	return relation.MustTuple(s, relation.Int64(a), relation.Int64(b))
+}
+
+// migrationRun drives the workload-shift scenario Section 10's
+// future-work sketch motivates: the stream makes Y-keys look hot, so
+// RIC places the rewritten star query on the X-key; the workload then
+// flips and X floods, so the query (which learned Y's rate from
+// piggy-backed RIC info) relocates to the now-colder Y-key.
+func migrationRun(t *testing.T, migrate bool, seed int64) (*Engine, string, *query.Query, []*relation.Tuple) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.EnableMigration = migrate
+	cfg.MigrationMinTriggers = 3
+	cfg.MigrationFactor = 2
+	eng, nodes := testNet(t, 48, seed, cfg, overlay.DefaultConfig())
+	rng := rand.New(rand.NewSource(seed))
+
+	pubAny := func(tu *relation.Tuple) {
+		eng.PublishTuple(nodes[rng.Intn(len(nodes))], tu)
+		eng.Run()
+	}
+	// Warmup (before the query exists): Y(5, ...) arrives a few times,
+	// so Y+A+5 reads as the hotter value key at placement time.
+	for i := 0; i < 4; i++ {
+		pubAny(starTuple("Y", 5, int64(900+i)))
+	}
+
+	q := sqlparse.MustParse(
+		"select H.B, X.B from H,X,Y where H.A=X.A and H.A=Y.A", starCat)
+	qid, err := eng.SubmitQuery(nodes[0], q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	q.InsertTime = int64(eng.Sim().Now())
+
+	var tuples []*relation.Tuple
+	pub := func(tu *relation.Tuple) {
+		eng.PublishTuple(nodes[rng.Intn(len(nodes))], tu)
+		eng.Run()
+		tuples = append(tuples, tu)
+	}
+	// The hub tuple spawns the rewritten query, placed at the colder
+	// X+A+5. The workload then flips: X floods that key.
+	pub(starTuple("H", 5, 100))
+	for i := 0; i < 30; i++ {
+		pub(starTuple("X", 5, int64(i)))
+	}
+	// Fresh Y and trailing X tuples complete combinations on both
+	// sides of any migration.
+	pub(starTuple("Y", 5, 200))
+	for i := 30; i < 40; i++ {
+		pub(starTuple("X", 5, int64(i)))
+	}
+	return eng, qid, q, tuples
+}
+
+// TestMigrationPreservesAnswers: with migration on, the answer bag is
+// exactly the reference — nothing duplicated by the move, nothing lost.
+func TestMigrationPreservesAnswers(t *testing.T) {
+	for _, migrate := range []bool{false, true} {
+		eng, qid, q, tuples := migrationRun(t, migrate, 31)
+		want := refeval.Evaluate(q, tuples)
+		got := answersToRows(eng.Answers(qid))
+		if !refeval.EqualBags(got, want) {
+			t.Fatalf("migrate=%v: got %d answers, want %d", migrate, len(got), len(want))
+		}
+		if migrate && eng.Counters.QueriesMigrated == 0 {
+			t.Fatal("hot-key workload triggered no migrations")
+		}
+		if !migrate && eng.Counters.QueriesMigrated != 0 {
+			t.Fatal("migrations occurred while disabled")
+		}
+	}
+}
+
+// TestMigrationExclusionPreventsDuplicates constructs the exact
+// re-combination hazard: a query migrates after combining with stored
+// tuples; its new home's scan must skip them.
+func TestMigrationExclusionPreventsDuplicates(t *testing.T) {
+	eng, qid, q, tuples := migrationRun(t, true, 33)
+	want := refeval.Evaluate(q, tuples)
+	got := answersToRows(eng.Answers(qid))
+	if !refeval.SubBag(got, want) {
+		t.Fatalf("duplicate answers after migration: got %d, reference %d", len(got), len(want))
+	}
+}
+
+// TestMigrationDistinctNeverMigrates: DISTINCT queries stay put.
+func TestMigrationDistinctNeverMigrates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableMigration = true
+	cfg.MigrationMinTriggers = 1
+	cfg.MigrationFactor = 1.1
+	cfg.Strategy = StrategyRandom
+	eng, nodes := testNet(t, 32, 35, cfg, overlay.DefaultConfig())
+	q := sqlparse.MustParse(
+		"select distinct H.B, X.B from H,X,Y where H.A=X.A and H.A=Y.A", starCat)
+	if _, err := eng.SubmitQuery(nodes[0], q); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	eng.PublishTuple(nodes[1], starTuple("H", 1, 1))
+	eng.Run()
+	for i := 0; i < 20; i++ {
+		eng.PublishTuple(nodes[1], starTuple("X", 1, int64(i)))
+		eng.Run()
+	}
+	if eng.Counters.QueriesMigrated != 0 {
+		t.Fatalf("DISTINCT query migrated %d times", eng.Counters.QueriesMigrated)
+	}
+}
+
+// TestExcludePropagatesThroughRewrite: descendants of a migrated query
+// inherit the exclusion set.
+func TestExcludePropagatesThroughRewrite(t *testing.T) {
+	q := sqlparse.MustParse(
+		"select H.B, X.B from H,X,Y where H.A=X.A and H.A=Y.A", starCat)
+	q.Exclude = []int64{3, 7}
+	h := starTuple("H", 1, 1)
+	h.PubSeq = 1
+	q1, ok := query.Rewrite(q, h)
+	if !ok {
+		t.Fatal("rewrite failed")
+	}
+	if !q1.Excluded(3) || !q1.Excluded(7) || q1.Excluded(4) {
+		t.Fatalf("exclusion set not inherited: %v", q1.Exclude)
+	}
+}
+
+func TestMergeExclude(t *testing.T) {
+	got := mergeExclude([]int64{1, 5, 9}, []int64{5, 2, 9, 12})
+	want := []int64{1, 2, 5, 9, 12}
+	if len(got) != len(want) {
+		t.Fatalf("merge %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge %v, want %v", got, want)
+		}
+	}
+	if out := mergeExclude([]int64{1}, nil); len(out) != 1 {
+		t.Fatalf("nil merge %v", out)
+	}
+}

@@ -1,0 +1,633 @@
+package core
+
+import (
+	"sort"
+
+	"rjoin/internal/chord"
+	"rjoin/internal/id"
+	"rjoin/internal/overlay"
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+	"rjoin/internal/sim"
+)
+
+// storedQuery is one query waiting at a node, input (Depth 0) or
+// rewritten, together with the key it is indexed under and — for
+// DISTINCT queries — the projection memory of Section 4's duplicate
+// elimination rule.
+type storedQuery struct {
+	q     *query.Query
+	key   string
+	level query.Level
+	seen  map[string]bool // trigger projections already used (DISTINCT)
+
+	// triggers counts how often this stored copy has been triggered;
+	// combined records the publication sequences of the tuples it
+	// consumed. Both drive the query-migration extension (Section 10
+	// future work) and are maintained only when migration is enabled.
+	triggers int
+	combined []int64
+}
+
+// allowTrigger implements the DISTINCT rule: a tuple may trigger the
+// query only if its projection over the attributes the query references
+// has not triggered it before. Non-DISTINCT queries always pass.
+func (sq *storedQuery) allowTrigger(t *relation.Tuple) bool {
+	if !sq.q.Distinct {
+		return true
+	}
+	return !sq.seen[sq.q.TriggerProjection(t)]
+}
+
+// markTrigger records a successful trigger's projection.
+func (sq *storedQuery) markTrigger(t *relation.Tuple) {
+	if !sq.q.Distinct {
+		return
+	}
+	if sq.seen == nil {
+		sq.seen = make(map[string]bool)
+	}
+	sq.seen[sq.q.TriggerProjection(t)] = true
+}
+
+// noteCombine records a successful combination for the migration
+// extension; a no-op unless migration is enabled.
+func (sq *storedQuery) noteCombine(enabled bool, t *relation.Tuple) {
+	if !enabled {
+		return
+	}
+	sq.triggers++
+	sq.combined = append(sq.combined, t.PubSeq)
+}
+
+// pubQualifies implements the publication-time predicate of Definition
+// 1: continuous queries combine tuples published at or after their
+// insertion; one-time queries combine the snapshot published at or
+// before it.
+func pubQualifies(q *query.Query, t *relation.Tuple) bool {
+	if q.OneTime {
+		return t.PubTime <= q.InsertTime
+	}
+	return t.PubTime >= q.InsertTime
+}
+
+// alttEntry is one attribute-level tuple retained for Δ ticks (the
+// attribute level tuple table of Section 4).
+type alttEntry struct {
+	t        *relation.Tuple
+	expireAt sim.Time
+}
+
+// pendingPlacement is a query whose RIC walk is in flight; the decision
+// completes when the reply returns.
+type pendingPlacement struct {
+	q     *query.Query
+	cands []query.Candidate
+	known map[string]ricInfo
+}
+
+// Proc is the RJoin processor running at one DHT node: the local query
+// store, tuple store, ALTT, rate statistics and candidate table, plus
+// the message handlers of Procedures 2 and 3.
+type Proc struct {
+	eng  *Engine
+	node *chord.Node
+
+	queries map[string][]*storedQuery    // by index key, both levels
+	tuples  map[string][]*relation.Tuple // value-level tuple store
+	altt    map[string][]alttEntry       // attribute-level tuple table
+
+	stats   map[string]*rateStat
+	ct      *candidateTable
+	pending map[int64]*pendingPlacement
+}
+
+func newProc(eng *Engine, node *chord.Node) *Proc {
+	return &Proc{
+		eng:     eng,
+		node:    node,
+		queries: make(map[string][]*storedQuery),
+		tuples:  make(map[string][]*relation.Tuple),
+		altt:    make(map[string][]alttEntry),
+		stats:   make(map[string]*rateStat),
+		ct:      newCandidateTable(),
+		pending: make(map[int64]*pendingPlacement),
+	}
+}
+
+// HandleMessage dispatches overlay deliveries.
+func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
+	switch m := msg.(type) {
+	case *tupleMsg:
+		p.onTuple(now, m)
+	case *evalMsg:
+		p.onEval(now, m)
+	case *answerMsg:
+		p.eng.recordAnswer(now, m)
+	case *ricRequestMsg:
+		p.onRICRequest(now, m)
+	case *ricReplyMsg:
+		p.onRICReply(now, m)
+	}
+}
+
+func (p *Proc) recordArrival(key string, now sim.Time) {
+	st, ok := p.stats[key]
+	if !ok {
+		st = &rateStat{epoch: epochOf(now, p.eng.Cfg.RICWindow)}
+		p.stats[key] = st
+	}
+	st.record(now, p.eng.Cfg.RICWindow)
+}
+
+// rate returns the node's current RIC estimate for a key.
+func (p *Proc) rate(key string, now sim.Time) float64 {
+	st, ok := p.stats[key]
+	if !ok {
+		return 0
+	}
+	return st.rate(now, p.eng.Cfg.RICWindow)
+}
+
+// ownsKey reports whether this node is Successor(Hash(key)) according
+// to its local routing state.
+func (p *Proc) ownsKey(key string) bool {
+	pred := p.node.Predecessor()
+	if pred == nil {
+		return true
+	}
+	return id.BetweenRightIncl(id.HashKey(key), pred.ID(), p.node.ID())
+}
+
+// onTuple is Procedure 2: a node receives newTuple(t, Key, Level).
+// Stored queries under the delivery key are triggered and rewritten; at
+// value level the tuple is then stored, at attribute level it enters
+// the ALTT for Δ ticks.
+func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
+	p.recordArrival(m.Key, now)
+	p.eng.QPL.Add(p.node.ID(), 1)
+	p.eng.Counters.TuplesReceived++
+
+	list := p.queries[m.Key]
+	if len(list) > 0 {
+		kept := list[:0]
+		for _, sq := range list {
+			clock := sq.q.Window.Clock(m.T)
+			// Section 5 rule: a rewritten query found outside its
+			// window when triggered is deleted.
+			if sq.q.Depth > 0 && sq.q.Window.Enabled() && !sq.q.Window.Valid(sq.q.Start, clock) {
+				p.eng.Counters.QueriesExpired++
+				continue
+			}
+			p.tryTrigger(now, sq, m.T)
+			if p.eng.Cfg.EnableMigration && p.maybeMigrate(now, sq) {
+				continue // relocated to a colder candidate
+			}
+			kept = append(kept, sq)
+		}
+		if len(kept) == 0 {
+			delete(p.queries, m.Key)
+		} else {
+			p.queries[m.Key] = kept
+		}
+	}
+
+	if m.Level == query.ValueLevel {
+		p.storeTuple(now, m.Key, m.T)
+	} else if p.eng.delta >= 0 {
+		p.altt[m.Key] = append(p.altt[m.Key], alttEntry{t: m.T, expireAt: now + sim.Time(p.eng.delta)})
+		p.eng.Counters.ALTTStored++
+	}
+}
+
+// tryTrigger applies one incoming tuple to one stored query: the
+// semantic checks (publication order, window validity, DISTINCT
+// projection), the rewrite itself, and dispatch of the result.
+func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
+	if !pubQualifies(sq.q, t) {
+		return
+	}
+	if sq.q.Excluded(t.PubSeq) {
+		return // already combined at a previous home (migration)
+	}
+	if !sq.allowTrigger(t) {
+		p.eng.Counters.DuplicatesSuppressed++
+		return
+	}
+	q2, ok := query.Rewrite(sq.q, t)
+	if !ok {
+		return
+	}
+	clock := sq.q.Window.Clock(t)
+	if sq.q.Depth == 0 {
+		// Rule 1: rewrites of an input query start their window at the
+		// triggering tuple's clock.
+		q2.Start = clock
+	} else {
+		// Rule 2: rewrites triggered by an incoming tuple inherit the
+		// window start.
+		q2.Start = sq.q.Start
+	}
+	sq.markTrigger(t)
+	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
+	p.dispatch(now, q2)
+}
+
+// storeTuple stores a value-level tuple (counted as storage load) and
+// optionally garbage-collects stored tuples no window can reach.
+func (p *Proc) storeTuple(now sim.Time, key string, t *relation.Tuple) {
+	p.tuples[key] = append(p.tuples[key], t)
+	p.eng.SL.Add(p.node.ID(), 1)
+	p.eng.Counters.TuplesStored++
+
+	cfg := p.eng.Cfg
+	if cfg.TupleGC && cfg.MaxWindowHint > 0 && len(p.tuples[key])%32 == 0 {
+		seqNow, timeNow := p.eng.pubSeq, int64(now)
+		kept := p.tuples[key][:0]
+		for _, old := range p.tuples[key] {
+			// Conservative: drop only when out of reach on both clocks.
+			if seqNow-old.PubSeq > cfg.MaxWindowHint && timeNow-old.PubTime > cfg.MaxWindowHint {
+				p.eng.Counters.TuplesCollected++
+				continue
+			}
+			kept = append(kept, old)
+		}
+		p.tuples[key] = kept
+	}
+}
+
+// alttScan returns the live ALTT entries for a key, pruning expired
+// ones in passing.
+func (p *Proc) alttScan(key string, now sim.Time) []alttEntry {
+	entries := p.altt[key]
+	// Entries expire in arrival order (constant Δ): pop the prefix.
+	i := 0
+	for i < len(entries) && entries[i].expireAt < now {
+		i++
+	}
+	if i > 0 {
+		entries = entries[i:]
+		if len(entries) == 0 {
+			delete(p.altt, key)
+		} else {
+			p.altt[key] = entries
+		}
+		p.eng.Counters.ALTTExpired += int64(i)
+	}
+	return entries
+}
+
+// onEval is Procedure 3 (and the input-query indexing step): the node
+// stores the query, then matches it against locally stored tuples —
+// the value-level store for value-level keys, the ALTT for
+// attribute-level keys (the Section 4 completeness rule, which also
+// covers rewritten queries placed at attribute level per Section 6).
+func (p *Proc) onEval(now sim.Time, m *evalMsg) {
+	for _, info := range m.RIC {
+		p.ct.merge(info)
+	}
+	sq := &storedQuery{q: m.Q, key: m.Key, level: m.Level}
+	if m.Q.OneTime {
+		// One-time queries keep no standing state: all qualifying
+		// tuples were published before submission, so scanning the
+		// local stores suffices and nothing waits for the future.
+		if m.Q.Depth > 0 {
+			p.eng.QPL.Add(p.node.ID(), 1)
+		}
+	} else {
+		p.queries[m.Key] = append(p.queries[m.Key], sq)
+		if m.Q.Depth > 0 {
+			p.eng.QPL.Add(p.node.ID(), 1)
+			p.eng.SL.Add(p.node.ID(), 1)
+			p.eng.Counters.RewritesStored++
+		} else {
+			p.eng.Counters.InputQueriesStored++
+		}
+	}
+
+	if m.Level == query.ValueLevel {
+		for _, t := range p.tuples[m.Key] {
+			p.scanTrigger(now, sq, t)
+		}
+	} else {
+		for _, e := range p.alttScan(m.Key, now) {
+			p.scanTrigger(now, sq, e.t)
+		}
+	}
+}
+
+// scanTrigger applies one locally stored tuple to a just-arrived query
+// (Procedure 3's loop). Window rule 3: the result's start is
+// max(start(q), clock(t)).
+func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
+	if !pubQualifies(sq.q, t) {
+		return
+	}
+	if sq.q.Excluded(t.PubSeq) {
+		return // already combined at a previous home (migration)
+	}
+	clock := sq.q.Window.Clock(t)
+	if sq.q.Depth > 0 && sq.q.Window.Enabled() && !sq.q.Window.Valid(sq.q.Start, clock) {
+		return // stored tuple outside the query's window: skip, keep query
+	}
+	if !sq.allowTrigger(t) {
+		p.eng.Counters.DuplicatesSuppressed++
+		return
+	}
+	q2, ok := query.Rewrite(sq.q, t)
+	if !ok {
+		return
+	}
+	if sq.q.Depth == 0 {
+		q2.Start = clock
+	} else {
+		q2.Start = sq.q.Start
+		if clock > q2.Start {
+			q2.Start = clock
+		}
+	}
+	sq.markTrigger(t)
+	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
+	p.dispatch(now, q2)
+}
+
+// maybeMigrate implements the Section 10 future-work extension:
+// on-line adaptation of the distributed query plan. A value-level
+// rewritten query that has been triggered repeatedly at a hot key
+// relocates to the coldest alternative candidate the node's candidate
+// table knows about, carrying the exclusion set of tuples it already
+// combined so no answer is produced twice. DISTINCT queries do not
+// migrate (their projection memory cannot travel with the query without
+// re-deriving it, so the distributed dedup guarantee would weaken).
+// Input queries and attribute-level placements do not migrate either:
+// their destinations retain only Δ of tuple history, which would
+// sacrifice completeness.
+func (p *Proc) maybeMigrate(now sim.Time, sq *storedQuery) bool {
+	cfg := p.eng.Cfg
+	if sq.q.Depth == 0 || sq.level != query.ValueLevel || sq.q.Distinct {
+		return false
+	}
+	minTrig := cfg.MigrationMinTriggers
+	if minTrig <= 0 {
+		minTrig = 8
+	}
+	if sq.triggers < minTrig {
+		return false
+	}
+	factor := cfg.MigrationFactor
+	if factor <= 1 {
+		factor = 4
+	}
+	localRate := p.rate(sq.key, now)
+	if localRate <= 0 {
+		return false
+	}
+	// The best alternative the node knows about locally (CT entries
+	// arrive with piggy-backed RIC info); migration is a local
+	// decision, exactly like initial placement.
+	best, found := 0.0, false
+	for _, c := range sq.q.Candidates() {
+		if c.Level != query.ValueLevel || c.Key == sq.key {
+			continue
+		}
+		if e, ok := p.ct.fresh(c.Key, now, cfg.CTValidity); ok {
+			if !found || e.Rate < best {
+				best, found = e.Rate, true
+			}
+		}
+	}
+	if !found || localRate < factor*(best+1) {
+		return false
+	}
+	q2 := sq.q.Clone()
+	q2.Exclude = mergeExclude(q2.Exclude, sq.combined)
+	p.eng.Counters.QueriesMigrated++
+	p.place(now, q2)
+	return true
+}
+
+// mergeExclude merges newly combined publication sequences into a
+// sorted exclusion set.
+func mergeExclude(exclude, combined []int64) []int64 {
+	if len(combined) == 0 {
+		return exclude
+	}
+	merged := append(exclude, combined...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	out := merged[:0]
+	for i, v := range merged {
+		if i == 0 || v != merged[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dispatch routes a freshly created rewrite: completed queries become
+// answers sent directly to the owner; contradictory queries are
+// discarded; everything else is indexed at the node the placement
+// strategy selects.
+func (p *Proc) dispatch(now sim.Time, q2 *query.Query) {
+	p.eng.Counters.RewritesCreated++
+	if q2.Depth >= 2 {
+		p.eng.Counters.DeepRewrites++
+	}
+	if q2.IsComplete() {
+		p.eng.net.SendDirect(p.node, id.ID(q2.Owner), &answerMsg{QueryID: q2.ID, Values: q2.AnswerValues()})
+		return
+	}
+	if q2.Contradictory() {
+		p.eng.Counters.ContradictoryDropped++
+		return
+	}
+	p.place(now, q2)
+}
+
+// place implements nextKey(): choose the index candidate for a query
+// according to the engine's strategy and send the Eval message.
+func (p *Proc) place(now sim.Time, q *query.Query) {
+	cands := q.Candidates()
+	if q.Depth > 0 && !p.eng.Cfg.AllowAttrRewrites {
+		// Default rule (Section 3): rewritten queries are indexed at
+		// value level, where tuple stores are unbounded. See
+		// Config.AllowAttrRewrites for the Section 6 generalization.
+		vcands := cands[:0:0]
+		for _, c := range cands {
+			if c.Level == query.ValueLevel {
+				vcands = append(vcands, c)
+			}
+		}
+		if len(vcands) > 0 {
+			cands = vcands
+		}
+	}
+	if len(cands) == 0 {
+		p.eng.Counters.UnplaceableDropped++
+		return
+	}
+	switch p.eng.Cfg.Strategy {
+	case StrategyRandom:
+		c := cands[p.eng.sim.Rand().Intn(len(cands))]
+		p.sendEval(q, c, nil, false)
+	case StrategyWorst:
+		best := cands[0]
+		bestRate := p.eng.oracleRate(best.Key, now)
+		for _, c := range cands[1:] {
+			if r := p.eng.oracleRate(c.Key, now); r > bestRate {
+				best, bestRate = c, r
+			}
+		}
+		p.sendEval(q, best, nil, false)
+	default: // StrategyRIC
+		p.placeRIC(now, q, cands)
+	}
+}
+
+// placeRIC is Sections 6–7: consult the candidate table for fresh RIC
+// info, poll only unknown candidates with a chained RIC request, and on
+// reply index the query at the candidate with the lowest predicted
+// rate, directly (one hop) because the reply carried its address.
+func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
+	known := make(map[string]ricInfo, len(cands))
+	var unknown []string
+	for _, c := range cands {
+		if p.eng.Cfg.UseCT {
+			if e, ok := p.ct.fresh(c.Key, now, p.eng.Cfg.CTValidity); ok {
+				known[c.Key] = ricInfo{Key: c.Key, Rate: e.Rate, Addr: e.Addr, At: e.At}
+				continue
+			}
+		}
+		unknown = append(unknown, c.Key)
+	}
+	if len(unknown) == 0 {
+		p.decide(q, cands, known)
+		return
+	}
+	// Visit unknown candidates in clockwise ring order from here (the
+	// "optimal order to contact these nodes").
+	sort.Slice(unknown, func(i, j int) bool {
+		return id.Dist(p.node.ID(), id.HashKey(unknown[i])) <
+			id.Dist(p.node.ID(), id.HashKey(unknown[j]))
+	})
+	reqID := p.eng.nextReqID()
+	p.pending[reqID] = &pendingPlacement{q: q, cands: cands, known: known}
+	p.eng.Counters.RICRequests++
+	req := &ricRequestMsg{Origin: p.node.ID(), ReqID: reqID, Pending: unknown}
+	p.eng.net.WithTag(TagRIC, func() {
+		p.eng.net.Send(p.node, id.HashKey(unknown[0]), req)
+	})
+}
+
+// onRICRequest handles one step of the chained walk: report the rate
+// for every pending key this node is responsible for, then forward the
+// walk or return the collected reports to the origin.
+func (p *Proc) onRICRequest(now sim.Time, m *ricRequestMsg) {
+	// The message was addressed to Hash(Pending[0]), so this node owns
+	// at least that key; it may own later pending keys too.
+	reported := false
+	for len(m.Pending) > 0 && (!reported || p.ownsKey(m.Pending[0])) {
+		key := m.Pending[0]
+		m.Pending = m.Pending[1:]
+		m.Got = append(m.Got, ricInfo{Key: key, Rate: p.rate(key, now), Addr: p.node.ID(), At: now})
+		reported = true
+	}
+	p.eng.net.WithTag(TagRIC, func() {
+		if len(m.Pending) == 0 {
+			p.eng.net.SendDirect(p.node, m.Origin, &ricReplyMsg{ReqID: m.ReqID, Got: m.Got})
+		} else {
+			p.eng.net.Send(p.node, id.HashKey(m.Pending[0]), m)
+		}
+	})
+}
+
+// onRICReply completes a pending placement.
+func (p *Proc) onRICReply(now sim.Time, m *ricReplyMsg) {
+	pp, ok := p.pending[m.ReqID]
+	if !ok {
+		return
+	}
+	delete(p.pending, m.ReqID)
+	p.eng.Counters.RICReplies++
+	for _, info := range m.Got {
+		p.ct.merge(info)
+		pp.known[info.Key] = info
+	}
+	p.decide(pp.q, pp.cands, pp.known)
+}
+
+// decide picks the candidate with the lowest predicted rate (ties
+// resolve to clause order, which is deterministic) and sends the query
+// there — in one hop when the candidate's address is known.
+func (p *Proc) decide(q *query.Query, cands []query.Candidate, known map[string]ricInfo) {
+	best := cands[0]
+	bestInfo, haveBest := known[best.Key]
+	for _, c := range cands[1:] {
+		info, ok := known[c.Key]
+		if !ok {
+			continue
+		}
+		// Strictly lower rate wins; ties prefer value level, which
+		// distributes load better (Section 3).
+		better := !haveBest || info.Rate < bestInfo.Rate ||
+			(info.Rate == bestInfo.Rate && best.Level == query.AttrLevel && c.Level == query.ValueLevel)
+		if better {
+			best, bestInfo, haveBest = c, info, true
+		}
+	}
+	var piggy []ricInfo
+	if p.eng.Cfg.PiggybackRIC {
+		for _, c := range cands {
+			if info, ok := known[c.Key]; ok {
+				piggy = append(piggy, info)
+			}
+		}
+	}
+	p.sendEval(q, best, piggy, haveBest)
+}
+
+// sendEval ships the Eval message: directly when the target's address
+// is known (the RIC reply contains candidate IPs), routed otherwise.
+// Attribute-level placements under replication fan out to every replica
+// key, since a tuple is delivered to only one of them.
+func (p *Proc) sendEval(q *query.Query, c query.Candidate, piggy []ricInfo, direct bool) {
+	if c.Level == query.AttrLevel && p.eng.Cfg.AttrReplicas >= 2 {
+		r := p.eng.Cfg.AttrReplicas
+		msgs := make([]overlay.Message, r)
+		keys := make([]id.ID, r)
+		for i := 0; i < r; i++ {
+			rk := replicaKey(c.Key, i)
+			msgs[i] = &evalMsg{Q: q, Key: rk, Level: c.Level, RIC: piggy}
+			keys[i] = id.HashKey(rk)
+		}
+		p.eng.net.MultiSend(p.node, msgs, keys)
+		return
+	}
+	msg := &evalMsg{Q: q, Key: c.Key, Level: c.Level, RIC: piggy}
+	if direct {
+		// The address may be stale (node left); fall back to routing.
+		if tgt := p.eng.ring.Node(p.addrFor(c.Key, piggy)); tgt != nil && p.stillOwns(tgt.ID(), c.Key) {
+			p.eng.net.SendDirect(p.node, tgt.ID(), msg)
+			return
+		}
+	}
+	p.eng.net.Send(p.node, id.HashKey(c.Key), msg)
+}
+
+func (p *Proc) addrFor(key string, piggy []ricInfo) id.ID {
+	if e, ok := p.ct.get(key); ok {
+		return e.Addr
+	}
+	for _, info := range piggy {
+		if info.Key == key {
+			return info.Addr
+		}
+	}
+	return 0
+}
+
+// stillOwns verifies a cached address still owns the key before sending
+// directly.
+func (p *Proc) stillOwns(addr id.ID, key string) bool {
+	owner := p.eng.ring.Owner(id.HashKey(key))
+	return owner != nil && owner.ID() == addr
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"rjoin/internal/id"
+	"rjoin/internal/sim"
+)
+
+// rateStat measures the rate of incoming tuples for one index key at
+// the node responsible for it — the RIC information of Section 6. The
+// estimate is epoch-based: time is divided into fixed windows of
+// Config.RICWindow ticks, and the prediction for the next window is the
+// count observed in the last complete window (falling back to the
+// current, still-open window when no complete one exists yet, so that
+// freshly hot keys are visible immediately).
+type rateStat struct {
+	epoch     int64 // index of the epoch countCur refers to
+	countCur  int64
+	countPrev int64
+}
+
+func epochOf(now sim.Time, window int64) int64 {
+	if window <= 0 {
+		return 0
+	}
+	return int64(now) / window
+}
+
+// record notes one tuple arrival at time now.
+func (r *rateStat) record(now sim.Time, window int64) {
+	e := epochOf(now, window)
+	switch {
+	case e == r.epoch:
+		r.countCur++
+	case e == r.epoch+1:
+		r.countPrev = r.countCur
+		r.epoch = e
+		r.countCur = 1
+	default:
+		r.countPrev = 0
+		r.epoch = e
+		r.countCur = 1
+	}
+}
+
+// rate predicts the next window's arrival count.
+func (r *rateStat) rate(now sim.Time, window int64) float64 {
+	e := epochOf(now, window)
+	switch {
+	case e == r.epoch:
+		if r.countPrev > 0 {
+			return float64(r.countPrev)
+		}
+		return float64(r.countCur)
+	case e == r.epoch+1:
+		return float64(r.countCur)
+	default:
+		return 0 // key has gone quiet
+	}
+}
+
+// ctEntry is one row of the candidate table (CT) of Section 7: the most
+// recent RIC information a node holds about a key, together with the
+// address of the node responsible for it so future queries can reach
+// that candidate in one hop.
+type ctEntry struct {
+	Rate float64
+	Addr id.ID
+	At   sim.Time
+}
+
+// candidateTable caches RIC information learned from replies and from
+// RIC info piggy-backed on rewritten queries, keeping the most recent
+// report per key.
+type candidateTable struct {
+	entries map[string]ctEntry
+}
+
+func newCandidateTable() *candidateTable {
+	return &candidateTable{entries: make(map[string]ctEntry)}
+}
+
+// merge records a report, keeping the newest per key.
+func (ct *candidateTable) merge(info ricInfo) {
+	if cur, ok := ct.entries[info.Key]; ok && cur.At >= info.At {
+		return
+	}
+	ct.entries[info.Key] = ctEntry{Rate: info.Rate, Addr: info.Addr, At: info.At}
+}
+
+// fresh returns the entry for key if it exists and was learned within
+// validity ticks of now.
+func (ct *candidateTable) fresh(key string, now sim.Time, validity int64) (ctEntry, bool) {
+	e, ok := ct.entries[key]
+	if !ok || int64(now-e.At) > validity {
+		return ctEntry{}, false
+	}
+	return e, true
+}
+
+// get returns the entry regardless of freshness.
+func (ct *candidateTable) get(key string) (ctEntry, bool) {
+	e, ok := ct.entries[key]
+	return e, ok
+}
+
+// size returns the number of cached keys.
+func (ct *candidateTable) size() int { return len(ct.entries) }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRateStatEpochRollover(t *testing.T) {
+	const w = 100
+	var r rateStat
+	// 5 arrivals in epoch 0.
+	for i := 0; i < 5; i++ {
+		r.record(10, w)
+	}
+	if got := r.rate(50, w); got != 5 {
+		t.Fatalf("rate within first epoch = %v, want current count 5", got)
+	}
+	// Arrival in epoch 1 promotes epoch 0's count to prev.
+	r.record(110, w)
+	if got := r.rate(150, w); got != 5 {
+		t.Fatalf("rate in epoch 1 = %v, want prev 5", got)
+	}
+	// From epoch 2 with no arrivals, epoch 1's count is the estimate.
+	if got := r.rate(250, w); got != 1 {
+		t.Fatalf("rate one epoch later = %v, want 1", got)
+	}
+	// Far in the future the key is quiet.
+	if got := r.rate(1000, w); got != 0 {
+		t.Fatalf("rate after silence = %v, want 0", got)
+	}
+}
+
+func TestRateStatGapResets(t *testing.T) {
+	const w = 100
+	var r rateStat
+	for i := 0; i < 9; i++ {
+		r.record(10, w)
+	}
+	// Next arrival several epochs later: the old burst must not count.
+	r.record(1010, w)
+	if got := r.rate(1020, w); got != 1 {
+		t.Fatalf("rate after gap = %v, want 1", got)
+	}
+}
+
+// Property: rate is never negative and never exceeds the total number
+// of recorded arrivals.
+func TestRateStatBoundsProperty(t *testing.T) {
+	const w = 50
+	f := func(times []uint16) bool {
+		var r rateStat
+		var last int64
+		total := 0
+		for _, dt := range times {
+			last += int64(dt % 200)
+			r.record(simTime(last), w)
+			total++
+			got := r.rate(simTime(last), w)
+			if got < 0 || got > float64(total) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCandidateTableKeepsNewest(t *testing.T) {
+	ct := newCandidateTable()
+	ct.merge(ricInfo{Key: "R+A", Rate: 5, Addr: 1, At: 100})
+	ct.merge(ricInfo{Key: "R+A", Rate: 9, Addr: 2, At: 50}) // older: ignored
+	e, ok := ct.get("R+A")
+	if !ok || e.Rate != 5 || e.Addr != 1 {
+		t.Fatalf("entry %+v", e)
+	}
+	ct.merge(ricInfo{Key: "R+A", Rate: 2, Addr: 3, At: 200}) // newer: wins
+	e, _ = ct.get("R+A")
+	if e.Rate != 2 || e.Addr != 3 {
+		t.Fatalf("entry %+v after newer merge", e)
+	}
+	if ct.size() != 1 {
+		t.Fatalf("size %d", ct.size())
+	}
+}
+
+func TestCandidateTableFreshness(t *testing.T) {
+	ct := newCandidateTable()
+	ct.merge(ricInfo{Key: "k", Rate: 1, At: 100})
+	if _, ok := ct.fresh("k", 150, 100); !ok {
+		t.Fatal("fresh entry rejected")
+	}
+	if _, ok := ct.fresh("k", 250, 100); ok {
+		t.Fatal("stale entry accepted")
+	}
+	if _, ok := ct.fresh("missing", 0, 100); ok {
+		t.Fatal("missing entry accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rjoin/internal/overlay"
+	"rjoin/internal/query"
+	"rjoin/internal/refeval"
+	"rjoin/internal/relation"
+	"rjoin/internal/sqlparse"
+	"rjoin/internal/workload"
+)
+
+// windowRun publishes nTuples in publication order (draining between
+// publications so clocks are strictly ordered) against window queries.
+func windowRun(t *testing.T, seed int64, w query.WindowSpec, nQueries, nTuples int) (*Engine, []string, []*query.Query, []*relation.Tuple) {
+	t.Helper()
+	eng, nodes := testNet(t, 48, seed, DefaultConfig(), overlay.DefaultConfig())
+	wcfg := workload.Config{Relations: 3, Attributes: 3, Values: 3, Theta: 0.9, JoinArity: 2}
+	gen := workload.MustGenerator(wcfg, seed)
+	rng := rand.New(rand.NewSource(seed + 5))
+	var qids []string
+	var queries []*query.Query
+	for i := 0; i < nQueries; i++ {
+		q := gen.WindowQuery(w)
+		qid, err := eng.SubmitQuery(nodes[rng.Intn(len(nodes))], q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qids = append(qids, qid)
+		q.InsertTime = 0
+		queries = append(queries, q)
+	}
+	eng.Run()
+	var tuples []*relation.Tuple
+	for i := 0; i < nTuples; i++ {
+		tu := gen.Tuple()
+		eng.PublishTuple(nodes[rng.Intn(len(nodes))], tu)
+		eng.Run()
+		tuples = append(tuples, tu)
+	}
+	return eng, qids, queries, tuples
+}
+
+// TestTupleWindowTwoWayExact: for 2-way joins the span and anchor
+// semantics coincide, so RJoin must match the reference exactly under
+// in-order arrival.
+func TestTupleWindowTwoWayExact(t *testing.T) {
+	w := query.WindowSpec{Kind: query.WindowTuples, Size: 8}
+	for seed := int64(30); seed < 33; seed++ {
+		eng, qids, queries, tuples := windowRun(t, seed, w, 4, 50)
+		for i, qid := range qids {
+			want := refeval.EvaluateSpan(queries[i], tuples)
+			got := answersToRows(eng.Answers(qid))
+			if !refeval.EqualBags(got, want) {
+				t.Fatalf("seed %d query %d (%s): got %d want %d",
+					seed, i, queries[i], len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestTupleWindowRestrictsAnswers: windowed answers are a strict subset
+// of unwindowed ones on a workload where matches span beyond the
+// window.
+func TestTupleWindowRestrictsAnswers(t *testing.T) {
+	wide := query.WindowSpec{Kind: query.WindowTuples, Size: 1 << 40}
+	narrow := query.WindowSpec{Kind: query.WindowTuples, Size: 4}
+	// windowRun is deterministic per seed, so both runs see the same
+	// workload and differ only in the window size.
+	engWide, qw, _, _ := windowRun(t, 40, wide, 3, 60)
+	engN, qn, _, _ := windowRun(t, 40, narrow, 3, 60)
+	var wideTotal, narrowTotal int
+	for i := range qw {
+		wideTotal += len(engWide.Answers(qw[i]))
+		narrowTotal += len(engN.Answers(qn[i]))
+	}
+	if narrowTotal >= wideTotal {
+		t.Fatalf("narrow window answers (%d) not fewer than wide (%d)", narrowTotal, wideTotal)
+	}
+	if narrowTotal == 0 {
+		t.Fatal("narrow window produced no answers at all; workload too sparse to be meaningful")
+	}
+}
+
+// TestMultiWayWindowBracketed: for 3-way windows RJoin's answers fall
+// between the span (lower) and anchor (upper) reference semantics.
+func TestMultiWayWindowBracketed(t *testing.T) {
+	w := query.WindowSpec{Kind: query.WindowTuples, Size: 10}
+	for seed := int64(44); seed < 47; seed++ {
+		eng, qids, queries, tuples := func() (*Engine, []string, []*query.Query, []*relation.Tuple) {
+			eng, nodes := testNet(t, 48, seed, DefaultConfig(), overlay.DefaultConfig())
+			wcfg := workload.Config{Relations: 3, Attributes: 2, Values: 3, Theta: 0.9, JoinArity: 3}
+			gen := workload.MustGenerator(wcfg, seed)
+			rng := rand.New(rand.NewSource(seed + 5))
+			var qids []string
+			var queries []*query.Query
+			for i := 0; i < 3; i++ {
+				q := gen.WindowQuery(w)
+				qid, err := eng.SubmitQuery(nodes[rng.Intn(len(nodes))], q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				qids = append(qids, qid)
+				q.InsertTime = 0
+				queries = append(queries, q)
+			}
+			eng.Run()
+			var tuples []*relation.Tuple
+			for i := 0; i < 45; i++ {
+				tu := gen.Tuple()
+				eng.PublishTuple(nodes[rng.Intn(len(nodes))], tu)
+				eng.Run()
+				tuples = append(tuples, tu)
+			}
+			return eng, qids, queries, tuples
+		}()
+		for i, qid := range qids {
+			got := answersToRows(eng.Answers(qid))
+			lower := refeval.EvaluateSpan(queries[i], tuples)
+			upper := refeval.EvaluateAnchor(queries[i], tuples)
+			if !refeval.SubBag(lower, got) {
+				t.Fatalf("seed %d query %d: span answers missing (got %d, lower bound %d)",
+					seed, i, len(got), len(lower))
+			}
+			if !refeval.SubBag(got, upper) {
+				t.Fatalf("seed %d query %d: answers exceed anchor semantics (got %d, upper bound %d)",
+					seed, i, len(got), len(upper))
+			}
+		}
+	}
+}
+
+// TestTimeWindow exercises the WindowTime clock: two tuples far apart
+// in virtual time do not join; close together they do.
+func TestTimeWindow(t *testing.T) {
+	eng, nodes := testNet(t, 32, 50, DefaultConfig(), overlay.DefaultConfig())
+	q := sqlparse.MustParse(
+		"select R.B, S.B from R,S where R.A=S.A within 100 ticks", testCat)
+	qid, _ := eng.SubmitQuery(nodes[0], q)
+	eng.Run()
+
+	eng.PublishTuple(nodes[1], mkTuple("R", 1, 10, 0))
+	eng.Run()
+	// Within the window: joins.
+	eng.PublishTuple(nodes[1], mkTuple("S", 1, 20, 0))
+	eng.Run()
+	if n := len(eng.Answers(qid)); n != 1 {
+		t.Fatalf("in-window join: %d answers, want 1", n)
+	}
+	// Push the clock far beyond the window, then publish the partner.
+	eng.RunUntil(eng.Sim().Now() + 10_000)
+	eng.PublishTuple(nodes[1], mkTuple("S", 1, 30, 0))
+	eng.Run()
+	if n := len(eng.Answers(qid)); n != 1 {
+		t.Fatalf("out-of-window tuple joined: %d answers", n)
+	}
+}
+
+// TestTumblingWindow: tuples in the same epoch join; straddling an
+// epoch boundary they do not, even when close.
+func TestTumblingWindow(t *testing.T) {
+	eng, nodes := testNet(t, 32, 51, DefaultConfig(), overlay.DefaultConfig())
+	q := sqlparse.MustParse(
+		"select R.B, S.B from R,S where R.A=S.A within 10 tuples tumbling", testCat)
+	qid, _ := eng.SubmitQuery(nodes[0], q)
+	eng.Run()
+	// Seq numbers start at 1. Publish R at seq 1, S at seq 2: same
+	// epoch [0,10) — join.
+	eng.PublishTuple(nodes[1], mkTuple("R", 1, 1, 0))
+	eng.Run()
+	eng.PublishTuple(nodes[1], mkTuple("S", 1, 2, 0))
+	eng.Run()
+	if n := len(eng.Answers(qid)); n != 1 {
+		t.Fatalf("same-epoch join: %d answers, want 1", n)
+	}
+	// Burn sequence numbers to the end of the epoch with non-matching
+	// tuples, then publish a matching R at seq 9 and S at seq 11:
+	// adjacent epochs, no join despite distance 2.
+	for eng.Counters.TuplesPublished < 8 {
+		eng.PublishTuple(nodes[1], mkTuple("M", 99, 99, 99))
+		eng.Run()
+	}
+	eng.PublishTuple(nodes[1], mkTuple("R", 2, 3, 0)) // seq 9
+	eng.Run()
+	eng.PublishTuple(nodes[1], mkTuple("M", 99, 99, 99)) // seq 10
+	eng.Run()
+	eng.PublishTuple(nodes[1], mkTuple("S", 2, 4, 0)) // seq 11, next epoch
+	eng.Run()
+	if n := len(eng.Answers(qid)); n != 1 {
+		t.Fatalf("cross-epoch tuples joined: %d answers", n)
+	}
+	// A matching S inside the new epoch with a new R also inside joins.
+	eng.PublishTuple(nodes[1], mkTuple("R", 3, 5, 0)) // seq 12
+	eng.Run()
+	eng.PublishTuple(nodes[1], mkTuple("S", 3, 6, 0)) // seq 13
+	eng.Run()
+	if n := len(eng.Answers(qid)); n != 2 {
+		t.Fatalf("new-epoch join failed: %d answers, want 2", n)
+	}
+}
+
+// TestWindowsBoundState is the Figure 8 claim in miniature: with small
+// windows, expired rewritten queries are dropped so live state stays
+// far below the unwindowed run.
+func TestWindowsBoundState(t *testing.T) {
+	measure := func(w query.WindowSpec) int {
+		eng, _, _, _ := windowRun(t, 60, w, 6, 80)
+		queries, _, _ := eng.StoredState()
+		return queries
+	}
+	unbounded := measure(query.WindowSpec{}) // no window
+	small := measure(query.WindowSpec{Kind: query.WindowTuples, Size: 4})
+	if small >= unbounded {
+		t.Fatalf("small window live queries (%d) not below unwindowed (%d)", small, unbounded)
+	}
+}
+
+// TestWindowExpiryCounter: expired rewritten queries are counted and
+// removed when out-of-window tuples arrive at their key.
+func TestWindowExpiryCounter(t *testing.T) {
+	eng, nodes := testNet(t, 32, 61, DefaultConfig(), overlay.DefaultConfig())
+	q := sqlparse.MustParse(
+		"select R.B, S.B from R,S where R.A=S.A within 3 tuples", testCat)
+	if _, err := eng.SubmitQuery(nodes[0], q); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// R at seq 1 creates a rewritten query anchored at 1 stored at
+	// S+A+1; non-matching filler pushes the window past it; then a
+	// "matching" S arrives at the same key and must expire the query.
+	eng.PublishTuple(nodes[1], mkTuple("R", 1, 1, 0))
+	eng.Run()
+	for i := 0; i < 5; i++ {
+		eng.PublishTuple(nodes[1], mkTuple("M", 99, 99, 99))
+		eng.Run()
+	}
+	eng.PublishTuple(nodes[1], mkTuple("S", 1, 2, 0)) // seq 7: out of window
+	eng.Run()
+	if eng.Counters.QueriesExpired == 0 {
+		t.Fatal("out-of-window trigger did not expire the stored query")
+	}
+	if eng.Counters.AnswersDelivered != 0 {
+		t.Fatal("expired query still answered")
+	}
+}

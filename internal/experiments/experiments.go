@@ -1,0 +1,478 @@
+// Package experiments regenerates every figure of the paper's
+// experimental analysis (Section 8). Each FigN function runs the
+// corresponding experiment on the simulated overlay and returns tables
+// holding the same rows/series the paper plots. The Params.Scale knob
+// shrinks the workload proportionally (node count is kept, so load
+// distributions remain comparable); shapes — who wins, by what rough
+// factor, where curves bend — are preserved across scales.
+//
+// Default setup, as in the paper: N = 1000 Chord nodes, a schema of 10
+// relations × 10 attributes with value domain 100, Zipf θ = 0.9, 4-way
+// chain joins, 2·10⁴ continuous queries.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rjoin/internal/chord"
+	"rjoin/internal/core"
+	"rjoin/internal/id"
+	"rjoin/internal/loadbalance"
+	"rjoin/internal/metrics"
+	"rjoin/internal/overlay"
+	"rjoin/internal/query"
+	"rjoin/internal/sim"
+	"rjoin/internal/workload"
+)
+
+// Params sizes an experiment.
+type Params struct {
+	// Nodes is the overlay size (paper: 1000).
+	Nodes int
+	// Queries is the number of continuous queries inserted before the
+	// tuple stream starts (paper: 20000), before scaling.
+	Queries int
+	// Seed drives all randomness.
+	Seed int64
+	// Scale in (0, 1] multiplies query and tuple counts.
+	Scale float64
+}
+
+// Default returns the paper's experimental setup at the given scale.
+func Default(scale float64) Params {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	return Params{Nodes: 1000, Queries: 20000, Seed: 1, Scale: scale}
+}
+
+func (p Params) scaled(n int) int {
+	v := int(float64(n) * p.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// run is one configured network with its workload generator.
+type run struct {
+	eng   *core.Engine
+	nodes []*chord.Node
+	gen   *workload.Generator
+	rng   *rand.Rand
+}
+
+func newRun(p Params, cfg core.Config, wcfg workload.Config) *run {
+	ring := chord.NewRing()
+	idRng := rand.New(rand.NewSource(p.Seed))
+	for i := 0; i < p.Nodes; i++ {
+		for {
+			if _, err := ring.Join(id.ID(idRng.Uint64())); err == nil {
+				break
+			}
+		}
+	}
+	ring.BuildPerfect()
+	se := sim.NewEngine(p.Seed)
+	nw := overlay.NewNetwork(ring, se, overlay.DefaultConfig())
+	eng := core.NewEngine(ring, se, nw, cfg)
+	return &run{
+		eng:   eng,
+		nodes: ring.Nodes(),
+		gen:   workload.MustGenerator(wcfg, p.Seed),
+		rng:   rand.New(rand.NewSource(p.Seed + 1)),
+	}
+}
+
+// warmup publishes n tuples before the measured experiment begins and
+// then resets all metrics. The continuous stream is assumed to be
+// already flowing when queries arrive — the RIC machinery of Section 6
+// explicitly predicts from "the last time window", which requires one
+// to exist. Warmup tuples predate every query's insertion time, so they
+// never contribute answers.
+func (r *run) warmup(n int) {
+	r.publish(n)
+	r.eng.ResetMetrics()
+}
+
+func (r *run) submitQueries(n int, window query.WindowSpec) {
+	for i := 0; i < n; i++ {
+		q := r.gen.Query()
+		q.Window = window
+		owner := r.nodes[r.rng.Intn(len(r.nodes))]
+		if _, err := r.eng.SubmitQuery(owner, q); err != nil {
+			panic(err) // generator output is valid by construction
+		}
+	}
+	r.eng.Run()
+}
+
+func (r *run) publish(n int) {
+	for i := 0; i < n; i++ {
+		r.eng.PublishTuple(r.nodes[r.rng.Intn(len(r.nodes))], r.gen.Tuple())
+		r.eng.Run()
+	}
+}
+
+// rankedSummary renders a ranked load distribution at fixed rank
+// positions, the textual equivalent of the paper's log-log ranked
+// plots.
+var rankedFracs = []float64{0, 0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 1}
+
+func rankedHeader() []string {
+	h := []string{"series"}
+	for _, f := range rankedFracs {
+		h = append(h, fmt.Sprintf("rank %d%%", int(f*100)))
+	}
+	return append(h, "participants")
+}
+
+func rankedRow(name string, l *metrics.Load) []string {
+	ranked := l.Ranked()
+	row := []string{name}
+	for _, f := range rankedFracs {
+		if len(ranked) == 0 {
+			row = append(row, "0")
+			continue
+		}
+		i := int(f * float64(len(ranked)-1))
+		row = append(row, fmt.Sprintf("%d", ranked[i]))
+	}
+	return append(row, fmt.Sprintf("%d", l.Participants()))
+}
+
+// Fig2 — Effect of taking into account RIC information. Three placement
+// strategies (Worst, Random, RJoin) over the same workload; per-node
+// totals of traffic, QPL and SL after 50/100/200/400 tuples, with
+// RJoin's RIC-request traffic reported separately.
+func Fig2(p Params) []*metrics.Table {
+	checkpoints := []int{
+		p.scaled(50), p.scaled(100), p.scaled(200), p.scaled(400),
+	}
+	type snapshot struct{ traffic, ric, qpl, sl float64 }
+	series := map[core.Strategy][]snapshot{}
+	for _, strat := range []core.Strategy{core.StrategyWorst, core.StrategyRandom, core.StrategyRIC} {
+		cfg := core.DefaultConfig()
+		cfg.Strategy = strat
+		r := newRun(p, cfg, workload.PaperConfig())
+		r.warmup(p.scaled(400))
+		r.submitQueries(p.scaled(p.Queries), query.WindowSpec{})
+		published := 0
+		for _, cp := range checkpoints {
+			r.publish(cp - published)
+			published = cp
+			series[strat] = append(series[strat], snapshot{
+				traffic: r.eng.Net().Traffic.PerNode(p.Nodes),
+				ric:     r.eng.Net().TaggedTraffic(core.TagRIC).PerNode(p.Nodes),
+				qpl:     r.eng.QPL.PerNode(p.Nodes),
+				sl:      r.eng.SL.PerNode(p.Nodes),
+			})
+		}
+	}
+	mk := func(title string, pick func(snapshot) float64, withRIC bool) *metrics.Table {
+		t := &metrics.Table{
+			Title:   title,
+			Headers: []string{"# tuples", "Worst", "Random", "RJoin"},
+		}
+		if withRIC {
+			t.Headers = append(t.Headers, "Request RIC")
+		}
+		for i, cp := range checkpoints {
+			row := []string{
+				fmt.Sprintf("%d", cp),
+				fmt.Sprintf("%.2f", pick(series[core.StrategyWorst][i])),
+				fmt.Sprintf("%.2f", pick(series[core.StrategyRandom][i])),
+				fmt.Sprintf("%.2f", pick(series[core.StrategyRIC][i])),
+			}
+			if withRIC {
+				row = append(row, fmt.Sprintf("%.2f", series[core.StrategyRIC][i].ric))
+			}
+			t.AddRow(row...)
+		}
+		return t
+	}
+	return []*metrics.Table{
+		mk("Fig 2(a) Traffic cost: total messages per node", func(s snapshot) float64 { return s.traffic }, true),
+		mk("Fig 2(b) Query processing load per node", func(s snapshot) float64 { return s.qpl }, false),
+		mk("Fig 2(c) Storage load per node", func(s snapshot) float64 { return s.sl }, false),
+	}
+}
+
+// Fig3 — Effect of increasing the number of incoming tuples: traffic
+// per tuple (total and RIC share) plus ranked QPL/SL distributions at
+// 40..2560 tuples.
+func Fig3(p Params) []*metrics.Table {
+	checkpoints := []int{
+		p.scaled(40), p.scaled(80), p.scaled(160), p.scaled(320),
+		p.scaled(640), p.scaled(1280), p.scaled(2560),
+	}
+	r := newRun(p, core.DefaultConfig(), workload.PaperConfig())
+	r.warmup(p.scaled(400))
+	r.submitQueries(p.scaled(p.Queries), query.WindowSpec{})
+
+	traffic := &metrics.Table{
+		Title:   "Fig 3(a) Traffic cost per tuple",
+		Headers: []string{"# tuples", "total hops/node/tuple", "request RIC/node/tuple"},
+	}
+	qpl := &metrics.Table{Title: "Fig 3(b) Query processing load distribution", Headers: rankedHeader()}
+	sl := &metrics.Table{Title: "Fig 3(c) Storage load distribution", Headers: rankedHeader()}
+
+	preTuple := r.eng.Net().Traffic.Total()
+	preRIC := r.eng.Net().TaggedTraffic(core.TagRIC).Total()
+	published := 0
+	for _, cp := range checkpoints {
+		r.publish(cp - published)
+		published = cp
+		n := float64(p.Nodes) * float64(cp)
+		traffic.AddRow(
+			fmt.Sprintf("%d", cp),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().Traffic.Total()-preTuple)/n),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().TaggedTraffic(core.TagRIC).Total()-preRIC)/n),
+		)
+		qpl.AddRow(rankedRow(fmt.Sprintf("%d tuples", cp), r.eng.QPL)...)
+		sl.AddRow(rankedRow(fmt.Sprintf("%d tuples", cp), r.eng.SL)...)
+	}
+	return []*metrics.Table{traffic, qpl, sl}
+}
+
+// Fig4 — Effect of increasing the number of indexed queries:
+// 2k..32k queries, 1000 tuples each.
+func Fig4(p Params) []*metrics.Table {
+	counts := []int{
+		p.scaled(2000), p.scaled(4000), p.scaled(8000),
+		p.scaled(16000), p.scaled(32000),
+	}
+	tuples := p.scaled(1000)
+	traffic := &metrics.Table{
+		Title:   "Fig 4(a) Traffic cost per tuple",
+		Headers: []string{"# queries", "total hops/node/tuple", "request RIC/node/tuple"},
+	}
+	qpl := &metrics.Table{Title: "Fig 4(b) Query processing load distribution", Headers: rankedHeader()}
+	sl := &metrics.Table{Title: "Fig 4(c) Storage load distribution", Headers: rankedHeader()}
+	for _, nq := range counts {
+		r := newRun(p, core.DefaultConfig(), workload.PaperConfig())
+		r.warmup(p.scaled(400))
+		r.submitQueries(nq, query.WindowSpec{})
+		preTuple := r.eng.Net().Traffic.Total() // exclude query-indexing traffic
+		preRIC := r.eng.Net().TaggedTraffic(core.TagRIC).Total()
+		r.publish(tuples)
+		n := float64(p.Nodes) * float64(tuples)
+		traffic.AddRow(
+			fmt.Sprintf("%d", nq),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().Traffic.Total()-preTuple)/n),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().TaggedTraffic(core.TagRIC).Total()-preRIC)/n),
+		)
+		qpl.AddRow(rankedRow(fmt.Sprintf("%d queries", nq), r.eng.QPL)...)
+		sl.AddRow(rankedRow(fmt.Sprintf("%d queries", nq), r.eng.SL)...)
+	}
+	return []*metrics.Table{traffic, qpl, sl}
+}
+
+// Fig5 — Varying the skew of the data distribution: θ in
+// {0.3, 0.5, 0.7, 0.9}, 1000 tuples.
+func Fig5(p Params) []*metrics.Table {
+	thetas := []float64{0.3, 0.5, 0.7, 0.9}
+	tuples := p.scaled(1000)
+	traffic := &metrics.Table{
+		Title:   "Fig 5(a) Traffic cost per tuple",
+		Headers: []string{"theta", "total hops/node/tuple", "request RIC/node/tuple"},
+	}
+	qpl := &metrics.Table{Title: "Fig 5(b) Query processing load distribution", Headers: rankedHeader()}
+	sl := &metrics.Table{Title: "Fig 5(c) Storage load distribution", Headers: rankedHeader()}
+	for _, theta := range thetas {
+		wcfg := workload.PaperConfig()
+		wcfg.Theta = theta
+		r := newRun(p, core.DefaultConfig(), wcfg)
+		r.warmup(p.scaled(400))
+		r.submitQueries(p.scaled(p.Queries), query.WindowSpec{})
+		preTuple := r.eng.Net().Traffic.Total()
+		preRIC := r.eng.Net().TaggedTraffic(core.TagRIC).Total()
+		r.publish(tuples)
+		n := float64(p.Nodes) * float64(tuples)
+		traffic.AddRow(
+			fmt.Sprintf("%.1f", theta),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().Traffic.Total()-preTuple)/n),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().TaggedTraffic(core.TagRIC).Total()-preRIC)/n),
+		)
+		qpl.AddRow(rankedRow(fmt.Sprintf("theta=%.1f", theta), r.eng.QPL)...)
+		sl.AddRow(rankedRow(fmt.Sprintf("theta=%.1f", theta), r.eng.SL)...)
+	}
+	return []*metrics.Table{traffic, qpl, sl}
+}
+
+// Fig6 — Effect of query complexity: 4-, 6- and 8-way joins, 1000
+// tuples.
+func Fig6(p Params) []*metrics.Table {
+	arities := []int{4, 6, 8}
+	tuples := p.scaled(1000)
+	traffic := &metrics.Table{
+		Title:   "Fig 6(a) Traffic cost per tuple",
+		Headers: []string{"joins", "total hops/node/tuple", "request RIC/node/tuple"},
+	}
+	qpl := &metrics.Table{Title: "Fig 6(b) Query processing load distribution", Headers: rankedHeader()}
+	sl := &metrics.Table{Title: "Fig 6(c) Storage load distribution", Headers: rankedHeader()}
+	for _, k := range arities {
+		wcfg := workload.PaperConfig()
+		wcfg.JoinArity = k
+		r := newRun(p, core.DefaultConfig(), wcfg)
+		r.warmup(p.scaled(400))
+		r.submitQueries(p.scaled(p.Queries), query.WindowSpec{})
+		preTuple := r.eng.Net().Traffic.Total()
+		preRIC := r.eng.Net().TaggedTraffic(core.TagRIC).Total()
+		r.publish(tuples)
+		n := float64(p.Nodes) * float64(tuples)
+		traffic.AddRow(
+			fmt.Sprintf("%d-way", k),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().Traffic.Total()-preTuple)/n),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().TaggedTraffic(core.TagRIC).Total()-preRIC)/n),
+		)
+		qpl.AddRow(rankedRow(fmt.Sprintf("%d-way joins", k), r.eng.QPL)...)
+		sl.AddRow(rankedRow(fmt.Sprintf("%d-way joins", k), r.eng.SL)...)
+	}
+	return []*metrics.Table{traffic, qpl, sl}
+}
+
+// windowSizes are the Figure 7/8 sliding-window sizes in tuples.
+func windowSizes(p Params) []int {
+	return []int{p.scaled(50), p.scaled(100), p.scaled(200), p.scaled(400), p.scaled(1000)}
+}
+
+// Fig7And8 runs the sliding-window experiment once and produces both
+// figures: Fig 7's per-window traffic and ranked load distributions,
+// and Fig 8's cumulative QPL/SL series over tuple arrivals.
+func Fig7And8(p Params) (fig7, fig8 []*metrics.Table) {
+	tuples := p.scaled(1000)
+	steps := 10
+	stepSize := tuples / steps
+	if stepSize == 0 {
+		stepSize = 1
+	}
+
+	traffic := &metrics.Table{
+		Title:   "Fig 7(a) Traffic cost per tuple vs window size",
+		Headers: []string{"window (tuples)", "total hops/node/tuple", "request RIC/node/tuple"},
+	}
+	qpl := &metrics.Table{Title: "Fig 7(b) Query processing load distribution", Headers: rankedHeader()}
+	sl := &metrics.Table{Title: "Fig 7(c) Storage load distribution", Headers: rankedHeader()}
+
+	sizes := windowSizes(p)
+	cumQPL := &metrics.Table{Title: "Fig 8(a) Cumulative query processing load vs tuples"}
+	cumSL := &metrics.Table{Title: "Fig 8(b) Cumulative storage load vs tuples"}
+	cumQPL.Headers = []string{"# tuples"}
+	cumSL.Headers = []string{"# tuples"}
+	for _, w := range sizes {
+		cumQPL.Headers = append(cumQPL.Headers, fmt.Sprintf("W=%d", w))
+		cumSL.Headers = append(cumSL.Headers, fmt.Sprintf("W=%d", w))
+	}
+	qplSeries := make([][]int64, steps)
+	slSeries := make([][]int64, steps)
+
+	for wi, w := range sizes {
+		cfg := core.DefaultConfig()
+		cfg.TupleGC = true
+		cfg.MaxWindowHint = int64(sizes[len(sizes)-1])
+		r := newRun(p, cfg, workload.PaperConfig())
+		r.warmup(p.scaled(400))
+		r.submitQueries(p.scaled(p.Queries),
+			query.WindowSpec{Kind: query.WindowTuples, Size: int64(w)})
+		preTuple := r.eng.Net().Traffic.Total()
+		preRIC := r.eng.Net().TaggedTraffic(core.TagRIC).Total()
+		for s := 0; s < steps; s++ {
+			r.publish(stepSize)
+			if qplSeries[s] == nil {
+				qplSeries[s] = make([]int64, len(sizes))
+				slSeries[s] = make([]int64, len(sizes))
+			}
+			qplSeries[s][wi] = r.eng.QPL.Total()
+			slSeries[s][wi] = r.eng.SL.Total()
+		}
+		n := float64(p.Nodes) * float64(stepSize*steps)
+		traffic.AddRow(
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().Traffic.Total()-preTuple)/n),
+			fmt.Sprintf("%.3f", float64(r.eng.Net().TaggedTraffic(core.TagRIC).Total()-preRIC)/n),
+		)
+		qpl.AddRow(rankedRow(fmt.Sprintf("W=%d tuples", w), r.eng.QPL)...)
+		sl.AddRow(rankedRow(fmt.Sprintf("W=%d tuples", w), r.eng.SL)...)
+	}
+	for s := 0; s < steps; s++ {
+		rowQ := []string{fmt.Sprintf("%d", (s+1)*stepSize)}
+		rowS := []string{fmt.Sprintf("%d", (s+1)*stepSize)}
+		for wi := range sizes {
+			rowQ = append(rowQ, fmt.Sprintf("%d", qplSeries[s][wi]))
+			rowS = append(rowS, fmt.Sprintf("%d", slSeries[s][wi]))
+		}
+		cumQPL.AddRow(rowQ...)
+		cumSL.AddRow(rowS...)
+	}
+	return []*metrics.Table{traffic, qpl, sl}, []*metrics.Table{cumQPL, cumSL}
+}
+
+// Fig7 returns only the Figure 7 tables.
+func Fig7(p Params) []*metrics.Table {
+	t, _ := Fig7And8(p)
+	return t
+}
+
+// Fig8 returns only the Figure 8 tables.
+func Fig8(p Params) []*metrics.Table {
+	_, t := Fig7And8(p)
+	return t
+}
+
+// Fig9 — Effect of identifier movement: ranked QPL and SL distributions
+// with and without the lower-level load balancer.
+func Fig9(p Params) []*metrics.Table {
+	tuples := p.scaled(1000)
+	qpl := &metrics.Table{Title: "Fig 9(a) QPL distribution (id movement)", Headers: rankedHeader()}
+	sl := &metrics.Table{Title: "Fig 9(b) SL distribution (id movement)", Headers: rankedHeader()}
+	for _, withBalance := range []bool{false, true} {
+		r := newRun(p, core.DefaultConfig(), workload.PaperConfig())
+		r.warmup(p.scaled(400))
+		r.submitQueries(p.scaled(p.Queries), query.WindowSpec{})
+		bal := loadbalance.New()
+		if withBalance {
+			bal.Rebalance(r.eng) // balance the indexed queries first
+		}
+		step := tuples / 10
+		if step == 0 {
+			step = 1
+		}
+		published := 0
+		for published < tuples {
+			n := step
+			if published+n > tuples {
+				n = tuples - published
+			}
+			r.publish(n)
+			published += n
+			if withBalance {
+				bal.Rebalance(r.eng)
+			}
+		}
+		name := "Without"
+		if withBalance {
+			name = "With"
+		}
+		qpl.AddRow(rankedRow(name, r.eng.QPL)...)
+		sl.AddRow(rankedRow(name, r.eng.SL)...)
+	}
+	return []*metrics.Table{qpl, sl}
+}
+
+// All runs every figure and returns the tables keyed by figure id, in
+// paper order.
+func All(p Params) map[string][]*metrics.Table {
+	f7, f8 := Fig7And8(p)
+	return map[string][]*metrics.Table{
+		"2": Fig2(p),
+		"3": Fig3(p),
+		"4": Fig4(p),
+		"5": Fig5(p),
+		"6": Fig6(p),
+		"7": f7,
+		"8": f8,
+		"9": Fig9(p),
+	}
+}

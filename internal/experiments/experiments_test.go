@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a very small parameter set so every figure runs in test
+// time; shapes at this scale are noisy, so shape assertions use
+// comfortable margins.
+func tiny() Params {
+	return Params{Nodes: 100, Queries: 4000, Seed: 1, Scale: 0.15}
+}
+
+func cell(tab rowser, row, col int) float64 {
+	v, err := strconv.ParseFloat(tab.cellAt(row, col), 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+type rowser interface{ cellAt(r, c int) string }
+
+type tableWrap struct{ rows [][]string }
+
+func (t tableWrap) cellAt(r, c int) string { return t.rows[r][c] }
+
+func TestFig2ShapeWorstAboveRJoin(t *testing.T) {
+	tabs := Fig2(tiny())
+	if len(tabs) != 3 {
+		t.Fatalf("got %d tables", len(tabs))
+	}
+	traffic := tableWrap{tabs[0].Rows}
+	last := len(tabs[0].Rows) - 1
+	worst := cell(traffic, last, 1)
+	rjoin := cell(traffic, last, 3)
+	if worst <= rjoin {
+		t.Fatalf("Fig2 shape broken: Worst traffic %.2f <= RJoin %.2f", worst, rjoin)
+	}
+	qpl := tableWrap{tabs[1].Rows}
+	if cell(qpl, last, 1) <= cell(qpl, last, 3) {
+		t.Fatalf("Fig2 shape broken: Worst QPL not above RJoin")
+	}
+}
+
+func TestFig3TrafficGrowsWithTuples(t *testing.T) {
+	tabs := Fig3(tiny())
+	traffic := tabs[0]
+	if len(traffic.Rows) < 3 {
+		t.Fatalf("too few checkpoints: %d", len(traffic.Rows))
+	}
+	// Participants grow (or at least do not shrink) as tuples arrive.
+	qpl := tabs[1]
+	firstParts, _ := strconv.Atoi(qpl.Rows[0][len(qpl.Rows[0])-1])
+	lastParts, _ := strconv.Atoi(qpl.Rows[len(qpl.Rows)-1][len(qpl.Rows[0])-1])
+	if lastParts < firstParts {
+		t.Fatalf("participants shrank: %d -> %d", firstParts, lastParts)
+	}
+}
+
+func TestFig4MoreQueriesMoreLoad(t *testing.T) {
+	tabs := Fig4(tiny())
+	qpl := tabs[1]
+	first := qpl.Rows[0]
+	last := qpl.Rows[len(qpl.Rows)-1]
+	// Max-rank load (rank 0%) grows with query count.
+	f, _ := strconv.ParseFloat(first[1], 64)
+	l, _ := strconv.ParseFloat(last[1], 64)
+	if l < f {
+		t.Fatalf("Fig4 shape broken: max QPL %f with 16x queries below %f", l, f)
+	}
+}
+
+func TestFig5SkewIncreasesLoad(t *testing.T) {
+	tabs := Fig5(tiny())
+	qpl := tabs[1]
+	lo, _ := strconv.ParseFloat(qpl.Rows[0][1], 64)               // theta=0.3 max
+	hi, _ := strconv.ParseFloat(qpl.Rows[len(qpl.Rows)-1][1], 64) // theta=0.9 max
+	if hi < lo {
+		t.Fatalf("Fig5 shape broken: max load under theta=0.9 (%f) below theta=0.3 (%f)", hi, lo)
+	}
+}
+
+func TestFig6ComplexityIncreasesTraffic(t *testing.T) {
+	tabs := Fig6(tiny())
+	traffic := tableWrap{tabs[0].Rows}
+	fourWay := cell(traffic, 0, 1)
+	eightWay := cell(traffic, 2, 1)
+	if eightWay < fourWay {
+		t.Fatalf("Fig6 shape broken: 8-way traffic %.3f below 4-way %.3f", eightWay, fourWay)
+	}
+}
+
+func TestFig7And8WindowMonotonicity(t *testing.T) {
+	f7, f8 := Fig7And8(tiny())
+	// Fig 8: cumulative QPL at the end grows with window size (more
+	// combinations to consider).
+	cum := f8[0]
+	lastRow := cum.Rows[len(cum.Rows)-1]
+	smallest, _ := strconv.ParseFloat(lastRow[1], 64)
+	largest, _ := strconv.ParseFloat(lastRow[len(lastRow)-1], 64)
+	if largest < smallest {
+		t.Fatalf("Fig8 shape broken: cumulative QPL W=max (%f) below W=min (%f)", largest, smallest)
+	}
+	if len(f7) != 3 {
+		t.Fatalf("Fig7 table count %d", len(f7))
+	}
+}
+
+func TestFig9BalancerShavesHead(t *testing.T) {
+	tabs := Fig9(tiny())
+	qpl := tabs[0]
+	if len(qpl.Rows) != 2 {
+		t.Fatalf("rows %d", len(qpl.Rows))
+	}
+	without, _ := strconv.ParseFloat(qpl.Rows[0][1], 64)
+	with, _ := strconv.ParseFloat(qpl.Rows[1][1], 64)
+	if with > without*1.25 {
+		t.Fatalf("Fig9 shape broken: balanced max QPL %f well above unbalanced %f", with, without)
+	}
+}
+
+func TestAllRunsEveryFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("All() runs every experiment")
+	}
+	p := tiny()
+	p.Queries = 500
+	all := All(p)
+	for _, figID := range []string{"2", "3", "4", "5", "6", "7", "8", "9"} {
+		tabs, ok := all[figID]
+		if !ok || len(tabs) == 0 {
+			t.Fatalf("figure %s missing", figID)
+		}
+		for _, tab := range tabs {
+			if !strings.Contains(tab.Title, "Fig") {
+				t.Fatalf("untitled table in figure %s", figID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("empty table %q", tab.Title)
+			}
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := Default(0.5)
+	if p.Nodes != 1000 || p.Queries != 20000 || p.Scale != 0.5 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if Default(-1).Scale != 1 || Default(2).Scale != 1 {
+		t.Fatal("scale clamping wrong")
+	}
+	if p.scaled(100) != 50 {
+		t.Fatalf("scaled(100) = %d", p.scaled(100))
+	}
+	if (Params{Scale: 0.001}).scaled(100) != 1 {
+		t.Fatal("scaled floor broken")
+	}
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rjoin/internal/id"
+)
+
+func TestLoadAddGetTotal(t *testing.T) {
+	l := NewLoad()
+	l.Add(1, 5)
+	l.Add(2, 3)
+	l.Add(1, 2)
+	if l.Get(1) != 7 || l.Get(2) != 3 || l.Get(3) != 0 {
+		t.Fatalf("unexpected per-node loads: %d %d %d", l.Get(1), l.Get(2), l.Get(3))
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d, want 10", l.Total())
+	}
+	if l.PerNode(5) != 2.0 {
+		t.Fatalf("per-node = %f, want 2", l.PerNode(5))
+	}
+}
+
+func TestPerNodeEmptyNetwork(t *testing.T) {
+	l := NewLoad()
+	if l.PerNode(0) != 0 {
+		t.Fatal("PerNode(0) must be 0")
+	}
+}
+
+func TestParticipantsAndMax(t *testing.T) {
+	l := NewLoad()
+	l.Add(1, 4)
+	l.Add(2, 0)
+	l.Add(3, 9)
+	if l.Participants() != 2 {
+		t.Fatalf("participants = %d, want 2", l.Participants())
+	}
+	if l.Max() != 9 {
+		t.Fatalf("max = %d, want 9", l.Max())
+	}
+}
+
+func TestRankedSortedDescending(t *testing.T) {
+	l := NewLoad()
+	for i, v := range []int64{3, 9, 1, 7} {
+		l.Add(id.ID(i), v)
+	}
+	r := l.Ranked()
+	if !sort.SliceIsSorted(r, func(i, j int) bool { return r[i] > r[j] }) {
+		t.Fatalf("ranked not descending: %v", r)
+	}
+	if len(r) != 4 || r[0] != 9 {
+		t.Fatalf("ranked = %v", r)
+	}
+}
+
+func TestRankedPadded(t *testing.T) {
+	l := NewLoad()
+	l.Add(1, 5)
+	p := l.RankedPadded(4)
+	if len(p) != 4 || p[0] != 5 || p[3] != 0 {
+		t.Fatalf("padded = %v", p)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	l := NewLoad()
+	for i := 1; i <= 10; i++ {
+		l.Add(id.ID(i), int64(i))
+	}
+	if l.Quantile(0) != 10 {
+		t.Fatalf("head quantile = %d, want 10", l.Quantile(0))
+	}
+	if l.Quantile(1) != 1 {
+		t.Fatalf("tail quantile = %d, want 1", l.Quantile(1))
+	}
+}
+
+func TestMergeCloneReset(t *testing.T) {
+	a := NewLoad()
+	a.Add(1, 2)
+	b := NewLoad()
+	b.Add(1, 3)
+	b.Add(2, 4)
+	a.Merge(b)
+	if a.Get(1) != 5 || a.Get(2) != 4 || a.Total() != 9 {
+		t.Fatalf("merge wrong: %d %d %d", a.Get(1), a.Get(2), a.Total())
+	}
+	c := a.Clone()
+	c.Add(1, 1)
+	if a.Get(1) != 5 {
+		t.Fatal("clone aliases original")
+	}
+	a.Reset()
+	if a.Total() != 0 || a.Participants() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// Property: Total always equals the sum of the ranked distribution.
+func TestTotalMatchesRankedSumProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		l := NewLoad()
+		for i, v := range vals {
+			l.Add(id.ID(i), int64(v))
+		}
+		var sum int64
+		for _, v := range l.Ranked() {
+			sum += v
+		}
+		return sum == l.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Last() != 0 {
+		t.Fatal("empty series Last must be 0")
+	}
+	s.Append(1, 10)
+	s.Append(2, 20)
+	if s.Len() != 2 || s.Last() != 20 {
+		t.Fatalf("series state wrong: len=%d last=%f", s.Len(), s.Last())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "Demo", Headers: []string{"k", "value"}}
+	tab.AddRow("a", "1")
+	tab.AddFloats("b", 2.345)
+	out := tab.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "2.35") {
+		t.Fatalf("missing formatted float: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("unexpected line count %d: %q", len(lines), out)
+	}
+}
+
+func TestRenameTransfersLoad(t *testing.T) {
+	l := NewLoad()
+	l.Add(1, 5)
+	l.Add(2, 3)
+	l.Rename(1, 9)
+	if l.Get(1) != 0 || l.Get(9) != 5 || l.Total() != 8 {
+		t.Fatalf("rename wrong: old=%d new=%d total=%d", l.Get(1), l.Get(9), l.Total())
+	}
+	// Renaming onto an existing id merges.
+	l.Rename(9, 2)
+	if l.Get(2) != 8 {
+		t.Fatalf("merge rename wrong: %d", l.Get(2))
+	}
+	// Self-rename and missing-id rename are no-ops.
+	l.Rename(2, 2)
+	l.Rename(42, 43)
+	if l.Get(2) != 8 || l.Total() != 8 {
+		t.Fatal("no-op renames changed state")
+	}
+}

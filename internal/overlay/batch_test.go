@@ -1,0 +1,115 @@
+package overlay
+
+import (
+	"testing"
+
+	"rjoin/internal/id"
+	"rjoin/internal/sim"
+)
+
+func TestBatchingDeliversEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchWindow = 25
+	f := newFixture(t, 64, cfg)
+	from := f.nodes[0]
+	keys := []id.ID{id.HashKey("a"), id.HashKey("b"), id.HashKey("c")}
+	for i, k := range keys {
+		if owner := f.nw.Send(from, k, i); owner != nil {
+			t.Fatal("batched Send must not resolve the owner synchronously")
+		}
+	}
+	f.engine.Run()
+	for i, k := range keys {
+		owner := f.ring.Owner(k)
+		found := false
+		for _, m := range f.received[owner.ID()] {
+			if m == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("batched message %d not delivered", i)
+		}
+	}
+}
+
+func TestBatchingDelayBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchWindow = 40
+	f := newFixture(t, 64, cfg)
+	from := f.nodes[0]
+	key := id.HashKey("bounded")
+	owner := f.ring.Owner(key)
+	var at sim.Time = -1
+	f.nw.Attach(owner, HandlerFunc(func(now sim.Time, msg Message) { at = now }))
+	start := f.engine.Now()
+	f.nw.Send(from, key, "x")
+	f.engine.Run()
+	if at < 0 {
+		t.Fatal("never delivered")
+	}
+	// Window plus a generous routing allowance.
+	if d := int64(at - start); d < cfg.BatchWindow || d > cfg.BatchWindow+64 {
+		t.Fatalf("batched delivery delay %d outside [%d, %d]", d, cfg.BatchWindow, cfg.BatchWindow+64)
+	}
+}
+
+func TestBatchingReducesTrafficOnBursts(t *testing.T) {
+	run := func(window int64) int64 {
+		cfg := DefaultConfig()
+		cfg.BatchWindow = window
+		f := newFixture(t, 256, cfg)
+		from := f.nodes[0]
+		// A burst of 32 sends within one window.
+		for i := 0; i < 32; i++ {
+			f.nw.Send(from, id.HashKey(string(rune('A'+i))), i)
+		}
+		f.engine.Run()
+		return f.nw.MessagesSent
+	}
+	batched := run(50)
+	unbatched := run(0)
+	if batched >= unbatched {
+		t.Fatalf("batching did not reduce burst traffic: %d >= %d", batched, unbatched)
+	}
+}
+
+func TestBatchingFromFailedNodeDropped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchWindow = 30
+	f := newFixture(t, 32, cfg)
+	from := f.nodes[0]
+	key := id.HashKey("doomed")
+	f.nw.Send(from, key, "x")
+	f.ring.Fail(from) // sender dies before the window closes
+	f.engine.Run()
+	owner := f.ring.Owner(key)
+	if len(f.received[owner.ID()]) != 0 {
+		t.Fatal("message from failed sender delivered")
+	}
+}
+
+func TestBatchWindowExtendsMaxDelta(t *testing.T) {
+	plain := newFixture(t, 64, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.BatchWindow = 100
+	batched := newFixture(t, 64, cfg)
+	if batched.nw.MaxDelta() <= plain.nw.MaxDelta() {
+		t.Fatal("MaxDelta ignores the batch window")
+	}
+}
+
+func TestMultiSendBatched(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchWindow = 20
+	f := newFixture(t, 64, cfg)
+	keys := []id.ID{id.HashKey("m1"), id.HashKey("m2")}
+	f.nw.MultiSend(f.nodes[0], []Message{"a", "b"}, keys)
+	f.engine.Run()
+	for i, k := range keys {
+		owner := f.ring.Owner(k)
+		if len(f.received[owner.ID()]) == 0 {
+			t.Fatalf("batched MultiSend lost message %d", i)
+		}
+	}
+}

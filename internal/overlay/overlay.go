@@ -1,0 +1,369 @@
+// Package overlay implements the messaging API of the paper (Section 2)
+// on top of the Chord substrate:
+//
+//	send(msg, id)        — deliver msg to Successor(id) in O(log N) hops
+//	multiSend(msg, I)    — deliver msg to every Successor(Ij)
+//	multiSend(M, I)      — deliver Mj to Successor(Ij), optionally
+//	                       grouping deliveries along the ring
+//	sendDirect(msg, addr)— deliver msg to a known node in one hop
+//
+// Every hop is charged to the sending node's traffic counter exactly as
+// the paper defines network traffic ("messages that n creates due to
+// RJoin ... and messages that n has to route due to the DHT routing
+// protocols"), and every hop adds a bounded random delay on the virtual
+// clock, realising the relaxed asynchronous model with maximum delay δ.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"rjoin/internal/chord"
+	"rjoin/internal/id"
+	"rjoin/internal/metrics"
+	"rjoin/internal/sim"
+)
+
+// Message is an opaque payload delivered to a node's handler.
+type Message interface{}
+
+// Handler consumes messages delivered to one node.
+type Handler interface {
+	HandleMessage(now sim.Time, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(now sim.Time, msg Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(now sim.Time, msg Message) { f(now, msg) }
+
+// Config tunes the message-delay model and optimizations.
+type Config struct {
+	// MinHopDelay/MaxHopDelay bound the virtual-time delay of a single
+	// hop. MaxHopDelay is the per-hop δ of the asynchronous model.
+	MinHopDelay int64
+	MaxHopDelay int64
+	// GroupMultiSend enables the Section 2/7 optimization where a batch
+	// of keyed messages is routed as a chain along the ring instead of
+	// as independent lookups.
+	GroupMultiSend bool
+	// BatchWindow enables the batch-routing optimization the paper
+	// lists as future work (Section 10): a node buffers its outgoing
+	// keyed messages for up to BatchWindow ticks and flushes them as
+	// one grouped multiSend, so messages raised within the same window
+	// share routing. Zero disables batching. Delivery is delayed by at
+	// most BatchWindow; MaxDelta accounts for it, so the ALTT
+	// completeness bound still holds.
+	BatchWindow int64
+}
+
+// DefaultConfig is a deterministic single-tick-per-hop network with
+// grouping enabled, the configuration the experiments run under.
+func DefaultConfig() Config {
+	return Config{MinHopDelay: 1, MaxHopDelay: 1, GroupMultiSend: true}
+}
+
+// Network binds a Chord ring to the event engine and implements the
+// messaging API.
+type Network struct {
+	Ring    *chord.Ring
+	Engine  *sim.Engine
+	Traffic *metrics.Load
+	cfg     Config
+
+	handlers map[id.ID]Handler
+	tagged   map[string]*metrics.Load
+	tag      string
+	outboxes map[id.ID]*outbox
+
+	// MessagesSent counts every point-to-point transmission, i.e. the
+	// network-wide total of the traffic metric.
+	MessagesSent int64
+	// Delivered counts end-to-end deliveries (one per Send/SendDirect,
+	// one per target for MultiSend).
+	Delivered int64
+}
+
+// NewNetwork creates an overlay over an existing ring and engine.
+func NewNetwork(ring *chord.Ring, engine *sim.Engine, cfg Config) *Network {
+	if cfg.MaxHopDelay < cfg.MinHopDelay {
+		cfg.MaxHopDelay = cfg.MinHopDelay
+	}
+	if cfg.MinHopDelay < 0 {
+		cfg.MinHopDelay = 0
+	}
+	return &Network{
+		Ring:     ring,
+		Engine:   engine,
+		Traffic:  metrics.NewLoad(),
+		cfg:      cfg,
+		handlers: make(map[id.ID]Handler),
+		tagged:   make(map[string]*metrics.Load),
+		outboxes: make(map[id.ID]*outbox),
+	}
+}
+
+// outbox buffers one node's outgoing keyed messages between batch
+// flushes.
+type outbox struct {
+	msgs      []Message
+	keys      []id.ID
+	scheduled bool
+}
+
+// Config returns the network's configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Attach registers the message handler for a node. A node without a
+// handler silently drops deliveries (tests rely on this for failure
+// injection).
+func (nw *Network) Attach(n *chord.Node, h Handler) {
+	nw.handlers[n.ID()] = h
+}
+
+// Detach removes a node's handler.
+func (nw *Network) Detach(n *chord.Node) {
+	delete(nw.handlers, n.ID())
+}
+
+func (nw *Network) hopDelay() int64 {
+	if nw.cfg.MaxHopDelay == nw.cfg.MinHopDelay {
+		return nw.cfg.MinHopDelay
+	}
+	spread := nw.cfg.MaxHopDelay - nw.cfg.MinHopDelay + 1
+	return nw.cfg.MinHopDelay + nw.Engine.Rand().Int63n(spread)
+}
+
+// chargePath charges one sent message to the origin and to every
+// intermediate router on the path (the final element of path is the
+// recipient, which receives rather than sends), and returns the total
+// virtual delay of the walk.
+func (nw *Network) chargePath(from *chord.Node, path []*chord.Node) int64 {
+	senders := 1 + len(path) - 1 // origin + intermediates
+	if len(path) == 0 {
+		senders = 0 // local delivery, no transmission
+	}
+	nw.MessagesSent += int64(senders)
+	var delay int64
+	if len(path) > 0 {
+		nw.charge(from.ID(), 1)
+		delay += nw.hopDelay()
+		for _, hop := range path[:len(path)-1] {
+			nw.charge(hop.ID(), 1)
+			delay += nw.hopDelay()
+		}
+	}
+	return delay
+}
+
+func (nw *Network) deliver(owner *chord.Node, delay int64, msg Message) {
+	nw.Engine.After(delay, func(now sim.Time) {
+		if h, ok := nw.handlers[owner.ID()]; ok && owner.Alive() {
+			nw.Delivered++
+			h.HandleMessage(now, msg)
+		}
+	})
+}
+
+func (nw *Network) charge(node id.ID, n int64) {
+	nw.Traffic.Add(node, n)
+	if nw.tag != "" {
+		l, ok := nw.tagged[nw.tag]
+		if !ok {
+			l = metrics.NewLoad()
+			nw.tagged[nw.tag] = l
+		}
+		l.Add(node, n)
+	}
+}
+
+// WithTag runs fn with every message sent inside it additionally charged
+// to the named traffic tag. The experiments use the tag "ric" to report
+// the Request-RIC share of total traffic separately, as the figures do.
+func (nw *Network) WithTag(tag string, fn func()) {
+	prev := nw.tag
+	nw.tag = tag
+	fn()
+	nw.tag = prev
+}
+
+// TaggedTraffic returns the per-node traffic charged under a tag (nil
+// Load semantics: an unused tag returns an empty counter).
+func (nw *Network) TaggedTraffic(tag string) *metrics.Load {
+	if l, ok := nw.tagged[tag]; ok {
+		return l
+	}
+	return metrics.NewLoad()
+}
+
+// RenameNode transfers a node's accumulated traffic accounting to a new
+// identifier (identifier movement keeps the physical node).
+func (nw *Network) RenameNode(old, new id.ID) {
+	nw.Traffic.Rename(old, new)
+	for _, l := range nw.tagged {
+		l.Rename(old, new)
+	}
+}
+
+// ResetTraffic zeroes all traffic accounting (total and tagged). The
+// experiment harness calls it after warmup so measurements start clean.
+func (nw *Network) ResetTraffic() {
+	nw.Traffic.Reset()
+	for _, l := range nw.tagged {
+		l.Reset()
+	}
+	nw.MessagesSent = 0
+	nw.Delivered = 0
+}
+
+// Send routes msg from node "from" to Successor(key) through the DHT
+// and returns the owner it was routed to. With batch routing enabled
+// the message is buffered instead and the return value is nil (the
+// owner is resolved at flush time); delivery is asynchronous either
+// way.
+func (nw *Network) Send(from *chord.Node, key id.ID, msg Message) *chord.Node {
+	if nw.cfg.BatchWindow > 0 {
+		nw.enqueue(from, key, msg)
+		return nil
+	}
+	return nw.sendNow(from, key, msg)
+}
+
+// sendNow performs an immediate routed delivery, bypassing batching.
+func (nw *Network) sendNow(from *chord.Node, key id.ID, msg Message) *chord.Node {
+	owner, path := from.Lookup(key)
+	delay := nw.chargePath(from, path)
+	nw.deliver(owner, delay, msg)
+	return owner
+}
+
+// enqueue buffers a keyed message in the sender's outbox and schedules
+// a flush at the end of the current batch window.
+func (nw *Network) enqueue(from *chord.Node, key id.ID, msg Message) {
+	ob, ok := nw.outboxes[from.ID()]
+	if !ok {
+		ob = &outbox{}
+		nw.outboxes[from.ID()] = ob
+	}
+	ob.msgs = append(ob.msgs, msg)
+	ob.keys = append(ob.keys, key)
+	if !ob.scheduled {
+		ob.scheduled = true
+		nw.Engine.After(nw.cfg.BatchWindow, func(sim.Time) {
+			nw.flush(from)
+		})
+	}
+}
+
+// flush sends a node's buffered messages as one grouped multiSend.
+func (nw *Network) flush(from *chord.Node) {
+	ob, ok := nw.outboxes[from.ID()]
+	if !ok || len(ob.msgs) == 0 {
+		return
+	}
+	msgs, keys := ob.msgs, ob.keys
+	ob.msgs, ob.keys, ob.scheduled = nil, nil, false
+	if !from.Alive() {
+		return // sender failed before the window closed
+	}
+	nw.multiSendNow(from, msgs, keys)
+}
+
+// SendDirect delivers msg to a node whose address is already known, in a
+// single hop (the paper's sendDirect(msg, addr)).
+func (nw *Network) SendDirect(from *chord.Node, to id.ID, msg Message) {
+	owner := nw.Ring.Node(to)
+	if owner == nil {
+		return // recipient has left the network; message is lost
+	}
+	var delay int64
+	if owner != from {
+		nw.charge(from.ID(), 1)
+		nw.MessagesSent++
+		delay = nw.hopDelay()
+	}
+	nw.deliver(owner, delay, msg)
+}
+
+// MultiSend delivers msgs[j] to Successor(keys[j]) for every j. With
+// grouping disabled each delivery is an independent O(log N) lookup
+// (cost h*O(log N) as in Section 2); with grouping enabled deliveries
+// are chained along the ring so shared route prefixes are paid once.
+func (nw *Network) MultiSend(from *chord.Node, msgs []Message, keys []id.ID) {
+	if len(msgs) != len(keys) {
+		panic(fmt.Sprintf("overlay: MultiSend length mismatch %d vs %d", len(msgs), len(keys)))
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	if nw.cfg.BatchWindow > 0 {
+		for j := range msgs {
+			nw.enqueue(from, keys[j], msgs[j])
+		}
+		return
+	}
+	nw.multiSendNow(from, msgs, keys)
+}
+
+// multiSendNow performs the actual delivery for MultiSend and for batch
+// flushes.
+func (nw *Network) multiSendNow(from *chord.Node, msgs []Message, keys []id.ID) {
+	if !nw.cfg.GroupMultiSend || len(msgs) == 1 {
+		for j := range msgs {
+			nw.sendNow(from, keys[j], msgs[j])
+		}
+		return
+	}
+	// Grouped: visit owners in clockwise ring order starting at the
+	// origin, each leg routed from the previous owner.
+	type leg struct {
+		key id.ID
+		msg Message
+	}
+	legs := make([]leg, len(msgs))
+	for j := range msgs {
+		legs[j] = leg{keys[j], msgs[j]}
+	}
+	sort.Slice(legs, func(i, j int) bool {
+		return id.Dist(from.ID(), legs[i].key) < id.Dist(from.ID(), legs[j].key)
+	})
+	cur := from
+	var accumulated int64
+	for _, lg := range legs {
+		owner, path := cur.Lookup(lg.key)
+		accumulated += nw.chargePath(cur, path)
+		nw.deliver(owner, accumulated, lg.msg)
+		cur = owner
+	}
+}
+
+// Broadcast delivers one message to every key in keys (the paper's
+// multiSend(msg, I) form).
+func (nw *Network) Broadcast(from *chord.Node, keys []id.ID, msg Message) {
+	msgs := make([]Message, len(keys))
+	for i := range keys {
+		msgs[i] = msg
+	}
+	nw.MultiSend(from, msgs, keys)
+}
+
+// MaxDelta returns a safe upper bound Δ on end-to-end message delay:
+// per-hop δ times the worst-case hop count of a Chord lookup plus
+// slack, the quantity Section 4 uses to size the ALTT garbage-collection
+// window. The bound uses the current network size.
+func (nw *Network) MaxDelta() int64 {
+	n := nw.Ring.Size()
+	if n == 0 {
+		return nw.cfg.MaxHopDelay
+	}
+	// Worst-case Chord lookup is O(log N) with high probability; use
+	// 4*log2(N)+8 as a conservative hop bound.
+	hops := int64(8)
+	for s := 1; s < n; s *= 2 {
+		hops += 4
+	}
+	// A query transmission traverses at most a handful of batch
+	// buffers (the RIC walk legs plus the final send).
+	return nw.cfg.MaxHopDelay*hops + 8*nw.cfg.BatchWindow
+}

@@ -1,0 +1,222 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"rjoin/internal/chord"
+	"rjoin/internal/id"
+	"rjoin/internal/sim"
+)
+
+type fixture struct {
+	ring   *chord.Ring
+	engine *sim.Engine
+	nw     *Network
+	nodes  []*chord.Node
+	// received[i] collects messages delivered to nodes[i]
+	received map[id.ID][]Message
+}
+
+func newFixture(t testing.TB, n int, cfg Config) *fixture {
+	t.Helper()
+	f := &fixture{
+		ring:     chord.NewRing(),
+		engine:   sim.NewEngine(1),
+		received: make(map[id.ID][]Message),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		for {
+			if _, err := f.ring.Join(id.ID(rng.Uint64())); err == nil {
+				break
+			}
+		}
+	}
+	f.ring.BuildPerfect()
+	f.nw = NewNetwork(f.ring, f.engine, cfg)
+	f.nodes = f.ring.Nodes()
+	for _, node := range f.nodes {
+		nid := node.ID()
+		f.nw.Attach(node, HandlerFunc(func(now sim.Time, msg Message) {
+			f.received[nid] = append(f.received[nid], msg)
+		}))
+	}
+	return f
+}
+
+func TestSendDeliversToOwner(t *testing.T) {
+	f := newFixture(t, 64, DefaultConfig())
+	key := id.HashKey("R+A")
+	owner := f.nw.Send(f.nodes[0], key, "hello")
+	f.engine.Run()
+	if want := f.ring.Owner(key); owner != want {
+		t.Fatalf("Send routed to %v, want %v", owner, want)
+	}
+	got := f.received[owner.ID()]
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("owner received %v", got)
+	}
+}
+
+func TestSendChargesTrafficAlongPath(t *testing.T) {
+	f := newFixture(t, 128, DefaultConfig())
+	from := f.nodes[0]
+	key := id.HashKey("some-key")
+	_, path := from.Lookup(key)
+	before := f.nw.Traffic.Total()
+	f.nw.Send(from, key, "x")
+	charged := f.nw.Traffic.Total() - before
+	if int(charged) != len(path) {
+		t.Fatalf("charged %d messages for a %d-hop path", charged, len(path))
+	}
+	if f.nw.Traffic.Get(from.ID()) == 0 && len(path) > 0 {
+		t.Fatal("origin not charged")
+	}
+}
+
+func TestSelfSendIsFree(t *testing.T) {
+	f := newFixture(t, 32, DefaultConfig())
+	from := f.nodes[5]
+	f.nw.Send(from, from.ID(), "self")
+	if f.nw.Traffic.Total() != 0 {
+		t.Fatalf("self delivery charged %d messages", f.nw.Traffic.Total())
+	}
+	f.engine.Run()
+	if len(f.received[from.ID()]) != 1 {
+		t.Fatal("self delivery lost")
+	}
+}
+
+func TestSendDirectSingleMessage(t *testing.T) {
+	f := newFixture(t, 64, DefaultConfig())
+	from, to := f.nodes[0], f.nodes[10]
+	f.nw.SendDirect(from, to.ID(), "direct")
+	if f.nw.Traffic.Total() != 1 {
+		t.Fatalf("SendDirect cost %d messages, want 1", f.nw.Traffic.Total())
+	}
+	f.engine.Run()
+	if len(f.received[to.ID()]) != 1 {
+		t.Fatal("direct message lost")
+	}
+}
+
+func TestSendDirectToDeadNodeDropped(t *testing.T) {
+	f := newFixture(t, 64, DefaultConfig())
+	victim := f.nodes[3]
+	f.ring.Fail(victim)
+	f.nw.SendDirect(f.nodes[0], victim.ID(), "lost")
+	f.engine.Run()
+	if len(f.received[victim.ID()]) != 0 {
+		t.Fatal("message delivered to dead node")
+	}
+}
+
+func TestMultiSendDeliversAll(t *testing.T) {
+	for _, grouping := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.GroupMultiSend = grouping
+		f := newFixture(t, 128, cfg)
+		keys := []id.ID{id.HashKey("a"), id.HashKey("b"), id.HashKey("c"), id.HashKey("d")}
+		msgs := []Message{"ma", "mb", "mc", "md"}
+		f.nw.MultiSend(f.nodes[0], msgs, keys)
+		f.engine.Run()
+		for j, k := range keys {
+			owner := f.ring.Owner(k)
+			found := false
+			for _, m := range f.received[owner.ID()] {
+				if m == msgs[j] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("grouping=%v: message %v not delivered to owner of %v", grouping, msgs[j], k)
+			}
+		}
+	}
+}
+
+func TestGroupedMultiSendCheaper(t *testing.T) {
+	// With many keys, chaining along the ring must not cost more than
+	// independent lookups from the origin (it shares prefixes).
+	mk := func(grouping bool) int64 {
+		cfg := DefaultConfig()
+		cfg.GroupMultiSend = grouping
+		f := newFixture(t, 256, cfg)
+		var keys []id.ID
+		var msgs []Message
+		for i := 0; i < 16; i++ {
+			keys = append(keys, id.HashKey(string(rune('a'+i))))
+			msgs = append(msgs, i)
+		}
+		f.nw.MultiSend(f.nodes[0], msgs, keys)
+		f.engine.Run()
+		return f.nw.MessagesSent
+	}
+	grouped, independent := mk(true), mk(false)
+	if grouped > independent {
+		t.Fatalf("grouped multiSend (%d msgs) costs more than independent (%d)", grouped, independent)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	f := newFixture(t, 64, DefaultConfig())
+	keys := []id.ID{id.HashKey("x"), id.HashKey("y")}
+	f.nw.Broadcast(f.nodes[0], keys, "all")
+	f.engine.Run()
+	for _, k := range keys {
+		owner := f.ring.Owner(k)
+		if len(f.received[owner.ID()]) == 0 {
+			t.Fatalf("broadcast missed owner of %v", k)
+		}
+	}
+}
+
+func TestDelaysBounded(t *testing.T) {
+	cfg := Config{MinHopDelay: 2, MaxHopDelay: 9, GroupMultiSend: true}
+	f := newFixture(t, 64, cfg)
+	from := f.nodes[0]
+	key := id.HashKey("delay-test")
+	_, path := from.Lookup(key)
+	start := f.engine.Now()
+	var deliveredAt sim.Time = -1
+	owner := f.ring.Owner(key)
+	f.nw.Attach(owner, HandlerFunc(func(now sim.Time, msg Message) { deliveredAt = now }))
+	f.nw.Send(from, key, "m")
+	f.engine.Run()
+	if deliveredAt < 0 {
+		t.Fatal("never delivered")
+	}
+	hops := int64(len(path))
+	if d := int64(deliveredAt - start); d < cfg.MinHopDelay*hops || d > cfg.MaxHopDelay*hops {
+		t.Fatalf("delay %d outside [%d,%d] for %d hops", d, cfg.MinHopDelay*hops, cfg.MaxHopDelay*hops, hops)
+	}
+}
+
+func TestMaxDeltaGrowsWithNetwork(t *testing.T) {
+	small := newFixture(t, 8, DefaultConfig())
+	large := newFixture(t, 512, DefaultConfig())
+	if small.nw.MaxDelta() >= large.nw.MaxDelta() {
+		t.Fatalf("MaxDelta small=%d >= large=%d", small.nw.MaxDelta(), large.nw.MaxDelta())
+	}
+}
+
+func TestMultiSendLengthMismatchPanics(t *testing.T) {
+	f := newFixture(t, 8, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	f.nw.MultiSend(f.nodes[0], []Message{"a"}, nil)
+}
+
+func TestDeliveredCounter(t *testing.T) {
+	f := newFixture(t, 32, DefaultConfig())
+	f.nw.Send(f.nodes[0], id.HashKey("k1"), "a")
+	f.nw.SendDirect(f.nodes[0], f.nodes[1].ID(), "b")
+	f.engine.Run()
+	if f.nw.Delivered != 2 {
+		t.Fatalf("Delivered = %d, want 2", f.nw.Delivered)
+	}
+}

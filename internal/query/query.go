@@ -1,0 +1,605 @@
+// Package query implements the continuous-query representation RJoin
+// rewrites: multi-way equi-join queries over the relational model, the
+// rewriting step that substitutes an arriving tuple's values into a
+// query (Section 3), the index-key candidate enumeration used to decide
+// where a query is placed (Sections 3 and 6), and the sliding-window
+// parameters of Section 5.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rjoin/internal/relation"
+)
+
+// ColRef names one attribute of one relation, e.g. R.A.
+type ColRef struct {
+	Rel  string
+	Attr string
+}
+
+// String renders the reference as Rel.Attr.
+func (c ColRef) String() string { return c.Rel + "." + c.Attr }
+
+// SelectItem is one output column: either a column reference or, after
+// rewriting substituted it, a constant.
+type SelectItem struct {
+	IsConst bool
+	Const   relation.Value
+	Col     ColRef
+}
+
+// String renders the item as it appears in SQL text.
+func (s SelectItem) String() string {
+	if s.IsConst {
+		return s.Const.String()
+	}
+	return s.Col.String()
+}
+
+// JoinCond is an equi-join conjunct Left = Right between two columns.
+type JoinCond struct {
+	Left  ColRef
+	Right ColRef
+}
+
+// String renders the conjunct.
+func (j JoinCond) String() string { return j.Left.String() + "=" + j.Right.String() }
+
+// SelCond is a selection conjunct Col = Val, either written by the user
+// or introduced by rewriting (the paper renders these "3=S.A").
+type SelCond struct {
+	Col ColRef
+	Val relation.Value
+}
+
+// String renders the conjunct in the paper's value-first style.
+func (s SelCond) String() string { return s.Val.String() + "=" + s.Col.String() }
+
+// WindowKind selects the window clock of Section 5.
+type WindowKind uint8
+
+const (
+	// WindowNone evaluates the query over the entire stream suffix.
+	WindowNone WindowKind = iota
+	// WindowTime windows are measured on the virtual clock (pubT).
+	WindowTime
+	// WindowTuples windows are measured in network-wide tuple arrivals
+	// (the publication sequence number).
+	WindowTuples
+)
+
+// WindowSpec is the useWindows/window/start parameter block each query
+// carries in Section 5, plus the sliding/tumbling distinction.
+type WindowSpec struct {
+	Kind     WindowKind
+	Size     int64
+	Tumbling bool
+}
+
+// Enabled reports whether window restrictions apply.
+func (w WindowSpec) Enabled() bool { return w.Kind != WindowNone && w.Size > 0 }
+
+// Clock extracts the window clock value from a tuple: publication time
+// for time windows, publication sequence for tuple windows.
+func (w WindowSpec) Clock(t *relation.Tuple) int64 {
+	if w.Kind == WindowTuples {
+		return t.PubSeq
+	}
+	return t.PubTime
+}
+
+// Valid reports whether a rewritten query with window start "start" may
+// combine with a tuple observed at clock value "clock":
+// sliding windows require |start-clock|+1 <= Size, tumbling windows
+// require both to fall in the same window epoch.
+func (w WindowSpec) Valid(start, clock int64) bool {
+	if !w.Enabled() {
+		return true
+	}
+	if w.Tumbling {
+		return epoch(start, w.Size) == epoch(clock, w.Size)
+	}
+	d := start - clock
+	if d < 0 {
+		d = -d
+	}
+	return d+1 <= w.Size
+}
+
+func epoch(clock, size int64) int64 {
+	if clock >= 0 {
+		return clock / size
+	}
+	return (clock - size + 1) / size
+}
+
+// Query is a continuous multi-way equi-join, either an input query as
+// submitted or a rewritten query produced by substituting tuples. The
+// answer to the input query is the union of the answers of its
+// rewrites.
+type Query struct {
+	// ID is Key(q): the key of the submitting node concatenated with a
+	// positive integer, unique network-wide.
+	ID string
+	// Owner is the identifier of the node that submitted the input
+	// query; answers are sent directly to it.
+	Owner uint64
+	// InsertTime is insT(q) for the input query; rewrites inherit it.
+	// Only tuples with pubT >= InsertTime may contribute to answers.
+	InsertTime int64
+	// Distinct requests set semantics (duplicate elimination).
+	Distinct bool
+	// OneTime marks a one-time (snapshot) query: it combines only
+	// tuples published at or before its insertion time, delivers the
+	// answers present in the network at submission, and keeps no
+	// standing state (Section 4's Δ = ∞ remark). Completeness at the
+	// attribute level is bounded by the ALTT retention Δ.
+	OneTime bool
+
+	Select     []SelectItem
+	Relations  []string
+	Joins      []JoinCond
+	Selections []SelCond
+
+	Window WindowSpec
+	// Start is the window-start parameter of a rewritten query
+	// (meaningless while Depth == 0).
+	Start int64
+	// Depth counts how many rewriting steps produced this query; an
+	// input query has Depth 0.
+	Depth int
+	// Exclude lists publication sequence numbers of tuples this query
+	// (or an ancestor) has already combined with at a previous home.
+	// It is populated only by query migration — the Section 10
+	// future-work extension — and is inherited by every rewrite so a
+	// migrated plan never recombines a tuple and duplicates answers.
+	// Kept sorted for binary search.
+	Exclude []int64
+}
+
+// Excluded reports whether the tuple with the given publication
+// sequence number has already been consumed by this query line.
+func (q *Query) Excluded(pubSeq int64) bool {
+	i := sort.Search(len(q.Exclude), func(i int) bool { return q.Exclude[i] >= pubSeq })
+	return i < len(q.Exclude) && q.Exclude[i] == pubSeq
+}
+
+// Clone returns a deep copy; rewriting never mutates a stored query.
+func (q *Query) Clone() *Query {
+	c := *q
+	c.Select = append([]SelectItem(nil), q.Select...)
+	c.Relations = append([]string(nil), q.Relations...)
+	c.Joins = append([]JoinCond(nil), q.Joins...)
+	c.Selections = append([]SelCond(nil), q.Selections...)
+	c.Exclude = append([]int64(nil), q.Exclude...)
+	return &c
+}
+
+// HasRelation reports whether rel still appears in the FROM list.
+func (q *Query) HasRelation(rel string) bool {
+	for _, r := range q.Relations {
+		if r == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// IsComplete reports whether the where clause has become equivalent to
+// "true": no relations (hence no conjuncts) remain, and an answer can
+// be formed.
+func (q *Query) IsComplete() bool { return len(q.Relations) == 0 }
+
+// AnswerValues returns the output row of a complete query. It panics if
+// called on an incomplete query — callers must check IsComplete.
+func (q *Query) AnswerValues() []relation.Value {
+	out := make([]relation.Value, len(q.Select))
+	for i, s := range q.Select {
+		if !s.IsConst {
+			panic(fmt.Sprintf("query: AnswerValues on incomplete query %s (column %s unresolved)", q.ID, s.Col))
+		}
+		out[i] = s.Const
+	}
+	return out
+}
+
+// Matches reports whether tuple t can trigger q for rewriting: t's
+// relation is still joined in q and every selection conjunct on that
+// relation is satisfied by t (including join conjuncts internal to the
+// relation, e.g. R.A = R.B).
+func (q *Query) Matches(t *relation.Tuple) bool {
+	rel := t.Relation()
+	if !q.HasRelation(rel) {
+		return false
+	}
+	for _, s := range q.Selections {
+		if s.Col.Rel != rel {
+			continue
+		}
+		v, ok := t.Value(s.Col.Attr)
+		if !ok || !v.Equal(s.Val) {
+			return false
+		}
+	}
+	for _, j := range q.Joins {
+		if j.Left.Rel == rel && j.Right.Rel == rel {
+			lv, lok := t.Value(j.Left.Attr)
+			rv, rok := t.Value(j.Right.Attr)
+			if !lok || !rok || !lv.Equal(rv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Rewrite substitutes tuple t into q, producing the query with one
+// fewer relation (the paper's rewrite(q, t)). It returns ok=false when
+// t does not trigger q. The caller is responsible for window-validity
+// checks and for setting Start on the result.
+func Rewrite(q *Query, t *relation.Tuple) (*Query, bool) {
+	if !q.Matches(t) {
+		return nil, false
+	}
+	rel := t.Relation()
+	out := q.Clone()
+	out.Depth = q.Depth + 1
+
+	// FROM list loses the substituted relation.
+	keep := out.Relations[:0]
+	for _, r := range out.Relations {
+		if r != rel {
+			keep = append(keep, r)
+		}
+	}
+	out.Relations = keep
+
+	// Select columns of rel become constants.
+	for i, s := range out.Select {
+		if !s.IsConst && s.Col.Rel == rel {
+			v, ok := t.Value(s.Col.Attr)
+			if !ok {
+				return nil, false
+			}
+			out.Select[i] = SelectItem{IsConst: true, Const: v}
+		}
+	}
+
+	// Join conjuncts with one side on rel become selections on the
+	// other side; conjuncts fully on rel were validated by Matches and
+	// are dropped.
+	joins := out.Joins[:0]
+	for _, j := range out.Joins {
+		lOn, rOn := j.Left.Rel == rel, j.Right.Rel == rel
+		switch {
+		case lOn && rOn:
+			// checked in Matches; drop
+		case lOn:
+			v, _ := t.Value(j.Left.Attr)
+			out.Selections = append(out.Selections, SelCond{Col: j.Right, Val: v})
+		case rOn:
+			v, _ := t.Value(j.Right.Attr)
+			out.Selections = append(out.Selections, SelCond{Col: j.Left, Val: v})
+		default:
+			joins = append(joins, j)
+		}
+	}
+	out.Joins = joins
+
+	// Selections on rel were validated by Matches and are dropped.
+	sels := out.Selections[:0]
+	for _, s := range out.Selections {
+		if s.Col.Rel != rel {
+			sels = append(sels, s)
+		}
+	}
+	out.Selections = sels
+	return out, true
+}
+
+// Level distinguishes the two indexing granularities of Section 3.
+type Level uint8
+
+const (
+	// AttrLevel indexes under Rel+Attr.
+	AttrLevel Level = iota
+	// ValueLevel indexes under Rel+Attr+Value.
+	ValueLevel
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	if l == AttrLevel {
+		return "attribute"
+	}
+	return "value"
+}
+
+// Candidate is one possible index placement for a query: a key, its
+// level, and the column (and value, for value level) it derives from.
+type Candidate struct {
+	Key   string
+	Level Level
+	Col   ColRef
+	Val   relation.Value
+}
+
+// Candidates enumerates the placements Section 6 considers for a query:
+// (a) every relation-attribute pair in a join conjunct, (b) every
+// explicit relation-attribute-value selection, and (c) every implied
+// selection obtained by propagating selection values through the
+// equi-join equivalence classes. Input queries (Depth 0, no
+// selections) naturally yield only attribute-level candidates, matching
+// Section 3. The result is deduplicated and deterministically ordered
+// (joins and selections in clause order, implied triples last).
+func (q *Query) Candidates() []Candidate {
+	var out []Candidate
+	seen := make(map[string]bool)
+	add := func(c Candidate) {
+		if !seen[c.Key] {
+			seen[c.Key] = true
+			out = append(out, c)
+		}
+	}
+	// (a) attribute-level pairs from join conjuncts.
+	for _, j := range q.Joins {
+		add(Candidate{Key: relation.AttrKey(j.Left.Rel, j.Left.Attr), Level: AttrLevel, Col: j.Left})
+		add(Candidate{Key: relation.AttrKey(j.Right.Rel, j.Right.Attr), Level: AttrLevel, Col: j.Right})
+	}
+	// (b) explicit value-level triples from selections.
+	for _, s := range q.Selections {
+		add(Candidate{
+			Key:   relation.ValueKey(s.Col.Rel, s.Col.Attr, s.Val),
+			Level: ValueLevel, Col: s.Col, Val: s.Val,
+		})
+	}
+	// (c) implied triples: propagate selection values across join
+	// equivalence classes.
+	for _, imp := range q.impliedSelections() {
+		add(Candidate{
+			Key:   relation.ValueKey(imp.Col.Rel, imp.Col.Attr, imp.Val),
+			Level: ValueLevel, Col: imp.Col, Val: imp.Val,
+		})
+	}
+	return out
+}
+
+// impliedSelections computes selections logically implied by the where
+// clause: if R.A = v holds and R.A joins (transitively) with S.B, then
+// S.B = v is implied.
+func (q *Query) impliedSelections() []SelCond {
+	if len(q.Selections) == 0 || len(q.Joins) == 0 {
+		return nil
+	}
+	parent := make(map[ColRef]ColRef)
+	var find func(c ColRef) ColRef
+	find = func(c ColRef) ColRef {
+		p, ok := parent[c]
+		if !ok || p == c {
+			return c
+		}
+		root := find(p)
+		parent[c] = root
+		return root
+	}
+	union := func(a, b ColRef) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	cols := make(map[ColRef]bool)
+	for _, j := range q.Joins {
+		union(j.Left, j.Right)
+		cols[j.Left] = true
+		cols[j.Right] = true
+	}
+	classValue := make(map[ColRef]relation.Value)
+	explicit := make(map[ColRef]bool)
+	for _, s := range q.Selections {
+		classValue[find(s.Col)] = s.Val
+		explicit[s.Col] = true
+	}
+	var out []SelCond
+	for col := range cols {
+		if explicit[col] {
+			continue
+		}
+		if v, ok := classValue[find(col)]; ok {
+			out = append(out, SelCond{Col: col, Val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Col.Rel != out[j].Col.Rel {
+			return out[i].Col.Rel < out[j].Col.Rel
+		}
+		return out[i].Col.Attr < out[j].Col.Attr
+	})
+	return out
+}
+
+// Contradictory reports whether the where clause is unsatisfiable
+// because two different constants are forced onto the same join
+// equivalence class (e.g. 3=S.A and 5=S.A, possibly through joins).
+// RJoin discards such rewrites instead of indexing them.
+func (q *Query) Contradictory() bool {
+	parent := make(map[ColRef]ColRef)
+	var find func(c ColRef) ColRef
+	find = func(c ColRef) ColRef {
+		p, ok := parent[c]
+		if !ok || p == c {
+			return c
+		}
+		root := find(p)
+		parent[c] = root
+		return root
+	}
+	for _, j := range q.Joins {
+		ra, rb := find(j.Left), find(j.Right)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	classValue := make(map[ColRef]relation.Value)
+	for _, s := range q.Selections {
+		root := find(s.Col)
+		if v, ok := classValue[root]; ok && !v.Equal(s.Val) {
+			return true
+		}
+		classValue[root] = s.Val
+	}
+	return false
+}
+
+// TriggerProjection renders the projection pi_{A1..Ak}(t) over the
+// attributes of t's relation mentioned in q's select or where clause —
+// the duplicate-elimination memory of Section 4. The rendering is
+// canonical (attributes in schema order) so equal projections compare
+// equal as strings.
+func (q *Query) TriggerProjection(t *relation.Tuple) string {
+	rel := t.Relation()
+	used := make(map[string]bool)
+	for _, s := range q.Select {
+		if !s.IsConst && s.Col.Rel == rel {
+			used[s.Col.Attr] = true
+		}
+	}
+	for _, j := range q.Joins {
+		if j.Left.Rel == rel {
+			used[j.Left.Attr] = true
+		}
+		if j.Right.Rel == rel {
+			used[j.Right.Attr] = true
+		}
+	}
+	for _, s := range q.Selections {
+		if s.Col.Rel == rel {
+			used[s.Col.Attr] = true
+		}
+	}
+	var b strings.Builder
+	for i, attr := range t.Schema.Attrs {
+		if used[attr] {
+			b.WriteString(attr)
+			b.WriteByte('=')
+			b.WriteString(t.Values[i].String())
+			b.WriteByte('|')
+		}
+	}
+	return b.String()
+}
+
+// String renders the query as SQL in the style of the paper's examples,
+// e.g. "select 5, S.B from S,P where 3=S.A and S.B=P.B".
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if q.Distinct {
+		b.WriteString("distinct ")
+	}
+	for i, s := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString(" from ")
+	b.WriteString(strings.Join(q.Relations, ","))
+	var conj []string
+	for _, s := range q.Selections {
+		conj = append(conj, s.String())
+	}
+	for _, j := range q.Joins {
+		conj = append(conj, j.String())
+	}
+	if len(conj) > 0 {
+		b.WriteString(" where ")
+		b.WriteString(strings.Join(conj, " and "))
+	}
+	if q.OneTime {
+		b.WriteString(" once")
+	}
+	if q.Window.Enabled() {
+		fmt.Fprintf(&b, " within %d ", q.Window.Size)
+		if q.Window.Kind == WindowTuples {
+			b.WriteString("tuples")
+		} else {
+			b.WriteString("ticks")
+		}
+		if q.Window.Tumbling {
+			b.WriteString(" tumbling")
+		}
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness of an input query against
+// a catalog: every referenced relation is in the FROM list and the
+// catalog, every attribute exists, no relation repeats in FROM, and
+// every FROM relation is connected to the where clause (adjacent joins
+// share a relation is not required, but a cross product is rejected
+// because RJoin has no key to index it under).
+func (q *Query) Validate(cat *relation.Catalog) error {
+	fromSet := make(map[string]bool)
+	for _, r := range q.Relations {
+		if fromSet[r] {
+			return fmt.Errorf("query %s: relation %s repeated in FROM (self-joins are unsupported, as in the paper)", q.ID, r)
+		}
+		fromSet[r] = true
+		if _, ok := cat.Schema(r); !ok {
+			return fmt.Errorf("query %s: unknown relation %s", q.ID, r)
+		}
+	}
+	checkCol := func(c ColRef) error {
+		if !fromSet[c.Rel] {
+			return fmt.Errorf("query %s: column %s references relation missing from FROM", q.ID, c)
+		}
+		s, _ := cat.Schema(c.Rel)
+		if _, ok := s.AttrIndex(c.Attr); !ok {
+			return fmt.Errorf("query %s: relation %s has no attribute %s", q.ID, c.Rel, c.Attr)
+		}
+		return nil
+	}
+	for _, s := range q.Select {
+		if !s.IsConst {
+			if err := checkCol(s.Col); err != nil {
+				return err
+			}
+		}
+	}
+	touched := make(map[string]bool)
+	for _, j := range q.Joins {
+		if err := checkCol(j.Left); err != nil {
+			return err
+		}
+		if err := checkCol(j.Right); err != nil {
+			return err
+		}
+		touched[j.Left.Rel] = true
+		touched[j.Right.Rel] = true
+	}
+	for _, s := range q.Selections {
+		if err := checkCol(s.Col); err != nil {
+			return err
+		}
+		touched[s.Col.Rel] = true
+	}
+	for r := range fromSet {
+		if !touched[r] && len(fromSet) > 1 {
+			return fmt.Errorf("query %s: relation %s joins nothing (cross products are unsupported)", q.ID, r)
+		}
+	}
+	if len(q.Joins)+len(q.Selections) == 0 && len(q.Relations) > 1 {
+		return fmt.Errorf("query %s: no where clause over %d relations", q.ID, len(q.Relations))
+	}
+	if q.Window.Enabled() && q.Window.Size <= 0 {
+		return fmt.Errorf("query %s: non-positive window size", q.ID)
+	}
+	if q.OneTime && q.Window.Enabled() {
+		return fmt.Errorf("query %s: one-time queries cannot carry windows", q.ID)
+	}
+	return nil
+}

@@ -1,0 +1,521 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rjoin/internal/relation"
+)
+
+var (
+	schemaR = relation.MustSchema("R", "A", "B", "C")
+	schemaS = relation.MustSchema("S", "A", "B", "C")
+	schemaJ = relation.MustSchema("J", "A", "B", "C")
+	schemaM = relation.MustSchema("M", "A", "B", "C")
+)
+
+// paperQuery builds the Section 3 example:
+// select R.B, S.B from R,S,P where R.A=S.A and S.B=P.B
+// (with P renamed to J to reuse schemas).
+func sectionThreeQuery() *Query {
+	return &Query{
+		ID: "q1",
+		Select: []SelectItem{
+			{Col: ColRef{"R", "B"}},
+			{Col: ColRef{"S", "B"}},
+		},
+		Relations: []string{"R", "S", "J"},
+		Joins: []JoinCond{
+			{ColRef{"R", "A"}, ColRef{"S", "A"}},
+			{ColRef{"S", "B"}, ColRef{"J", "B"}},
+		},
+	}
+}
+
+func TestRewriteSectionThreeExample(t *testing.T) {
+	// Incoming tuple t of R with t=(3,5,...) must produce
+	// select 5, S.B from S,P where 3=S.A and S.B=P.B.
+	q := sectionThreeQuery()
+	tup := relation.MustTuple(schemaR, relation.Int64(3), relation.Int64(5), relation.Int64(0))
+	q2, ok := Rewrite(q, tup)
+	if !ok {
+		t.Fatal("tuple failed to trigger query")
+	}
+	if q2.HasRelation("R") {
+		t.Fatal("R still in FROM after rewrite")
+	}
+	if !q2.Select[0].IsConst || q2.Select[0].Const.Int != 5 {
+		t.Fatalf("select item not substituted: %v", q2.Select[0])
+	}
+	if len(q2.Selections) != 1 || q2.Selections[0].Col != (ColRef{"S", "A"}) || q2.Selections[0].Val.Int != 3 {
+		t.Fatalf("expected selection 3=S.A, got %v", q2.Selections)
+	}
+	if len(q2.Joins) != 1 || q2.Joins[0].Left != (ColRef{"S", "B"}) {
+		t.Fatalf("expected remaining join S.B=J.B, got %v", q2.Joins)
+	}
+	if got := q2.String(); got != "select 5, S.B from S,J where 3=S.A and S.B=J.B" {
+		t.Fatalf("rendered %q", got)
+	}
+	if q2.Depth != 1 {
+		t.Fatalf("depth = %d, want 1", q2.Depth)
+	}
+}
+
+// figure1Query is the Figure 1 input query:
+// select S.B, M.A from R,S,J,M where R.A=S.A and S.B=J.B and J.C=M.C.
+func figure1Query() *Query {
+	return &Query{
+		ID: "q",
+		Select: []SelectItem{
+			{Col: ColRef{"S", "B"}},
+			{Col: ColRef{"M", "A"}},
+		},
+		Relations: []string{"R", "S", "J", "M"},
+		Joins: []JoinCond{
+			{ColRef{"R", "A"}, ColRef{"S", "A"}},
+			{ColRef{"S", "B"}, ColRef{"J", "B"}},
+			{ColRef{"J", "C"}, ColRef{"M", "C"}},
+		},
+	}
+}
+
+func TestPaperFigure1RewriteChain(t *testing.T) {
+	q := figure1Query()
+
+	// Event 2: t1=(2,5,8) of R.
+	t1 := relation.MustTuple(schemaR, relation.Int64(2), relation.Int64(5), relation.Int64(8))
+	q1, ok := Rewrite(q, t1)
+	if !ok {
+		t.Fatal("t1 did not trigger q")
+	}
+	if got := q1.String(); got != "select S.B, M.A from S,J,M where 2=S.A and S.B=J.B and J.C=M.C" {
+		t.Fatalf("q1 = %q", got)
+	}
+
+	// Event 3: t2=(2,6,3) of S.
+	t2 := relation.MustTuple(schemaS, relation.Int64(2), relation.Int64(6), relation.Int64(3))
+	q2, ok := Rewrite(q1, t2)
+	if !ok {
+		t.Fatal("t2 did not trigger q1")
+	}
+	if got := q2.String(); got != "select 6, M.A from J,M where 6=J.B and J.C=M.C" {
+		t.Fatalf("q2 = %q", got)
+	}
+
+	// Event 5: t4=(7,6,2) of J.
+	t4 := relation.MustTuple(schemaJ, relation.Int64(7), relation.Int64(6), relation.Int64(2))
+	q3, ok := Rewrite(q2, t4)
+	if !ok {
+		t.Fatal("t4 did not trigger q2")
+	}
+	if got := q3.String(); got != "select 6, M.A from M where 2=M.C" {
+		t.Fatalf("q3 = %q", got)
+	}
+
+	// t3=(9,1,2) of M completes the query.
+	t3 := relation.MustTuple(schemaM, relation.Int64(9), relation.Int64(1), relation.Int64(2))
+	q4, ok := Rewrite(q3, t3)
+	if !ok {
+		t.Fatal("t3 did not trigger q3")
+	}
+	if !q4.IsComplete() {
+		t.Fatal("q4 not complete")
+	}
+	vals := q4.AnswerValues()
+	if len(vals) != 2 || vals[0].Int != 6 || vals[1].Int != 9 {
+		t.Fatalf("answer = %v, want S.B=6, M.A=9", vals)
+	}
+}
+
+func TestRewriteNonMatchingSelection(t *testing.T) {
+	q := sectionThreeQuery()
+	tR := relation.MustTuple(schemaR, relation.Int64(3), relation.Int64(5), relation.Int64(0))
+	q2, _ := Rewrite(q, tR)
+	// q2 requires 3=S.A; an S tuple with A=4 must not trigger it.
+	bad := relation.MustTuple(schemaS, relation.Int64(4), relation.Int64(1), relation.Int64(0))
+	if _, ok := Rewrite(q2, bad); ok {
+		t.Fatal("selection-violating tuple triggered query")
+	}
+	// But A=3 must trigger.
+	good := relation.MustTuple(schemaS, relation.Int64(3), relation.Int64(1), relation.Int64(0))
+	if _, ok := Rewrite(q2, good); !ok {
+		t.Fatal("selection-satisfying tuple rejected")
+	}
+}
+
+func TestRewriteWrongRelation(t *testing.T) {
+	q := sectionThreeQuery()
+	tM := relation.MustTuple(schemaM, relation.Int64(1), relation.Int64(2), relation.Int64(3))
+	if _, ok := Rewrite(q, tM); ok {
+		t.Fatal("tuple of non-referenced relation triggered query")
+	}
+}
+
+func TestRewriteIntraRelationJoin(t *testing.T) {
+	// R.A = R.B is checked against the tuple directly.
+	q := &Query{
+		ID:        "qq",
+		Select:    []SelectItem{{Col: ColRef{"R", "C"}}},
+		Relations: []string{"R", "S"},
+		Joins: []JoinCond{
+			{ColRef{"R", "A"}, ColRef{"R", "B"}},
+			{ColRef{"R", "C"}, ColRef{"S", "C"}},
+		},
+	}
+	bad := relation.MustTuple(schemaR, relation.Int64(1), relation.Int64(2), relation.Int64(3))
+	if _, ok := Rewrite(q, bad); ok {
+		t.Fatal("tuple violating intra-relation join accepted")
+	}
+	good := relation.MustTuple(schemaR, relation.Int64(2), relation.Int64(2), relation.Int64(3))
+	q2, ok := Rewrite(q, good)
+	if !ok {
+		t.Fatal("tuple satisfying intra-relation join rejected")
+	}
+	if len(q2.Joins) != 0 || len(q2.Selections) != 1 {
+		t.Fatalf("unexpected clause after rewrite: %v", q2)
+	}
+}
+
+func TestRewriteDoesNotMutateOriginal(t *testing.T) {
+	q := figure1Query()
+	before := q.String()
+	tup := relation.MustTuple(schemaR, relation.Int64(2), relation.Int64(5), relation.Int64(8))
+	if _, ok := Rewrite(q, tup); !ok {
+		t.Fatal("rewrite failed")
+	}
+	if q.String() != before {
+		t.Fatalf("original mutated: %q -> %q", before, q.String())
+	}
+}
+
+func TestCandidatesInputQuery(t *testing.T) {
+	q := figure1Query()
+	cands := q.Candidates()
+	// All candidates of an input query are attribute level.
+	wantKeys := map[string]bool{"R+A": true, "S+A": true, "S+B": true, "J+B": true, "J+C": true, "M+C": true}
+	if len(cands) != len(wantKeys) {
+		t.Fatalf("got %d candidates, want %d: %v", len(cands), len(wantKeys), cands)
+	}
+	for _, c := range cands {
+		if c.Level != AttrLevel {
+			t.Fatalf("input query candidate at value level: %v", c)
+		}
+		if !wantKeys[c.Key] {
+			t.Fatalf("unexpected candidate key %q", c.Key)
+		}
+	}
+}
+
+func TestCandidatesRewrittenIncludeImplied(t *testing.T) {
+	q := figure1Query()
+	t1 := relation.MustTuple(schemaR, relation.Int64(2), relation.Int64(5), relation.Int64(8))
+	q1, _ := Rewrite(q, t1)
+	// q1: select S.B, M.A from S,J,M where 2=S.A and S.B=J.B and J.C=M.C
+	cands := q1.Candidates()
+	keys := make(map[string]Level)
+	for _, c := range cands {
+		keys[c.Key] = c.Level
+	}
+	// (a) join pairs at attribute level.
+	for _, k := range []string{"S+B", "J+B", "J+C", "M+C"} {
+		if lvl, ok := keys[k]; !ok || lvl != AttrLevel {
+			t.Fatalf("missing attribute-level candidate %s (keys=%v)", k, keys)
+		}
+	}
+	// (b) explicit selection 2=S.A at value level.
+	if lvl, ok := keys["S+A+2"]; !ok || lvl != ValueLevel {
+		t.Fatalf("missing value-level candidate S+A+2")
+	}
+	// S.A participates in no remaining join; no implied triples exist
+	// because the only selection's column joins nothing.
+	if _, ok := keys["J+B+2"]; ok {
+		t.Fatal("bogus implied candidate")
+	}
+}
+
+func TestImpliedSelectionPropagation(t *testing.T) {
+	// where 6=J.B and J.B=M.B implies M.B=6 → value candidate M+B+6.
+	q := &Query{
+		ID:        "impl",
+		Select:    []SelectItem{{Col: ColRef{"M", "A"}}},
+		Relations: []string{"J", "M"},
+		Joins:     []JoinCond{{ColRef{"J", "B"}, ColRef{"M", "B"}}},
+		Selections: []SelCond{
+			{Col: ColRef{"J", "B"}, Val: relation.Int64(6)},
+		},
+	}
+	keys := make(map[string]bool)
+	for _, c := range q.Candidates() {
+		keys[c.Key] = true
+	}
+	if !keys["M+B+6"] {
+		t.Fatalf("implied candidate M+B+6 missing: %v", keys)
+	}
+	if !keys["J+B+6"] {
+		t.Fatalf("explicit candidate J+B+6 missing: %v", keys)
+	}
+}
+
+func TestImpliedTransitivePropagation(t *testing.T) {
+	// 7=A.X, A.X=B.Y, B.Y=C.Z implies C.Z=7 through two hops.
+	q := &Query{
+		ID:        "impl2",
+		Select:    []SelectItem{{Col: ColRef{"C", "Z"}}},
+		Relations: []string{"A", "B", "C"},
+		Joins: []JoinCond{
+			{ColRef{"A", "X"}, ColRef{"B", "Y"}},
+			{ColRef{"B", "Y"}, ColRef{"C", "Z"}},
+		},
+		Selections: []SelCond{{Col: ColRef{"A", "X"}, Val: relation.Int64(7)}},
+	}
+	keys := make(map[string]bool)
+	for _, c := range q.Candidates() {
+		keys[c.Key] = true
+	}
+	for _, want := range []string{"B+Y+7", "C+Z+7"} {
+		if !keys[want] {
+			t.Fatalf("missing transitive implied candidate %s: %v", want, keys)
+		}
+	}
+}
+
+func TestContradictory(t *testing.T) {
+	q := &Query{
+		Relations: []string{"S"},
+		Joins:     []JoinCond{},
+		Selections: []SelCond{
+			{Col: ColRef{"S", "A"}, Val: relation.Int64(3)},
+			{Col: ColRef{"S", "A"}, Val: relation.Int64(5)},
+		},
+	}
+	if !q.Contradictory() {
+		t.Fatal("conflicting selections not detected")
+	}
+	q2 := &Query{
+		Relations: []string{"S", "J"},
+		Joins:     []JoinCond{{ColRef{"S", "A"}, ColRef{"J", "B"}}},
+		Selections: []SelCond{
+			{Col: ColRef{"S", "A"}, Val: relation.Int64(3)},
+			{Col: ColRef{"J", "B"}, Val: relation.Int64(4)},
+		},
+	}
+	if !q2.Contradictory() {
+		t.Fatal("join-implied contradiction not detected")
+	}
+	q3 := sectionThreeQuery()
+	if q3.Contradictory() {
+		t.Fatal("satisfiable query flagged contradictory")
+	}
+}
+
+func TestWindowValidSliding(t *testing.T) {
+	w := WindowSpec{Kind: WindowTuples, Size: 10}
+	if !w.Valid(5, 14) {
+		t.Fatal("|5-14|+1=10 <= 10 must be valid")
+	}
+	if w.Valid(5, 15) {
+		t.Fatal("|5-15|+1=11 > 10 must be invalid")
+	}
+	if !w.Valid(14, 5) {
+		t.Fatal("window must be symmetric")
+	}
+}
+
+func TestWindowValidTumbling(t *testing.T) {
+	w := WindowSpec{Kind: WindowTuples, Size: 10, Tumbling: true}
+	if !w.Valid(11, 19) {
+		t.Fatal("same epoch must be valid")
+	}
+	if w.Valid(9, 11) {
+		t.Fatal("adjacent epochs must be invalid even if close")
+	}
+}
+
+func TestWindowDisabled(t *testing.T) {
+	var w WindowSpec
+	if !w.Valid(0, 1<<40) {
+		t.Fatal("disabled window must always be valid")
+	}
+	if w.Enabled() {
+		t.Fatal("zero WindowSpec must be disabled")
+	}
+}
+
+func TestWindowClock(t *testing.T) {
+	tup := relation.MustTuple(schemaR, relation.Int64(1), relation.Int64(2), relation.Int64(3))
+	tup.PubTime = 111
+	tup.PubSeq = 222
+	if (WindowSpec{Kind: WindowTime, Size: 5}).Clock(tup) != 111 {
+		t.Fatal("time window clock")
+	}
+	if (WindowSpec{Kind: WindowTuples, Size: 5}).Clock(tup) != 222 {
+		t.Fatal("tuple window clock")
+	}
+}
+
+func TestTriggerProjectionCanonical(t *testing.T) {
+	q := sectionThreeQuery()
+	t1 := relation.MustTuple(schemaS, relation.Int64(3), relation.Int64(5), relation.Int64(7))
+	t2 := relation.MustTuple(schemaS, relation.Int64(3), relation.Int64(5), relation.Int64(99))
+	// S.C is not referenced by q, so projections must be equal.
+	if q.TriggerProjection(t1) != q.TriggerProjection(t2) {
+		t.Fatal("projection must ignore unreferenced attributes")
+	}
+	t3 := relation.MustTuple(schemaS, relation.Int64(4), relation.Int64(5), relation.Int64(7))
+	if q.TriggerProjection(t1) == q.TriggerProjection(t3) {
+		t.Fatal("projection must distinguish referenced attributes")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cat, _ := relation.NewCatalog(schemaR, schemaS, schemaJ, schemaM)
+	if err := figure1Query().Validate(cat); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	bad := figure1Query()
+	bad.Relations = append(bad.Relations, "R") // duplicate FROM
+	if err := bad.Validate(cat); err == nil {
+		t.Fatal("duplicate FROM accepted")
+	}
+	bad2 := figure1Query()
+	bad2.Joins[0].Left.Attr = "Z"
+	if err := bad2.Validate(cat); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	bad3 := figure1Query()
+	bad3.Relations = []string{"R", "S", "J", "M", "X"}
+	if err := bad3.Validate(cat); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	cross := &Query{
+		ID:        "cross",
+		Select:    []SelectItem{{Col: ColRef{"R", "A"}}},
+		Relations: []string{"R", "S"},
+	}
+	if err := cross.Validate(cat); err == nil {
+		t.Fatal("cross product accepted")
+	}
+}
+
+// Property: rewriting by a matching tuple always removes exactly one
+// relation and never leaves conjuncts mentioning it.
+func TestRewriteRemovesRelationProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		q := figure1Query()
+		tup := relation.MustTuple(schemaR,
+			relation.Int64(int64(a%10)), relation.Int64(int64(b%10)), relation.Int64(int64(c%10)))
+		q1, ok := Rewrite(q, tup)
+		if !ok {
+			return false // figure1Query has no selections on R; R tuples always match
+		}
+		if len(q1.Relations) != len(q.Relations)-1 {
+			return false
+		}
+		for _, j := range q1.Joins {
+			if j.Left.Rel == "R" || j.Right.Rel == "R" {
+				return false
+			}
+		}
+		for _, s := range q1.Selections {
+			if s.Col.Rel == "R" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a chain of rewrites over tuples that pairwise satisfy the
+// join conditions always terminates in a complete query whose answer
+// matches direct evaluation.
+func TestFullRewriteChainProperty(t *testing.T) {
+	f := func(av, bv uint8) bool {
+		a, b := int64(av%20), int64(bv%20)
+		q := &Query{
+			ID:        "p",
+			Select:    []SelectItem{{Col: ColRef{"R", "B"}}, {Col: ColRef{"S", "B"}}},
+			Relations: []string{"R", "S"},
+			Joins:     []JoinCond{{ColRef{"R", "A"}, ColRef{"S", "A"}}},
+		}
+		tR := relation.MustTuple(schemaR, relation.Int64(a), relation.Int64(b), relation.Int64(0))
+		tS := relation.MustTuple(schemaS, relation.Int64(a), relation.Int64(b+1), relation.Int64(0))
+		q1, ok := Rewrite(q, tR)
+		if !ok {
+			return false
+		}
+		q2, ok := Rewrite(q1, tS)
+		if !ok {
+			return false
+		}
+		if !q2.IsComplete() {
+			return false
+		}
+		vals := q2.AnswerValues()
+		return vals[0].Int == b && vals[1].Int == b+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rewrite order does not change the final answer (R then S
+// vs S then R).
+func TestRewriteOrderIndependenceProperty(t *testing.T) {
+	f := func(av, bv, cv uint8) bool {
+		a, b, c := int64(av%10), int64(bv%10), int64(cv%10)
+		mk := func() *Query {
+			return &Query{
+				ID:        "p",
+				Select:    []SelectItem{{Col: ColRef{"R", "C"}}, {Col: ColRef{"S", "C"}}},
+				Relations: []string{"R", "S"},
+				Joins:     []JoinCond{{ColRef{"R", "A"}, ColRef{"S", "A"}}},
+			}
+		}
+		tR := relation.MustTuple(schemaR, relation.Int64(a), relation.Int64(0), relation.Int64(b))
+		tS := relation.MustTuple(schemaS, relation.Int64(a), relation.Int64(0), relation.Int64(c))
+		viaR, ok1 := Rewrite(mk(), tR)
+		if !ok1 {
+			return false
+		}
+		ansR, ok2 := Rewrite(viaR, tS)
+		if !ok2 {
+			return false
+		}
+		viaS, ok3 := Rewrite(mk(), tS)
+		if !ok3 {
+			return false
+		}
+		ansS, ok4 := Rewrite(viaS, tR)
+		if !ok4 {
+			return false
+		}
+		v1, v2 := ansR.AnswerValues(), ansS.AnswerValues()
+		return v1[0] == v2[0] && v1[1] == v2[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnswerValuesPanicsOnIncomplete(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	figure1Query().AnswerValues()
+}
+
+func TestStringRendersDistinctAndWindow(t *testing.T) {
+	q := figure1Query()
+	q.Distinct = true
+	q.Window = WindowSpec{Kind: WindowTuples, Size: 100}
+	s := q.String()
+	if !strings.Contains(s, "distinct") || !strings.Contains(s, "within 100 tuples") {
+		t.Fatalf("rendered %q", s)
+	}
+}

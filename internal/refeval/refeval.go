@@ -1,0 +1,255 @@
+// Package refeval is a centralized reference evaluator for continuous
+// multi-way joins, used by tests to check RJoin's formal properties
+// (soundness, eventual completeness, no accidental duplicates —
+// Section 4). It brute-forces Definition 1: the answer to query q over
+// a published stream is the bag of rows produced by combinations of
+// tuples, one per FROM relation, all published at or after the query's
+// insertion time, satisfying every conjunct of the where clause.
+//
+// For window queries two semantics are provided, bracketing RJoin's
+// operational rules (Section 5): the span semantics (all tuples of a
+// combination fall within one window of each other) is a lower bound on
+// what RJoin delivers under in-order arrival, and the anchor semantics
+// (all tuples within one window of some anchor tuple) is an upper
+// bound.
+package refeval
+
+import (
+	"sort"
+	"strings"
+
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+)
+
+// Row is one answer row.
+type Row []relation.Value
+
+// Key renders a canonical comparison key.
+func (r Row) Key() string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// windowMode selects how window constraints are checked.
+type windowMode uint8
+
+const (
+	windowIgnore windowMode = iota
+	windowSpan
+	windowAnchor
+)
+
+// Evaluate returns the full answer bag of q over the given published
+// tuples, ignoring window restrictions.
+func Evaluate(q *query.Query, tuples []*relation.Tuple) []Row {
+	return evaluate(q, tuples, windowIgnore)
+}
+
+// EvaluateSpan returns the answer bag under span window semantics: a
+// combination qualifies if max(clock)-min(clock)+1 <= window size (for
+// tumbling windows: all clocks share an epoch).
+func EvaluateSpan(q *query.Query, tuples []*relation.Tuple) []Row {
+	return evaluate(q, tuples, windowSpan)
+}
+
+// EvaluateAnchor returns the answer bag under anchor window semantics:
+// a combination qualifies if some member tuple is within one window of
+// every other member.
+func EvaluateAnchor(q *query.Query, tuples []*relation.Tuple) []Row {
+	return evaluate(q, tuples, windowAnchor)
+}
+
+func evaluate(q *query.Query, tuples []*relation.Tuple, mode windowMode) []Row {
+	// Bucket usable tuples per relation.
+	byRel := make(map[string][]*relation.Tuple)
+	for _, t := range tuples {
+		if q.OneTime {
+			// One-time queries see the snapshot at submission.
+			if t.PubTime > q.InsertTime {
+				continue
+			}
+		} else if t.PubTime < q.InsertTime {
+			continue
+		}
+		byRel[t.Relation()] = append(byRel[t.Relation()], t)
+	}
+	var out []Row
+	combo := make(map[string]*relation.Tuple, len(q.Relations))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Relations) {
+			if !windowOK(q, combo, mode) {
+				return
+			}
+			out = append(out, materialize(q, combo))
+			return
+		}
+		rel := q.Relations[i]
+		for _, t := range byRel[rel] {
+			if !tupleOK(q, combo, t) {
+				continue
+			}
+			combo[rel] = t
+			rec(i + 1)
+			delete(combo, rel)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// tupleOK checks every conjunct of q that is fully bound once t joins
+// the partial combination.
+func tupleOK(q *query.Query, combo map[string]*relation.Tuple, t *relation.Tuple) bool {
+	rel := t.Relation()
+	for _, s := range q.Selections {
+		if s.Col.Rel != rel {
+			continue
+		}
+		v, ok := t.Value(s.Col.Attr)
+		if !ok || !v.Equal(s.Val) {
+			return false
+		}
+	}
+	lookup := func(c query.ColRef) (relation.Value, bool) {
+		if c.Rel == rel {
+			return t.Value(c.Attr)
+		}
+		if bt, ok := combo[c.Rel]; ok {
+			return bt.Value(c.Attr)
+		}
+		return relation.Value{}, false
+	}
+	for _, j := range q.Joins {
+		if j.Left.Rel != rel && j.Right.Rel != rel {
+			continue
+		}
+		lv, lok := lookup(j.Left)
+		rv, rok := lookup(j.Right)
+		if lok && rok && !lv.Equal(rv) {
+			return false
+		}
+	}
+	return true
+}
+
+func windowOK(q *query.Query, combo map[string]*relation.Tuple, mode windowMode) bool {
+	if mode == windowIgnore || !q.Window.Enabled() {
+		return true
+	}
+	clocks := make([]int64, 0, len(combo))
+	for _, t := range combo {
+		clocks = append(clocks, q.Window.Clock(t))
+	}
+	switch mode {
+	case windowSpan:
+		if q.Window.Tumbling {
+			for _, c := range clocks[1:] {
+				if !q.Window.Valid(clocks[0], c) {
+					return false
+				}
+			}
+			return true
+		}
+		mn, mx := clocks[0], clocks[0]
+		for _, c := range clocks[1:] {
+			if c < mn {
+				mn = c
+			}
+			if c > mx {
+				mx = c
+			}
+		}
+		return mx-mn+1 <= q.Window.Size
+	default: // windowAnchor
+		for _, anchor := range clocks {
+			ok := true
+			for _, c := range clocks {
+				if !q.Window.Valid(anchor, c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func materialize(q *query.Query, combo map[string]*relation.Tuple) Row {
+	row := make(Row, len(q.Select))
+	for i, s := range q.Select {
+		if s.IsConst {
+			row[i] = s.Const
+			continue
+		}
+		t := combo[s.Col.Rel]
+		v, _ := t.Value(s.Col.Attr)
+		row[i] = v
+	}
+	return row
+}
+
+// Distinct collapses a bag to set semantics, keeping first occurrences
+// in order.
+func Distinct(rows []Row) []Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SortedKeys renders a bag as a sorted multiset of canonical keys,
+// convenient for bag comparison in tests.
+func SortedKeys(rows []Row) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = r.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EqualBags reports whether two answer bags contain the same rows with
+// the same multiplicities.
+func EqualBags(a, b []Row) bool {
+	ka, kb := SortedKeys(a), SortedKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubBag reports whether bag a is contained in bag b (respecting
+// multiplicity).
+func SubBag(a, b []Row) bool {
+	count := make(map[string]int)
+	for _, k := range SortedKeys(b) {
+		count[k]++
+	}
+	for _, k := range SortedKeys(a) {
+		count[k]--
+		if count[k] < 0 {
+			return false
+		}
+	}
+	return true
+}

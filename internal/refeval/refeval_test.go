@@ -1,0 +1,190 @@
+package refeval
+
+import (
+	"testing"
+
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+)
+
+var (
+	schR = relation.MustSchema("R", "A", "B")
+	schS = relation.MustSchema("S", "A", "B")
+	schT = relation.MustSchema("T", "A", "B")
+)
+
+func tup(s *relation.Schema, pub int64, vals ...int64) *relation.Tuple {
+	vv := make([]relation.Value, len(vals))
+	for i, v := range vals {
+		vv[i] = relation.Int64(v)
+	}
+	t := relation.MustTuple(s, vv...)
+	t.PubTime = pub
+	t.PubSeq = pub
+	return t
+}
+
+func twoWay() *query.Query {
+	return &query.Query{
+		Select:    []query.SelectItem{{Col: query.ColRef{Rel: "R", Attr: "B"}}, {Col: query.ColRef{Rel: "S", Attr: "B"}}},
+		Relations: []string{"R", "S"},
+		Joins:     []query.JoinCond{{Left: query.ColRef{Rel: "R", Attr: "A"}, Right: query.ColRef{Rel: "S", Attr: "A"}}},
+	}
+}
+
+func TestEvaluateBasicJoin(t *testing.T) {
+	q := twoWay()
+	tuples := []*relation.Tuple{
+		tup(schR, 1, 7, 10),
+		tup(schS, 2, 7, 20),
+		tup(schS, 3, 8, 30), // no partner
+		tup(schR, 4, 7, 11), // second R row joins too
+	}
+	rows := Evaluate(q, tuples)
+	if len(rows) != 2 {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestEvaluateRespectsInsertTime(t *testing.T) {
+	q := twoWay()
+	q.InsertTime = 5
+	tuples := []*relation.Tuple{
+		tup(schR, 1, 7, 10), // too early
+		tup(schS, 6, 7, 20),
+		tup(schR, 7, 7, 11),
+	}
+	rows := Evaluate(q, tuples)
+	if len(rows) != 1 || rows[0][0].Int != 11 {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestEvaluateSelections(t *testing.T) {
+	q := twoWay()
+	q.Selections = []query.SelCond{{Col: query.ColRef{Rel: "S", Attr: "B"}, Val: relation.Int64(20)}}
+	tuples := []*relation.Tuple{
+		tup(schR, 1, 7, 10),
+		tup(schS, 2, 7, 20),
+		tup(schS, 3, 7, 21),
+	}
+	rows := Evaluate(q, tuples)
+	if len(rows) != 1 || rows[0][1].Int != 20 {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestEvaluateThreeWayChain(t *testing.T) {
+	q := &query.Query{
+		Select:    []query.SelectItem{{Col: query.ColRef{Rel: "T", Attr: "B"}}},
+		Relations: []string{"R", "S", "T"},
+		Joins: []query.JoinCond{
+			{Left: query.ColRef{Rel: "R", Attr: "A"}, Right: query.ColRef{Rel: "S", Attr: "A"}},
+			{Left: query.ColRef{Rel: "S", Attr: "B"}, Right: query.ColRef{Rel: "T", Attr: "A"}},
+		},
+	}
+	tuples := []*relation.Tuple{
+		tup(schR, 1, 5, 0),
+		tup(schS, 2, 5, 9),
+		tup(schT, 3, 9, 42),
+		tup(schT, 4, 8, 43), // wrong join key
+	}
+	rows := Evaluate(q, tuples)
+	if len(rows) != 1 || rows[0][0].Int != 42 {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestWindowSemanticsSpanVsAnchor(t *testing.T) {
+	q := &query.Query{
+		Select:    []query.SelectItem{{Col: query.ColRef{Rel: "T", Attr: "B"}}},
+		Relations: []string{"R", "S", "T"},
+		Joins: []query.JoinCond{
+			{Left: query.ColRef{Rel: "R", Attr: "A"}, Right: query.ColRef{Rel: "S", Attr: "A"}},
+			{Left: query.ColRef{Rel: "S", Attr: "A"}, Right: query.ColRef{Rel: "T", Attr: "A"}},
+		},
+		Window: query.WindowSpec{Kind: query.WindowTuples, Size: 10},
+	}
+	// Clocks 1, 10, 19: span 19 > 10 (span rejects), but anchored at 10
+	// both others are within the window (anchor accepts).
+	tuples := []*relation.Tuple{
+		tup(schR, 10, 5, 0),
+		tup(schS, 1, 5, 0),
+		tup(schT, 19, 5, 7),
+	}
+	if rows := EvaluateSpan(q, tuples); len(rows) != 0 {
+		t.Fatalf("span accepted %v", rows)
+	}
+	if rows := EvaluateAnchor(q, tuples); len(rows) != 1 {
+		t.Fatalf("anchor rejected: %v", rows)
+	}
+	// Tight clocks: both accept.
+	tight := []*relation.Tuple{
+		tup(schR, 10, 5, 0), tup(schS, 11, 5, 0), tup(schT, 12, 5, 7),
+	}
+	if len(EvaluateSpan(q, tight)) != 1 || len(EvaluateAnchor(q, tight)) != 1 {
+		t.Fatal("tight combo rejected")
+	}
+}
+
+func TestEvaluateIgnoresWindowByDefault(t *testing.T) {
+	q := twoWay()
+	q.Window = query.WindowSpec{Kind: query.WindowTuples, Size: 2}
+	tuples := []*relation.Tuple{tup(schR, 1, 7, 10), tup(schS, 100, 7, 20)}
+	if len(Evaluate(q, tuples)) != 1 {
+		t.Fatal("Evaluate must ignore windows")
+	}
+	if len(EvaluateSpan(q, tuples)) != 0 {
+		t.Fatal("EvaluateSpan must enforce windows")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	rows := []Row{
+		{relation.Int64(1)}, {relation.Int64(2)}, {relation.Int64(1)},
+	}
+	d := Distinct(rows)
+	if len(d) != 2 {
+		t.Fatalf("distinct %v", d)
+	}
+}
+
+func TestEqualAndSubBags(t *testing.T) {
+	a := []Row{{relation.Int64(1)}, {relation.Int64(2)}}
+	b := []Row{{relation.Int64(2)}, {relation.Int64(1)}}
+	c := []Row{{relation.Int64(1)}, {relation.Int64(1)}}
+	if !EqualBags(a, b) {
+		t.Fatal("order must not matter")
+	}
+	if EqualBags(a, c) {
+		t.Fatal("multiplicity must matter")
+	}
+	if !SubBag(a[:1], a) || SubBag(c, a) {
+		t.Fatal("SubBag wrong")
+	}
+	if !SubBag(nil, a) || SubBag(a, nil) {
+		t.Fatal("empty-bag cases wrong")
+	}
+}
+
+func TestRowKeyDistinguishesBoundaries(t *testing.T) {
+	// ("ab","c") must differ from ("a","bc").
+	a := Row{relation.String64("ab"), relation.String64("c")}
+	b := Row{relation.String64("a"), relation.String64("bc")}
+	if a.Key() == b.Key() {
+		t.Fatal("row key ambiguous")
+	}
+}
+
+func TestTumblingSpanSemantics(t *testing.T) {
+	q := twoWay()
+	q.Window = query.WindowSpec{Kind: query.WindowTuples, Size: 10, Tumbling: true}
+	sameEpoch := []*relation.Tuple{tup(schR, 11, 7, 10), tup(schS, 19, 7, 20)}
+	crossEpoch := []*relation.Tuple{tup(schR, 19, 7, 10), tup(schS, 21, 7, 20)}
+	if len(EvaluateSpan(q, sameEpoch)) != 1 {
+		t.Fatal("same-epoch combo rejected")
+	}
+	if len(EvaluateSpan(q, crossEpoch)) != 0 {
+		t.Fatal("cross-epoch combo accepted")
+	}
+}

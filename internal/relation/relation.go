@@ -1,0 +1,214 @@
+// Package relation implements the paper's data model (Section 2): the
+// relational model with append-only relations, tuples carrying their
+// publication time, and the two indexing keys RJoin derives from a tuple
+// — the attribute-level key Rel+Attr and the value-level key
+// Rel+Attr+Value.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the value types the SQL subset supports.
+type Kind uint8
+
+const (
+	// KindInt is a 64-bit integer value.
+	KindInt Kind = iota
+	// KindString is a string value.
+	KindString
+)
+
+// Value is a typed attribute value. It is a comparable struct so values
+// can key maps directly (duplicate elimination, candidate tables).
+type Value struct {
+	Kind Kind
+	Int  int64
+	Str  string
+}
+
+// Int64 returns an integer Value.
+func Int64(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// String64 returns a string Value.
+func String64(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// String renders the value the way it appears in keys and query text.
+func (v Value) String() string {
+	if v.Kind == KindInt {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return v.Str
+}
+
+// Equal reports value equality (kind and payload).
+func (v Value) Equal(o Value) bool { return v == o }
+
+// ParseValue interprets a literal token: integers parse as KindInt,
+// anything else (including quoted strings already unquoted by the lexer)
+// is a KindString.
+func ParseValue(tok string) Value {
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return Int64(n)
+	}
+	return String64(tok)
+}
+
+// Schema describes one relation: its name and ordered attribute names.
+type Schema struct {
+	Relation string
+	Attrs    []string
+	index    map[string]int
+}
+
+// NewSchema builds a schema, validating that attribute names are unique
+// and non-empty.
+func NewSchema(relation string, attrs ...string) (*Schema, error) {
+	if relation == "" {
+		return nil, fmt.Errorf("relation: empty relation name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: schema %s has no attributes", relation)
+	}
+	s := &Schema{Relation: relation, Attrs: attrs, index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation: schema %s has an empty attribute name", relation)
+		}
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("relation: schema %s repeats attribute %s", relation, a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for literals in tests
+// and generators.
+func MustSchema(relation string, attrs ...string) *Schema {
+	s, err := NewSchema(relation, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// AttrIndex returns the position of the named attribute and whether it
+// exists.
+func (s *Schema) AttrIndex(attr string) (int, bool) {
+	i, ok := s.index[attr]
+	return i, ok
+}
+
+// Tuple is one published row. PubTime is pubT(t), the virtual time the
+// tuple entered the network; PubSeq is a network-wide publication
+// sequence number used as the "tuple clock" for tuple-based windows and
+// as a unique identity for bag semantics.
+type Tuple struct {
+	Schema  *Schema
+	Values  []Value
+	PubTime int64
+	PubSeq  int64
+}
+
+// NewTuple validates arity and builds a tuple.
+func NewTuple(s *Schema, values ...Value) (*Tuple, error) {
+	if len(values) != s.Arity() {
+		return nil, fmt.Errorf("relation: tuple arity %d does not match schema %s/%d",
+			len(values), s.Relation, s.Arity())
+	}
+	return &Tuple{Schema: s, Values: values}, nil
+}
+
+// MustTuple is NewTuple that panics on error.
+func MustTuple(s *Schema, values ...Value) *Tuple {
+	t, err := NewTuple(s, values...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Relation returns the tuple's relation name.
+func (t *Tuple) Relation() string { return t.Schema.Relation }
+
+// Value returns the value of the named attribute.
+func (t *Tuple) Value(attr string) (Value, bool) {
+	i, ok := t.Schema.AttrIndex(attr)
+	if !ok {
+		return Value{}, false
+	}
+	return t.Values[i], true
+}
+
+// String renders the tuple as Rel(v1, v2, ...).
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = v.String()
+	}
+	return t.Schema.Relation + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// AttrKey returns the attribute-level index key Rel+Attr. The '+' is
+// the paper's concatenation operator; using it literally keeps keys
+// unambiguous because relation and attribute names exclude '+'.
+func AttrKey(rel, attr string) string { return rel + "+" + attr }
+
+// ValueKey returns the value-level index key Rel+Attr+Value.
+func ValueKey(rel, attr string, v Value) string {
+	return rel + "+" + attr + "+" + v.String()
+}
+
+// Keys returns the 2*k index keys of a k-attribute tuple, attribute
+// level and value level for every attribute, in schema order — exactly
+// the keys Procedure 1 publishes a new tuple under.
+func (t *Tuple) Keys() (attrKeys, valueKeys []string) {
+	rel := t.Schema.Relation
+	attrKeys = make([]string, len(t.Values))
+	valueKeys = make([]string, len(t.Values))
+	for i, attr := range t.Schema.Attrs {
+		attrKeys[i] = AttrKey(rel, attr)
+		valueKeys[i] = ValueKey(rel, attr, t.Values[i])
+	}
+	return attrKeys, valueKeys
+}
+
+// Catalog is a set of schemas addressed by relation name.
+type Catalog struct {
+	byName map[string]*Schema
+}
+
+// NewCatalog builds a catalog from schemas.
+func NewCatalog(schemas ...*Schema) (*Catalog, error) {
+	c := &Catalog{byName: make(map[string]*Schema, len(schemas))}
+	for _, s := range schemas {
+		if err := c.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Add inserts a schema, rejecting duplicate relation names.
+func (c *Catalog) Add(s *Schema) error {
+	if _, dup := c.byName[s.Relation]; dup {
+		return fmt.Errorf("relation: catalog already has relation %s", s.Relation)
+	}
+	c.byName[s.Relation] = s
+	return nil
+}
+
+// Schema looks up a relation by name.
+func (c *Catalog) Schema(name string) (*Schema, bool) {
+	s, ok := c.byName[name]
+	return s, ok
+}
+
+// Relations returns the number of relations in the catalog.
+func (c *Catalog) Relations() int { return len(c.byName) }

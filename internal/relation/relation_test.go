@@ -1,0 +1,173 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	if Int64(42).String() != "42" {
+		t.Fatal("int value string")
+	}
+	if String64("abc").String() != "abc" {
+		t.Fatal("string value string")
+	}
+	if Int64(-7).String() != "-7" {
+		t.Fatal("negative int value string")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	if v := ParseValue("123"); v.Kind != KindInt || v.Int != 123 {
+		t.Fatalf("ParseValue(123) = %+v", v)
+	}
+	if v := ParseValue("hello"); v.Kind != KindString || v.Str != "hello" {
+		t.Fatalf("ParseValue(hello) = %+v", v)
+	}
+	if v := ParseValue("12x"); v.Kind != KindString {
+		t.Fatalf("ParseValue(12x) = %+v", v)
+	}
+}
+
+func TestValueEqualityAndMapKey(t *testing.T) {
+	m := map[Value]int{}
+	m[Int64(5)] = 1
+	m[String64("5")] = 2
+	if len(m) != 2 {
+		t.Fatal("int 5 and string 5 must be distinct map keys")
+	}
+	if !Int64(5).Equal(Int64(5)) || Int64(5).Equal(Int64(6)) {
+		t.Fatal("Equal wrong for ints")
+	}
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("", "A"); err == nil {
+		t.Fatal("empty relation name accepted")
+	}
+	if _, err := NewSchema("R"); err == nil {
+		t.Fatal("schema with no attributes accepted")
+	}
+	if _, err := NewSchema("R", "A", "A"); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := NewSchema("R", ""); err == nil {
+		t.Fatal("empty attribute accepted")
+	}
+	s, err := NewSchema("R", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 2 {
+		t.Fatal("arity")
+	}
+	if i, ok := s.AttrIndex("B"); !ok || i != 1 {
+		t.Fatal("AttrIndex")
+	}
+	if _, ok := s.AttrIndex("Z"); ok {
+		t.Fatal("missing attribute found")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema did not panic")
+		}
+	}()
+	MustSchema("R", "A", "A")
+}
+
+func TestTupleArityChecked(t *testing.T) {
+	s := MustSchema("R", "A", "B")
+	if _, err := NewTuple(s, Int64(1)); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+	tp := MustTuple(s, Int64(1), Int64(2))
+	if tp.Relation() != "R" {
+		t.Fatal("relation name")
+	}
+	if v, ok := tp.Value("B"); !ok || v.Int != 2 {
+		t.Fatal("Value lookup")
+	}
+	if _, ok := tp.Value("Z"); ok {
+		t.Fatal("missing attr lookup succeeded")
+	}
+	if tp.String() != "R(1, 2)" {
+		t.Fatalf("String() = %q", tp.String())
+	}
+}
+
+func TestKeysMatchProcedure1(t *testing.T) {
+	s := MustSchema("R", "A", "B", "C")
+	tp := MustTuple(s, Int64(2), Int64(5), Int64(8))
+	attrKeys, valueKeys := tp.Keys()
+	wantAttr := []string{"R+A", "R+B", "R+C"}
+	wantValue := []string{"R+A+2", "R+B+5", "R+C+8"}
+	for i := range wantAttr {
+		if attrKeys[i] != wantAttr[i] {
+			t.Fatalf("attr key %d = %q, want %q", i, attrKeys[i], wantAttr[i])
+		}
+		if valueKeys[i] != wantValue[i] {
+			t.Fatalf("value key %d = %q, want %q", i, valueKeys[i], wantValue[i])
+		}
+	}
+}
+
+func TestKeyBuilders(t *testing.T) {
+	if AttrKey("S", "B") != "S+B" {
+		t.Fatal("AttrKey")
+	}
+	if ValueKey("S", "B", Int64(6)) != "S+B+6" {
+		t.Fatal("ValueKey int")
+	}
+	if ValueKey("S", "B", String64("x")) != "S+B+x" {
+		t.Fatal("ValueKey string")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	r := MustSchema("R", "A")
+	s := MustSchema("S", "B")
+	c, err := NewCatalog(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Relations() != 2 {
+		t.Fatal("relation count")
+	}
+	if got, ok := c.Schema("R"); !ok || got != r {
+		t.Fatal("catalog lookup")
+	}
+	if _, ok := c.Schema("T"); ok {
+		t.Fatal("missing relation found")
+	}
+	if err := c.Add(MustSchema("R", "X")); err == nil {
+		t.Fatal("duplicate relation accepted")
+	}
+}
+
+// Property: ParseValue(Int64(n).String()) round-trips every int64.
+func TestParseValueRoundTripProperty(t *testing.T) {
+	f := func(n int64) bool {
+		v := ParseValue(Int64(n).String())
+		return v.Kind == KindInt && v.Int == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: value-level keys are injective per attribute for int values
+// (distinct values never share a key).
+func TestValueKeyInjectiveProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == b {
+			return true
+		}
+		return ValueKey("R", "A", Int64(a)) != ValueKey("R", "A", Int64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

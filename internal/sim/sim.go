@@ -1,0 +1,121 @@
+// Package sim provides the deterministic discrete-event engine the
+// overlay network runs on. The paper assumes a "relaxed asynchronous
+// model" with a known upper bound δ on message delay; here virtual time
+// is an integer tick counter, every scheduled event carries a virtual
+// timestamp, and events fire in (time, sequence) order so that a given
+// seed reproduces an experiment exactly.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in ticks. The unit is arbitrary; the
+// experiment harness uses one tick = one simulated millisecond.
+type Time int64
+
+// Duration is a span of virtual time in ticks.
+type Duration = int64
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	call func(Time)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic event loop over virtual time.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// NewEngine returns an engine whose randomness derives entirely from
+// the given seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. All layers
+// share it so one seed fixes an entire experiment.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is clamped to "now" (the event still runs, after already-queued
+// events for the current instant).
+func (e *Engine) At(t Time, fn func(Time)) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, call: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (e *Engine) After(d Duration, fn func(Time)) {
+	e.At(e.now+Time(d), fn)
+}
+
+// Step executes the single next event, if any, and reports whether one
+// was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.call(e.now)
+	return true
+}
+
+// Run drains the event queue completely. Events may schedule further
+// events; Run returns only when the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamp <= deadline and then advances
+// the clock to the deadline. Later events remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.At(at, func(now Time) { got = append(got, now) })
+	}
+	e.Run()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	e.At(100, func(now Time) {
+		e.After(50, func(now Time) { at = now })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %d, want 150", at)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	e.At(100, func(now Time) {
+		e.At(10, func(now Time) { at = now }) // in the past
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event fired at %d, want clamp to 100", at)
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(10, func(Time) { fired++ })
+	e.At(20, func(Time) { fired++ })
+	e.At(30, func(Time) { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired %d after Run, want 3", fired)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEngine(42)
+	b := NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+// Property: clock is monotonically non-decreasing over any schedule.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine(1)
+		last := Time(-1)
+		ok := true
+		for _, at := range times {
+			e.At(Time(at), func(now Time) {
+				if now < last {
+					ok = false
+				}
+				last = now
+			})
+		}
+		e.Run()
+		return ok && e.Fired() == uint64(len(times))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine(1)
+	if e.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}

@@ -1,0 +1,145 @@
+// Package sqlparse implements the SQL subset the paper's continuous
+// queries are written in:
+//
+//	SELECT [DISTINCT] item, ...
+//	FROM Rel, ...
+//	[WHERE term = term AND ...]
+//	[WITHIN n TUPLES|TICKS [TUMBLING]]
+//
+// where an item or term is a column reference Rel.Attr, an integer, or
+// a single-quoted string. The WITHIN clause expresses the window
+// parameters of Section 5 (the paper introduces them as out-of-band
+// query parameters; surfacing them as syntax keeps examples runnable as
+// plain text).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokEquals
+	tokStar
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex splits src into tokens. Identifiers keep their case; keyword
+// comparison downstream is case-insensitive.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '=':
+			l.emit(tokEquals, "=")
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '-' || (c >= '0' && c <= '9'):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: k, text: text, pos: l.pos})
+	l.pos += len(text)
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote inside the string.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] < '0' || l.src[l.pos] > '9' {
+			return fmt.Errorf("sqlparse: dangling '-' at offset %d", start)
+		}
+	}
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}

@@ -1,0 +1,282 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+)
+
+// Parse turns SQL text into a query.Query and validates it against the
+// catalog. The returned query has no ID/Owner/InsertTime yet — the
+// engine assigns those at submission.
+func Parse(src string, cat *relation.Catalog) (*query.Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if cat != nil {
+		if err := q.Validate(cat); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and generators.
+func MustParse(src string, cat *relation.Catalog) *query.Query {
+	q, err := Parse(src, cat)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: %s (at offset %d in %q)",
+		fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+// keyword consumes the next token if it is the given keyword
+// (case-insensitive) and reports whether it did.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, found %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+var reservedWords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "where": true,
+	"and": true, "within": true, "tuples": true, "ticks": true,
+	"tumbling": true, "once": true,
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	if reservedWords[strings.ToLower(t.text)] {
+		return "", p.errf("reserved word %q used as identifier", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (*query.Query, error) {
+	q := &query.Query{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q.Distinct = p.keyword("distinct")
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		rel, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.Relations = append(q.Relations, rel)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+
+	if p.keyword("where") {
+		for {
+			if err := p.parseConjunct(q); err != nil {
+				return nil, err
+			}
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+
+	if p.keyword("once") {
+		q.OneTime = true
+	}
+	if p.keyword("within") {
+		if err := p.parseWindow(q); err != nil {
+			return nil, err
+		}
+	}
+
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf("trailing input starting with %s", t)
+	}
+	if len(q.Select) == 0 {
+		return nil, p.errf("empty select list")
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (query.SelectItem, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return query.SelectItem{}, p.errf("bad integer %q", t.text)
+		}
+		return query.SelectItem{IsConst: true, Const: relation.Int64(n)}, nil
+	case tokString:
+		p.next()
+		return query.SelectItem{IsConst: true, Const: relation.String64(t.text)}, nil
+	case tokIdent:
+		col, err := p.parseColRef()
+		if err != nil {
+			return query.SelectItem{}, err
+		}
+		return query.SelectItem{Col: col}, nil
+	default:
+		return query.SelectItem{}, p.errf("expected select item, found %s", t)
+	}
+}
+
+func (p *parser) parseColRef() (query.ColRef, error) {
+	rel, err := p.expectIdent()
+	if err != nil {
+		return query.ColRef{}, err
+	}
+	if p.peek().kind != tokDot {
+		return query.ColRef{}, p.errf("expected '.' after relation name %q", rel)
+	}
+	p.next()
+	attr, err := p.expectIdent()
+	if err != nil {
+		return query.ColRef{}, err
+	}
+	return query.ColRef{Rel: rel, Attr: attr}, nil
+}
+
+// term is either a column reference or a constant.
+type term struct {
+	isConst bool
+	val     relation.Value
+	col     query.ColRef
+}
+
+func (p *parser) parseTerm() (term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return term{}, p.errf("bad integer %q", t.text)
+		}
+		return term{isConst: true, val: relation.Int64(n)}, nil
+	case tokString:
+		p.next()
+		return term{isConst: true, val: relation.String64(t.text)}, nil
+	case tokIdent:
+		col, err := p.parseColRef()
+		if err != nil {
+			return term{}, err
+		}
+		return term{col: col}, nil
+	default:
+		return term{}, p.errf("expected column or constant, found %s", t)
+	}
+}
+
+func (p *parser) parseConjunct(q *query.Query) error {
+	left, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	if p.peek().kind != tokEquals {
+		return p.errf("expected '=', found %s", p.peek())
+	}
+	p.next()
+	right, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	switch {
+	case !left.isConst && !right.isConst:
+		q.Joins = append(q.Joins, query.JoinCond{Left: left.col, Right: right.col})
+	case left.isConst && !right.isConst:
+		q.Selections = append(q.Selections, query.SelCond{Col: right.col, Val: left.val})
+	case !left.isConst && right.isConst:
+		q.Selections = append(q.Selections, query.SelCond{Col: left.col, Val: right.val})
+	default:
+		return p.errf("constant = constant conjunct is not a join or selection")
+	}
+	return nil
+}
+
+func (p *parser) parseWindow(q *query.Query) error {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return p.errf("expected window size after WITHIN, found %s", t)
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil || n <= 0 {
+		return p.errf("window size must be a positive integer, got %q", t.text)
+	}
+	switch {
+	case p.keyword("tuples"):
+		q.Window = query.WindowSpec{Kind: query.WindowTuples, Size: n}
+	case p.keyword("ticks"):
+		q.Window = query.WindowSpec{Kind: query.WindowTime, Size: n}
+	default:
+		return p.errf("expected TUPLES or TICKS after window size, found %s", p.peek())
+	}
+	if p.keyword("tumbling") {
+		q.Window.Tumbling = true
+	}
+	return nil
+}

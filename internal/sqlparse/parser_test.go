@@ -1,0 +1,213 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+)
+
+func testCatalog() *relation.Catalog {
+	cat, _ := relation.NewCatalog(
+		relation.MustSchema("R", "A", "B", "C"),
+		relation.MustSchema("S", "A", "B", "C"),
+		relation.MustSchema("J", "A", "B", "C"),
+		relation.MustSchema("M", "A", "B", "C"),
+	)
+	return cat
+}
+
+func TestParseFigure1Query(t *testing.T) {
+	q, err := Parse(
+		"Select S.B, M.A From R,S,J,M Where R.A=S.A AND S.B=J.B AND J.C=M.C",
+		testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0].Col != (query.ColRef{Rel: "S", Attr: "B"}) {
+		t.Fatalf("select list %v", q.Select)
+	}
+	if len(q.Relations) != 4 || len(q.Joins) != 3 || len(q.Selections) != 0 {
+		t.Fatalf("clauses: rel=%d joins=%d sels=%d", len(q.Relations), len(q.Joins), len(q.Selections))
+	}
+	if q.Distinct {
+		t.Fatal("spurious DISTINCT")
+	}
+}
+
+func TestParseRewrittenStyleQuery(t *testing.T) {
+	// The paper writes rewritten queries with constants in the select
+	// list and value-first selections: "select 6, M.A from J,M where
+	// 6=J.B and J.C=M.C".
+	q, err := Parse("select 6, M.A from J,M where 6=J.B and J.C=M.C", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Select[0].IsConst || q.Select[0].Const.Int != 6 {
+		t.Fatalf("constant select item not parsed: %v", q.Select[0])
+	}
+	if len(q.Selections) != 1 || q.Selections[0].Val.Int != 6 || q.Selections[0].Col.Rel != "J" {
+		t.Fatalf("selection not parsed: %v", q.Selections)
+	}
+}
+
+func TestParseSelectionOnRightSide(t *testing.T) {
+	q, err := Parse("select R.A from R,S where R.A=S.A and S.B=7", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Selections) != 1 || q.Selections[0].Col != (query.ColRef{Rel: "S", Attr: "B"}) {
+		t.Fatalf("selections %v", q.Selections)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q, err := Parse("select distinct R.A, S.B from R,S where R.A=S.A", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct {
+		t.Fatal("DISTINCT not parsed")
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	cases := []struct {
+		src  string
+		want query.WindowSpec
+	}{
+		{"select R.A from R,S where R.A=S.A within 100 tuples",
+			query.WindowSpec{Kind: query.WindowTuples, Size: 100}},
+		{"select R.A from R,S where R.A=S.A within 500 ticks",
+			query.WindowSpec{Kind: query.WindowTime, Size: 500}},
+		{"select R.A from R,S where R.A=S.A within 50 tuples tumbling",
+			query.WindowSpec{Kind: query.WindowTuples, Size: 50, Tumbling: true}},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src, testCatalog())
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if q.Window != c.want {
+			t.Fatalf("%s: window %+v, want %+v", c.src, q.Window, c.want)
+		}
+	}
+}
+
+func TestParseStringLiterals(t *testing.T) {
+	cat, _ := relation.NewCatalog(relation.MustSchema("Ev", "Host", "Level"))
+	q, err := Parse("select Ev.Host from Ev where Ev.Level='error'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Selections) != 1 || q.Selections[0].Val.Str != "error" {
+		t.Fatalf("selections %v", q.Selections)
+	}
+}
+
+func TestParseEscapedQuote(t *testing.T) {
+	cat, _ := relation.NewCatalog(relation.MustSchema("Ev", "Msg", "K"))
+	q, err := Parse("select Ev.K from Ev where Ev.Msg='it''s'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Selections[0].Val.Str != "it's" {
+		t.Fatalf("escape not handled: %q", q.Selections[0].Val.Str)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := testCatalog()
+	bad := []string{
+		"",
+		"select",
+		"select from R",
+		"select R.A R,S",                        // missing FROM
+		"select R.A from R,S where R.A",         // incomplete conjunct
+		"select R.A from R,S where R.A=S.A and", // dangling AND
+		"select R.A from R,S where 1=2",         // const=const
+		"select R.A from R,S where R.A=S.A within",          // missing size
+		"select R.A from R,S where R.A=S.A within 0 tuples", // zero window
+		"select R.A from R,S where R.A=S.A within 5 bananas",
+		"select R.A from R,S where R.A=S.A trailing",
+		"select R.A from R where R.A='unterminated",
+		"select R.A from R,S where R.A = - and S.A=R.A", // dangling minus
+		"select select from R",                          // reserved word as ident
+		"select R..A from R",                            // double dot
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, cat); err == nil {
+			t.Errorf("accepted invalid query %q", src)
+		}
+	}
+}
+
+func TestParseValidationAgainstCatalog(t *testing.T) {
+	cat := testCatalog()
+	if _, err := Parse("select X.A from X,S where X.A=S.A", cat); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := Parse("select R.Z from R,S where R.A=S.A", cat); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	// Without a catalog, structural parsing succeeds.
+	if _, err := Parse("select X.A from X,Y where X.A=Y.A", nil); err != nil {
+		t.Fatalf("nil catalog parse failed: %v", err)
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("not sql", nil)
+}
+
+// Property: rendering a parsed query and re-parsing it yields the same
+// structure (String() is a faithful round trip for parsed queries).
+func TestParseRenderRoundTripProperty(t *testing.T) {
+	cat := testCatalog()
+	seeds := []string{
+		"select S.B, M.A from R,S,J,M where R.A=S.A and S.B=J.B and J.C=M.C",
+		"select 6, M.A from J,M where 6=J.B and J.C=M.C",
+		"select distinct R.A from R,S where R.A=S.A within 100 tuples",
+		"select R.A from R,S where R.A=S.A within 10 ticks tumbling",
+	}
+	for _, src := range seeds {
+		q1 := MustParse(src, cat)
+		q2, err := Parse(q1.String(), cat)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Fatalf("round trip changed query: %q vs %q", q1.String(), q2.String())
+		}
+	}
+}
+
+// Property: negative integer constants survive parsing.
+func TestParseNegativeConstProperty(t *testing.T) {
+	cat := testCatalog()
+	f := func(n int32) bool {
+		src := "select R.A from R,S where R.A=S.A and S.B=" + relation.Int64(int64(n)).String()
+		q, err := Parse(src, cat)
+		if err != nil {
+			return false
+		}
+		return q.Selections[0].Val.Int == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexerOffsetsInErrors(t *testing.T) {
+	_, err := Parse("select R.A from R,S where R.A ? S.A", testCatalog())
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error without offset: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rjoin/internal/query"
+)
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next(rng)]++
+	}
+	for i, c := range counts {
+		p := float64(c) / n
+		if math.Abs(p-0.1) > 0.01 {
+			t.Fatalf("theta=0 rank %d probability %.3f, want ~0.1", i, p)
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	z := NewZipf(100, 0.9)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[z.Next(rng)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Fatalf("zipf not decreasing: c0=%d c10=%d c50=%d", counts[0], counts[10], counts[50])
+	}
+	// With θ=0.9 over 100 ranks, rank 0 should capture roughly 1/8 of
+	// the mass (1 / (H_{100,0.9})).
+	p0 := float64(counts[0]) / 200000
+	if p0 < 0.08 || p0 > 0.20 {
+		t.Fatalf("rank-0 probability %.3f outside plausible θ=0.9 range", p0)
+	}
+}
+
+func TestZipfHigherThetaMoreSkew(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(3))
+	rng2 := rand.New(rand.NewSource(3))
+	lo, hi := NewZipf(100, 0.3), NewZipf(100, 0.9)
+	var cLo, cHi int
+	for i := 0; i < 100000; i++ {
+		if lo.Next(rng1) == 0 {
+			cLo++
+		}
+		if hi.Next(rng2) == 0 {
+			cHi++
+		}
+	}
+	if cHi <= cLo {
+		t.Fatalf("θ=0.9 head count %d <= θ=0.3 head count %d", cHi, cLo)
+	}
+}
+
+func TestZipfPanicsOnEmptyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(0, 0.9)
+}
+
+func TestGeneratorConfigValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Relations: 0, Attributes: 1, Values: 1, JoinArity: 2}, 1); err == nil {
+		t.Fatal("zero relations accepted")
+	}
+	if _, err := NewGenerator(Config{Relations: 3, Attributes: 1, Values: 1, JoinArity: 5}, 1); err == nil {
+		t.Fatal("arity above relation count accepted")
+	}
+	if _, err := NewGenerator(Config{Relations: 3, Attributes: 1, Values: 1, JoinArity: 1}, 1); err == nil {
+		t.Fatal("arity 1 accepted")
+	}
+}
+
+func TestGeneratedTuplesMatchSchema(t *testing.T) {
+	g := MustGenerator(PaperConfig(), 7)
+	for i := 0; i < 1000; i++ {
+		tup := g.Tuple()
+		if tup.Schema.Arity() != 10 {
+			t.Fatalf("tuple arity %d", tup.Schema.Arity())
+		}
+		for _, v := range tup.Values {
+			if v.Int < 0 || v.Int >= 100 {
+				t.Fatalf("value %d outside domain", v.Int)
+			}
+		}
+		if _, ok := g.Catalog().Schema(tup.Relation()); !ok {
+			t.Fatalf("tuple of unknown relation %s", tup.Relation())
+		}
+	}
+}
+
+func TestGeneratedQueriesValid(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8} {
+		cfg := PaperConfig()
+		cfg.JoinArity = k
+		g := MustGenerator(cfg, 11)
+		for i := 0; i < 500; i++ {
+			q := g.Query()
+			if err := q.Validate(g.Catalog()); err != nil {
+				t.Fatalf("k=%d: generated invalid query %s: %v", k, q, err)
+			}
+			if len(q.Relations) != k || len(q.Joins) != k-1 {
+				t.Fatalf("k=%d: got %d relations, %d joins", k, len(q.Relations), len(q.Joins))
+			}
+			// Chain property: adjacent joins share a relation.
+			for j := 0; j+1 < len(q.Joins); j++ {
+				if q.Joins[j].Right.Rel != q.Joins[j+1].Left.Rel {
+					t.Fatalf("k=%d: joins not chained: %s", k, q)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := MustGenerator(PaperConfig(), 42)
+	b := MustGenerator(PaperConfig(), 42)
+	for i := 0; i < 100; i++ {
+		if a.Tuple().String() != b.Tuple().String() {
+			t.Fatal("same seed, different tuples")
+		}
+		if a.Query().String() != b.Query().String() {
+			t.Fatal("same seed, different queries")
+		}
+	}
+}
+
+func TestWindowQueryCarriesSpec(t *testing.T) {
+	g := MustGenerator(PaperConfig(), 1)
+	w := query.WindowSpec{Kind: query.WindowTuples, Size: 100}
+	q := g.WindowQuery(w)
+	if q.Window != w {
+		t.Fatalf("window %+v", q.Window)
+	}
+}
+
+func TestRelationFrequencyFollowsZipf(t *testing.T) {
+	g := MustGenerator(PaperConfig(), 5)
+	counts := make(map[string]int)
+	for i := 0; i < 50000; i++ {
+		counts[g.Tuple().Relation()]++
+	}
+	if counts["R0"] <= counts["R5"] || counts["R5"] <= 0 {
+		t.Fatalf("relation skew missing: R0=%d R5=%d", counts["R0"], counts["R5"])
+	}
+}

@@ -1,0 +1,82 @@
+package rjoin
+
+import "testing"
+
+// runFixedWorkload drives one deterministic workload under the given
+// options and returns the subscription's answer count plus stats.
+func runFixedWorkload(t *testing.T, opts Options) (int, Stats) {
+	t.Helper()
+	opts.Nodes = 64
+	opts.Seed = 77
+	net := MustNetwork(opts)
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	net.MustDefineRelation("T", "A", "B")
+	// Warm the stream so every placement strategy has rate signal.
+	pub := func(n int) {
+		for i := 0; i < n; i++ {
+			net.MustPublish("R", i%5, i)
+			net.MustPublish("S", i%5, i)
+			net.MustPublish("T", i%5, i)
+			net.Run()
+		}
+	}
+	pub(10)
+	sub := net.MustSubscribe("select R.B, T.B from R,S,T where R.A=S.A and S.B=T.B")
+	net.Run()
+	pub(20)
+	return sub.Count(), net.Stats()
+}
+
+// TestOptionsPreserveAnswers: every optional feature leaves the answer
+// set untouched; only the cost profile may change.
+func TestOptionsPreserveAnswers(t *testing.T) {
+	base, _ := runFixedWorkload(t, Options{})
+	if base == 0 {
+		t.Fatal("baseline produced no answers; workload too weak to compare")
+	}
+	variants := map[string]Options{
+		"batching":    {BatchWindow: 25},
+		"replication": {AttrReplicas: 3},
+		"migration":   {EnableMigration: true},
+		"attrRewrite": {AllowAttrRewrites: true},
+		"everything":  {BatchWindow: 25, AttrReplicas: 3, EnableMigration: true},
+	}
+	for name, opts := range variants {
+		got, _ := runFixedWorkload(t, opts)
+		if got != base {
+			t.Errorf("%s: %d answers, baseline %d", name, got, base)
+		}
+	}
+}
+
+// TestBatchingReducesPublicationTraffic at the public API level.
+func TestBatchingReducesPublicationTraffic(t *testing.T) {
+	_, plain := runFixedWorkload(t, Options{})
+	_, batched := runFixedWorkload(t, Options{BatchWindow: 25})
+	if batched.Messages >= plain.Messages {
+		t.Fatalf("batching did not reduce traffic: %d >= %d", batched.Messages, plain.Messages)
+	}
+}
+
+// TestOneTimeQueryPublicAPI: the ONCE keyword works end to end.
+func TestOneTimeQueryPublicAPI(t *testing.T) {
+	net := MustNetwork(Options{Nodes: 48, Seed: 78, Delta: 1 << 40})
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	net.MustPublish("R", 1, 10)
+	net.MustPublish("S", 1, 20)
+	net.Run()
+	sub := net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A once")
+	net.Run()
+	if sub.Count() != 1 {
+		t.Fatalf("snapshot answers = %d, want 1", sub.Count())
+	}
+	// Later tuples are ignored by the one-time query.
+	net.MustPublish("R", 1, 11)
+	net.MustPublish("S", 1, 21)
+	net.Run()
+	if sub.Count() != 1 {
+		t.Fatalf("one-time query answered future tuples: %d", sub.Count())
+	}
+}

@@ -1,0 +1,344 @@
+// Package rjoin is an implementation of RJoin (Idreos, Liarou,
+// Koubarakis: "Continuous Multi-Way Joins over Distributed Hash
+// Tables", EDBT 2008): continuous multi-way equi-join queries evaluated
+// incrementally over a Chord DHT by recursive query rewriting.
+//
+// The package runs a complete simulated overlay in-process: a Chord
+// ring with real finger-table routing, a deterministic discrete-event
+// network with bounded message delays, and one RJoin processor per
+// node. Continuous queries are written in a small SQL subset and
+// subscribed into the network; published tuples flow through the DHT,
+// rewrite matching queries, and produce answer rows delivered back to
+// the subscriber.
+//
+// Quickstart:
+//
+//	net, _ := rjoin.NewNetwork(rjoin.Options{Nodes: 64, Seed: 1})
+//	net.MustDefineRelation("Trades", "Sym", "Px")
+//	net.MustDefineRelation("Quotes", "Sym", "Bid")
+//	sub, _ := net.Subscribe("select Trades.Px, Quotes.Bid from Trades,Quotes where Trades.Sym=Quotes.Sym")
+//	net.MustPublish("Trades", 7, 101)
+//	net.MustPublish("Quotes", 7, 99)
+//	net.Run()
+//	for _, a := range sub.Answers() { fmt.Println(a.Row) }
+package rjoin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rjoin/internal/chord"
+	"rjoin/internal/core"
+	"rjoin/internal/id"
+	"rjoin/internal/overlay"
+	"rjoin/internal/relation"
+	"rjoin/internal/sim"
+	"rjoin/internal/sqlparse"
+)
+
+// Value is one attribute value: an integer or a string.
+type Value = relation.Value
+
+// Int builds an integer Value.
+func Int(v int64) Value { return relation.Int64(v) }
+
+// Str builds a string Value.
+func Str(s string) Value { return relation.String64(s) }
+
+// Strategy selects how queries are placed on nodes; see the package
+// documentation of the placement experiment (Figure 2 of the paper).
+type Strategy = core.Strategy
+
+// Placement strategies.
+const (
+	// StrategyRIC places queries where the observed rate of incoming
+	// tuples is lowest (RJoin proper).
+	StrategyRIC = core.StrategyRIC
+	// StrategyRandom places queries at a random candidate.
+	StrategyRandom = core.StrategyRandom
+	// StrategyWorst places queries at the hottest candidate (the
+	// paper's adversarial baseline).
+	StrategyWorst = core.StrategyWorst
+)
+
+// Options configures a simulated RJoin network. The zero value of every
+// field selects a sensible default.
+type Options struct {
+	// Nodes is the overlay size (default 128).
+	Nodes int
+	// Seed fixes all randomness; runs with equal seeds are identical.
+	Seed int64
+	// Strategy is the query placement strategy (default StrategyRIC).
+	Strategy Strategy
+	// MinHopDelay/MaxHopDelay bound per-hop message delay in virtual
+	// ticks (default 1/1: deterministic unit delays).
+	MinHopDelay int64
+	MaxHopDelay int64
+	// Delta overrides the ALTT retention Δ (default: derived bound
+	// that preserves eventual completeness; negative disables ALTT).
+	Delta int64
+	// DisableCT turns off the Section 7 candidate-table cache.
+	DisableCT bool
+	// DisablePiggyback turns off RIC piggy-backing on rewritten
+	// queries.
+	DisablePiggyback bool
+	// AllowAttrRewrites enables the full Section 6 candidate set for
+	// rewritten queries (see core.Config.AllowAttrRewrites for the
+	// completeness caveat).
+	AllowAttrRewrites bool
+	// EnableMigration turns on adaptive query migration, the paper's
+	// Section 10 future-work extension: rewritten queries waiting at
+	// keys that turn hot relocate themselves to colder candidates,
+	// carrying an exclusion set so no answer is duplicated.
+	EnableMigration bool
+	// BatchWindow buffers each node's outgoing keyed messages for up
+	// to this many ticks and flushes them as one grouped multiSend
+	// (the batch-routing future work of Section 10). Zero disables.
+	BatchWindow int64
+	// AttrReplicas spreads attribute-level keys over this many replica
+	// keys (the [18] hotspot remedy); values < 2 disable replication.
+	AttrReplicas int
+}
+
+// Answer is one delivered result row.
+type Answer struct {
+	// Query is the subscription's query ID.
+	Query string
+	// Row holds the select-list values.
+	Row []Value
+	// At is the virtual time of delivery.
+	At int64
+}
+
+// Stats is a snapshot of network-wide cost measures, in the paper's
+// units.
+type Stats struct {
+	// Messages is total network traffic (messages sent, including DHT
+	// routing).
+	Messages int64
+	// RICMessages is the share of Messages spent requesting RIC info.
+	RICMessages int64
+	// QueryProcessingLoad is the paper's QPL: rewritten queries plus
+	// tuples received by nodes.
+	QueryProcessingLoad int64
+	// StorageLoad is the paper's SL: rewritten queries plus tuples
+	// stored.
+	StorageLoad int64
+	// Answers is the number of answer rows delivered.
+	Answers int64
+	// RewritesCreated counts rewriting steps performed.
+	RewritesCreated int64
+	// MaxNodeQPL and ParticipatingNodes describe the QPL distribution.
+	MaxNodeQPL         int64
+	ParticipatingNodes int
+}
+
+// Network is a simulated RJoin deployment: a Chord overlay with an
+// RJoin processor on every node, driven by a deterministic virtual
+// clock.
+type Network struct {
+	eng   *core.Engine
+	cat   *relation.Catalog
+	nodes []*chord.Node
+	rng   *rand.Rand
+	subs  map[string]*Subscription
+}
+
+// Subscription is a live continuous query.
+type Subscription struct {
+	// ID is the network-wide query identifier.
+	ID string
+	// SQL is the submitted query text (as parsed and rendered).
+	SQL string
+
+	net *Network
+}
+
+// NewNetwork builds a converged overlay of opts.Nodes nodes and attaches
+// the RJoin engine.
+func NewNetwork(opts Options) (*Network, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 128
+	}
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("rjoin: invalid node count %d", opts.Nodes)
+	}
+	if opts.MinHopDelay == 0 && opts.MaxHopDelay == 0 {
+		opts.MinHopDelay, opts.MaxHopDelay = 1, 1
+	}
+	ring := chord.NewRing()
+	idRng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < opts.Nodes; i++ {
+		for {
+			if _, err := ring.Join(id.ID(idRng.Uint64())); err == nil {
+				break
+			}
+		}
+	}
+	ring.BuildPerfect()
+	se := sim.NewEngine(opts.Seed)
+	nw := overlay.NewNetwork(ring, se, overlay.Config{
+		MinHopDelay:    opts.MinHopDelay,
+		MaxHopDelay:    opts.MaxHopDelay,
+		GroupMultiSend: true,
+		BatchWindow:    opts.BatchWindow,
+	})
+	cfg := core.DefaultConfig()
+	cfg.Strategy = opts.Strategy
+	cfg.Delta = opts.Delta
+	cfg.UseCT = !opts.DisableCT
+	cfg.PiggybackRIC = !opts.DisablePiggyback
+	cfg.AllowAttrRewrites = opts.AllowAttrRewrites
+	cfg.EnableMigration = opts.EnableMigration
+	cfg.AttrReplicas = opts.AttrReplicas
+	eng := core.NewEngine(ring, se, nw, cfg)
+	cat, err := relation.NewCatalog()
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		eng:   eng,
+		cat:   cat,
+		nodes: ring.Nodes(),
+		rng:   rand.New(rand.NewSource(opts.Seed + 1)),
+		subs:  make(map[string]*Subscription),
+	}, nil
+}
+
+// MustNetwork is NewNetwork that panics on error.
+func MustNetwork(opts Options) *Network {
+	n, err := NewNetwork(opts)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// DefineRelation declares a relation schema that tuples and queries may
+// reference.
+func (n *Network) DefineRelation(name string, attrs ...string) error {
+	s, err := relation.NewSchema(name, attrs...)
+	if err != nil {
+		return err
+	}
+	return n.cat.Add(s)
+}
+
+// MustDefineRelation is DefineRelation that panics on error.
+func (n *Network) MustDefineRelation(name string, attrs ...string) {
+	if err := n.DefineRelation(name, attrs...); err != nil {
+		panic(err)
+	}
+}
+
+// Subscribe parses a continuous query and submits it to the network
+// from a pseudo-randomly chosen node. Answers accumulate on the
+// returned Subscription as the virtual network processes events.
+func (n *Network) Subscribe(sql string) (*Subscription, error) {
+	q, err := sqlparse.Parse(sql, n.cat)
+	if err != nil {
+		return nil, err
+	}
+	owner := n.nodes[n.rng.Intn(len(n.nodes))]
+	qid, err := n.eng.SubmitQuery(owner, q)
+	if err != nil {
+		return nil, err
+	}
+	sub := &Subscription{ID: qid, SQL: q.String(), net: n}
+	n.subs[qid] = sub
+	return sub, nil
+}
+
+// MustSubscribe is Subscribe that panics on error.
+func (n *Network) MustSubscribe(sql string) *Subscription {
+	s, err := n.Subscribe(sql)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Publish inserts one tuple into the named relation from a
+// pseudo-randomly chosen node. Values may be int, int64 or string; the
+// count must match the relation's arity.
+func (n *Network) Publish(rel string, values ...interface{}) error {
+	s, ok := n.cat.Schema(rel)
+	if !ok {
+		return fmt.Errorf("rjoin: unknown relation %s", rel)
+	}
+	vals := make([]Value, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case int:
+			vals[i] = Int(int64(x))
+		case int64:
+			vals[i] = Int(x)
+		case string:
+			vals[i] = Str(x)
+		case Value:
+			vals[i] = x
+		default:
+			return fmt.Errorf("rjoin: unsupported value type %T at position %d", v, i)
+		}
+	}
+	t, err := relation.NewTuple(s, vals...)
+	if err != nil {
+		return err
+	}
+	publisher := n.nodes[n.rng.Intn(len(n.nodes))]
+	n.eng.PublishTuple(publisher, t)
+	return nil
+}
+
+// MustPublish is Publish that panics on error.
+func (n *Network) MustPublish(rel string, values ...interface{}) {
+	if err := n.Publish(rel, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Run processes all in-flight network activity to quiescence.
+func (n *Network) Run() { n.eng.Run() }
+
+// RunFor advances the virtual clock by d ticks, processing everything
+// scheduled in that span.
+func (n *Network) RunFor(d int64) { n.eng.RunUntil(n.eng.Sim().Now() + sim.Time(d)) }
+
+// Now returns the current virtual time in ticks.
+func (n *Network) Now() int64 { return int64(n.eng.Sim().Now()) }
+
+// Nodes returns the overlay size.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Stats snapshots network-wide cost measures.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Messages:            n.eng.Net().Traffic.Total(),
+		RICMessages:         n.eng.Net().TaggedTraffic(core.TagRIC).Total(),
+		QueryProcessingLoad: n.eng.QPL.Total(),
+		StorageLoad:         n.eng.SL.Total(),
+		Answers:             n.eng.Counters.AnswersDelivered,
+		RewritesCreated:     n.eng.Counters.RewritesCreated,
+		MaxNodeQPL:          n.eng.QPL.Max(),
+		ParticipatingNodes:  n.eng.QPL.Participants(),
+	}
+}
+
+// Engine exposes the underlying engine for advanced use (experiment
+// harnesses, metric distributions). Most applications only need the
+// Network API.
+func (n *Network) Engine() *core.Engine { return n.eng }
+
+// Answers returns the rows delivered so far for this subscription, in
+// delivery order.
+func (s *Subscription) Answers() []Answer {
+	raw := s.net.eng.Answers(s.ID)
+	out := make([]Answer, len(raw))
+	for i, a := range raw {
+		out[i] = Answer{Query: a.QueryID, Row: a.Values, At: int64(a.At)}
+	}
+	return out
+}
+
+// Count returns the number of answers delivered so far.
+func (s *Subscription) Count() int { return len(s.net.eng.Answers(s.ID)) }

@@ -1,0 +1,214 @@
+package rjoin
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func quickNet(t testing.TB, opts Options) *Network {
+	t.Helper()
+	if opts.Nodes == 0 {
+		opts.Nodes = 48
+	}
+	n, err := NewNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	net := quickNet(t, Options{Seed: 1})
+	net.MustDefineRelation("Trades", "Sym", "Px")
+	net.MustDefineRelation("Quotes", "Sym", "Bid")
+	sub := net.MustSubscribe(
+		"select Trades.Px, Quotes.Bid from Trades,Quotes where Trades.Sym=Quotes.Sym")
+	net.Run()
+	net.MustPublish("Trades", 7, 101)
+	net.MustPublish("Quotes", 7, 99)
+	net.Run()
+	ans := sub.Answers()
+	if len(ans) != 1 {
+		t.Fatalf("answers %v", ans)
+	}
+	if ans[0].Row[0].Int != 101 || ans[0].Row[1].Int != 99 {
+		t.Fatalf("row %v", ans[0].Row)
+	}
+	if sub.Count() != 1 {
+		t.Fatal("Count mismatch")
+	}
+}
+
+func TestSubscribeRejectsBadSQL(t *testing.T) {
+	net := quickNet(t, Options{Seed: 2})
+	net.MustDefineRelation("R", "A")
+	if _, err := net.Subscribe("select nonsense"); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+	if _, err := net.Subscribe("select X.A from X,Y where X.A=Y.A"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	net := quickNet(t, Options{Seed: 3})
+	net.MustDefineRelation("R", "A", "B")
+	if err := net.Publish("Missing", 1, 2); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if err := net.Publish("R", 1); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := net.Publish("R", 1, 3.14); err == nil {
+		t.Fatal("float value accepted")
+	}
+	if err := net.Publish("R", 1, "x"); err != nil {
+		t.Fatalf("mixed int/string rejected: %v", err)
+	}
+	if err := net.Publish("R", int64(5), Str("y")); err != nil {
+		t.Fatalf("explicit types rejected: %v", err)
+	}
+}
+
+func TestDefineRelationValidation(t *testing.T) {
+	net := quickNet(t, Options{Seed: 4})
+	if err := net.DefineRelation("R"); err == nil {
+		t.Fatal("attribute-less relation accepted")
+	}
+	net.MustDefineRelation("R", "A")
+	if err := net.DefineRelation("R", "B"); err == nil {
+		t.Fatal("duplicate relation accepted")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (Stats, string) {
+		net := quickNet(t, Options{Seed: 99})
+		net.MustDefineRelation("R", "A", "B")
+		net.MustDefineRelation("S", "A", "B")
+		sub := net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+		net.Run()
+		for i := 0; i < 20; i++ {
+			net.MustPublish("R", i%3, i)
+			net.MustPublish("S", i%3, 100+i)
+		}
+		net.Run()
+		var sig strings.Builder
+		for _, a := range sub.Answers() {
+			fmt.Fprintf(&sig, "%v@%d;", a.Row, a.At)
+		}
+		return net.Stats(), sig.String()
+	}
+	s1, sig1 := run()
+	s2, sig2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical runs:\n%+v\n%+v", s1, s2)
+	}
+	if sig1 != sig2 {
+		t.Fatal("answer streams differ across identical runs")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	net := quickNet(t, Options{Seed: 5})
+	net.MustDefineRelation("R", "A")
+	net.MustDefineRelation("S", "A")
+	net.MustSubscribe("select R.A, S.A from R,S where R.A=S.A")
+	net.Run()
+	for i := 0; i < 10; i++ {
+		net.MustPublish("R", i%2)
+		net.MustPublish("S", i%2)
+	}
+	net.Run()
+	st := net.Stats()
+	if st.Messages == 0 || st.QueryProcessingLoad == 0 || st.StorageLoad == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if st.Answers == 0 || st.RewritesCreated == 0 {
+		t.Fatalf("no answers recorded: %+v", st)
+	}
+	if st.ParticipatingNodes == 0 || st.MaxNodeQPL == 0 {
+		t.Fatalf("distribution stats empty: %+v", st)
+	}
+}
+
+func TestWindowedSubscription(t *testing.T) {
+	net := quickNet(t, Options{Seed: 6})
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	sub := net.MustSubscribe(
+		"select R.B, S.B from R,S where R.A=S.A within 3 tuples")
+	net.Run()
+	net.MustPublish("R", 1, 10)
+	net.Run()
+	net.MustPublish("S", 1, 20) // distance 2: joins
+	net.Run()
+	// Push R out of any future window with filler publications.
+	net.MustDefineRelation("Junk", "X")
+	for i := 0; i < 5; i++ {
+		net.MustPublish("Junk", i)
+		net.Run()
+	}
+	net.MustPublish("S", 1, 30) // far from R now
+	net.Run()
+	if sub.Count() != 1 {
+		t.Fatalf("windowed subscription answers = %d, want 1", sub.Count())
+	}
+}
+
+func TestRunForAdvancesClock(t *testing.T) {
+	net := quickNet(t, Options{Seed: 7})
+	before := net.Now()
+	net.RunFor(500)
+	if net.Now() != before+500 {
+		t.Fatalf("clock %d, want %d", net.Now(), before+500)
+	}
+}
+
+func TestMultiWayPublicAPI(t *testing.T) {
+	net := quickNet(t, Options{Seed: 8})
+	net.MustDefineRelation("R", "A", "B", "C")
+	net.MustDefineRelation("S", "A", "B", "C")
+	net.MustDefineRelation("J", "A", "B", "C")
+	net.MustDefineRelation("M", "A", "B", "C")
+	sub := net.MustSubscribe(
+		"select S.B, M.A from R,S,J,M where R.A=S.A and S.B=J.B and J.C=M.C")
+	net.Run()
+	net.MustPublish("R", 2, 5, 8)
+	net.Run()
+	net.MustPublish("S", 2, 6, 3)
+	net.Run()
+	net.MustPublish("M", 9, 1, 2)
+	net.Run()
+	net.MustPublish("J", 7, 6, 2)
+	net.Run()
+	ans := sub.Answers()
+	if len(ans) != 1 || ans[0].Row[0].Int != 6 || ans[0].Row[1].Int != 9 {
+		t.Fatalf("figure-1 answer wrong: %v", ans)
+	}
+}
+
+func TestStringValues(t *testing.T) {
+	net := quickNet(t, Options{Seed: 9})
+	net.MustDefineRelation("Ev", "Host", "Level")
+	net.MustDefineRelation("Owners", "Host", "Team")
+	sub := net.MustSubscribe(
+		"select Ev.Host, Owners.Team from Ev,Owners where Ev.Host=Owners.Host and Ev.Level='error'")
+	net.Run()
+	net.MustPublish("Ev", "web1", "error")
+	net.MustPublish("Ev", "web2", "info")
+	net.MustPublish("Owners", "web1", "platform")
+	net.MustPublish("Owners", "web2", "search")
+	net.Run()
+	ans := sub.Answers()
+	if len(ans) != 1 || ans[0].Row[0].Str != "web1" || ans[0].Row[1].Str != "platform" {
+		t.Fatalf("string join wrong: %v", ans)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, err := NewNetwork(Options{Nodes: -5}); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+}
