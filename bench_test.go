@@ -1,9 +1,11 @@
 // Benchmarks regenerating every figure of the paper's evaluation
-// (Section 8), plus ablations for the design choices called out in
-// DESIGN.md. Each figure benchmark runs the corresponding experiment at
-// a reduced scale per iteration and reports the domain metrics the
-// paper plots (messages per node, QPL, SL) via b.ReportMetric; the full
-// paper-scale series are produced by cmd/rjoin-experiments.
+// (Section 8), plus ablations for the system's main design choices
+// (candidate-table caching, the ALTT completeness mechanism, placement
+// strategies, message grouping). Each figure benchmark runs the
+// corresponding experiment at a reduced scale per iteration and reports
+// the domain metrics the paper plots (messages per node, QPL, SL) via
+// b.ReportMetric; the full paper-scale series are produced by
+// cmd/rjoin-experiments.
 package rjoin
 
 import (
@@ -24,7 +26,7 @@ import (
 	"rjoin/internal/sqlparse"
 )
 
-// benchParams is a reduced workload: 100 nodes, 600 queries, tuple
+// benchParams is a reduced workload: 100 nodes, 4000 queries, tuple
 // counts at 15% of the paper's. Shapes (orderings, growth directions)
 // are preserved; see experiments_test.go for the assertions.
 func benchParams() experiments.Params {
@@ -234,12 +236,51 @@ func BenchmarkQueryRewrite(b *testing.B) {
 		"select S.B, M.A from R,S,J,M where R.A=S.A and S.B=J.B and J.C=M.C", benchCat)
 	s, _ := benchCat.Schema("R")
 	tup := relation.MustTuple(s, relation.Int64(2), relation.Int64(5), relation.Int64(8))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := query.Rewrite(q, tup); !ok {
+		q2, ok := query.Rewrite(q, tup)
+		if !ok {
 			b.Fatal("rewrite failed")
 		}
+		query.Release(q2)
 	}
+}
+
+// BenchmarkKeyHash measures index-key construction: the interned path
+// (cache hit: no concatenation, no SHA-1) that every hot-path key
+// derivation now takes, against the raw consistent hash it memoizes.
+func BenchmarkKeyHash(b *testing.B) {
+	b.Run("interned-value", func(b *testing.B) {
+		v := relation.Int64(7)
+		relation.ValueKeyOf("R", "A", v) // warm the intern table
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if relation.ValueKeyOf("R", "A", v).ID() == 0 {
+				b.Fatal("unexpected zero ring id")
+			}
+		}
+	})
+	b.Run("interned-string", func(b *testing.B) {
+		relation.KeyOf("R+A+7")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if relation.KeyOf("R+A+7").ID() == 0 {
+				b.Fatal("unexpected zero ring id")
+			}
+		}
+	})
+	b.Run("sha1", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if id.HashKey("R+A+7") == 0 {
+				b.Fatal("unexpected zero ring id")
+			}
+		}
+	})
 }
 
 // BenchmarkCandidates measures index-candidate enumeration (including
@@ -250,6 +291,7 @@ func BenchmarkCandidates(b *testing.B) {
 	s, _ := benchCat.Schema("R")
 	tup := relation.MustTuple(s, relation.Int64(2), relation.Int64(5), relation.Int64(8))
 	q1, _ := query.Rewrite(q, tup)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if len(q1.Candidates()) == 0 {
@@ -261,6 +303,7 @@ func BenchmarkCandidates(b *testing.B) {
 // BenchmarkSQLParse measures front-end parsing.
 func BenchmarkSQLParse(b *testing.B) {
 	src := "select S.B, M.A from R,S,J,M where R.A=S.A and S.B=J.B and J.C=M.C within 100 tuples"
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sqlparse.Parse(src, benchCat); err != nil {
 			b.Fatal(err)
@@ -278,6 +321,7 @@ func BenchmarkPublishTuple(b *testing.B) {
 		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
 	}
 	net.Run()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.MustPublish("R", i%50, i)
@@ -296,6 +340,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 	net.Run()
 	before := net.Engine().Sim().Fired()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.MustPublish("R", i%10, i)

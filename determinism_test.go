@@ -1,0 +1,104 @@
+package rjoin
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// goldenWorkload drives a fixed-seed mixed workload — plain, 3-way,
+// DISTINCT, sliding- and tumbling-windowed continuous queries plus a
+// one-time snapshot query, with tuples racing queries part of the time —
+// and returns the final Stats together with an order-sensitive digest of
+// every answer stream. Any change to replay behaviour shows up in one of
+// the two.
+func goldenWorkload(opts Options) (Stats, uint64) {
+	net := MustNetwork(opts)
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	net.MustDefineRelation("T", "A", "B")
+
+	subs := []*Subscription{
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A"),
+		net.MustSubscribe("select R.B, T.B from R,S,T where R.A=S.A and S.B=T.B"),
+		net.MustSubscribe("select distinct S.B from R,S where R.A=S.A"),
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A within 40 tuples"),
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A within 64 ticks tumbling"),
+		net.MustSubscribe("select S.B from S where 3=S.A"),
+	}
+	// Warm stream, fully drained between publications.
+	skew := []int{0, 0, 0, 1, 1, 2, 3, 4}
+	for i := 0; i < 40; i++ {
+		net.MustPublish("R", skew[i%8], i)
+		net.MustPublish("S", skew[(i+1)%8], i%6)
+		if i%3 == 0 {
+			net.MustPublish("T", skew[i%8], (i+2)%6)
+		}
+		net.Run()
+	}
+	// Racing phase: tuples and a late batch of queries in flight together.
+	for i := 0; i < 30; i++ {
+		net.MustPublish("R", i%5, i)
+		net.MustPublish("S", i%5, i%4)
+	}
+	subs = append(subs, net.MustSubscribe("select R.A, S.B from R,S where R.B=S.B"))
+	net.RunFor(10)
+	for i := 0; i < 20; i++ {
+		net.MustPublish("T", i%5, i%4)
+	}
+	net.Run()
+	// One-time snapshot over everything published so far.
+	subs = append(subs, net.MustSubscribe("select S.B from R,S where R.A=S.A once"))
+	net.Run()
+
+	h := fnv.New64a()
+	for _, s := range subs {
+		fmt.Fprintf(h, "[%s]", s.SQL)
+		for _, a := range s.Answers() {
+			fmt.Fprintf(h, "%d:", a.At)
+			for _, v := range a.Row {
+				fmt.Fprintf(h, "%s,", v.String())
+			}
+			fmt.Fprint(h, ";")
+		}
+	}
+	return net.Stats(), h.Sum64()
+}
+
+// goldenConfigs are the two configurations the golden test pins down:
+// the paper-default engine, and the future-work extensions (batching,
+// attribute replication, migration) that exercise every scheduling path.
+func goldenConfigs() []Options {
+	return []Options{
+		{Nodes: 96, Seed: 42},
+		{Nodes: 96, Seed: 42, BatchWindow: 4, AttrReplicas: 2, EnableMigration: true, MaxHopDelay: 3},
+	}
+}
+
+// TestGoldenDeterminism asserts the replay guarantee twice over: two
+// runs with the same seed are bit-identical, and both match the golden
+// values recorded from the pre-refactor baseline (commit adding go.mod),
+// so the interned-key / copy-on-write / typed-heap hot-path work cannot
+// silently change behaviour.
+func TestGoldenDeterminism(t *testing.T) {
+	// Golden values captured on the seed implementation (SHA-1 string
+	// keys, deep-clone rewrites, container/heap scheduler).
+	golden := []struct {
+		stats  Stats
+		digest uint64
+	}{
+		{Stats{Messages: 12650, RICMessages: 362, QueryProcessingLoad: 1862, StorageLoad: 1484, Answers: 8746, RewritesCreated: 9933, MaxNodeQPL: 220, ParticipatingNodes: 53}, 0x631b5dd40811f4a5},
+		{Stats{Messages: 12791, RICMessages: 199, QueryProcessingLoad: 2099, StorageLoad: 1728, Answers: 8609, RewritesCreated: 10060, MaxNodeQPL: 255, ParticipatingNodes: 54}, 0x196e6f513d18ce1d},
+	}
+	for i, opts := range goldenConfigs() {
+		st1, d1 := goldenWorkload(opts)
+		st2, d2 := goldenWorkload(opts)
+		if st1 != st2 || d1 != d2 {
+			t.Fatalf("config %d: same seed diverged:\nrun1 %+v digest %x\nrun2 %+v digest %x", i, st1, d1, st2, d2)
+		}
+		if st1 != golden[i].stats || d1 != golden[i].digest {
+			t.Fatalf("config %d: replay drifted from golden baseline:\ngot  %+v digest %x\nwant %+v digest %x",
+				i, st1, d1, golden[i].stats, golden[i].digest)
+		}
+	}
+}

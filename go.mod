@@ -1,0 +1,3 @@
+module rjoin
+
+go 1.24

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
@@ -147,8 +148,8 @@ func (e *Engine) nextReqID() int64 {
 // oracleRate is the simulator-level ground truth used by
 // StrategyWorst: the actual current rate at the node responsible for a
 // key. RJoin proper never calls this.
-func (e *Engine) oracleRate(key string, now sim.Time) float64 {
-	owner := e.ring.Owner(id.HashKey(key))
+func (e *Engine) oracleRate(key relation.Key, now sim.Time) float64 {
+	owner := e.ring.Owner(key.ID())
 	if owner == nil {
 		return 0
 	}
@@ -178,11 +179,14 @@ func (e *Engine) SubmitQuery(owner *chord.Node, q *query.Query) (string, error) 
 	q.InsertTime = int64(e.sim.Now())
 	q.Depth = 0
 	e.Counters.QueriesSubmitted++
+	qid := q.ID
 	if q.Distinct {
-		e.distinctQs[q.ID] = true
+		e.distinctQs[qid] = true
 	}
+	// place may drop (and pool-Release) an unplaceable query, so the ID
+	// must be captured before it runs.
 	p.place(e.sim.Now(), q)
-	return q.ID, nil
+	return qid, nil
 }
 
 // PublishTuple implements Procedure 1: the publisher indexes the tuple
@@ -202,31 +206,47 @@ func (e *Engine) PublishTuple(publisher *chord.Node, t *relation.Tuple) {
 		// With attribute-level replication each tuple is delivered to
 		// exactly one replica of its Rel+Attr key, chosen round robin.
 		akey := e.attrKey(attrKeys[i], t.PubSeq)
-		msgs = append(msgs, &tupleMsg{T: t, Key: akey, Level: query.AttrLevel, Publisher: publisher.ID()})
-		ids = append(ids, id.HashKey(akey))
-		msgs = append(msgs, &tupleMsg{T: t, Key: valueKeys[i], Level: query.ValueLevel, Publisher: publisher.ID()})
-		ids = append(ids, id.HashKey(valueKeys[i]))
+		msgs = append(msgs, newTupleMsg(t, akey, query.AttrLevel, publisher.ID()))
+		ids = append(ids, akey.ID())
+		msgs = append(msgs, newTupleMsg(t, valueKeys[i], query.ValueLevel, publisher.ID()))
+		ids = append(ids, valueKeys[i].ID())
 	}
 	e.net.MultiSend(publisher, msgs, ids)
 }
 
 // attrKey maps a base attribute-level key to the replica that should
 // receive the tuple with the given publication sequence.
-func (e *Engine) attrKey(base string, pubSeq int64) string {
+func (e *Engine) attrKey(base relation.Key, pubSeq int64) relation.Key {
 	if e.Cfg.AttrReplicas < 2 {
 		return base
 	}
 	return replicaKey(base, int(pubSeq%int64(e.Cfg.AttrReplicas)))
 }
 
+// replicaCache memoizes (base key, replica index) → replica Key so the
+// per-publish round-robin pays neither the Sprintf nor the hash after
+// the first derivation of each replica.
+var replicaCache sync.Map // replicaRef → relation.Key
+
+type replicaRef struct {
+	base string
+	i    int
+}
+
 // replicaKey derives the i-th replica key of an attribute-level key.
 // Replica 0 keeps the base name so single-replica deployments are
 // byte-compatible.
-func replicaKey(base string, i int) string {
+func replicaKey(base relation.Key, i int) relation.Key {
 	if i == 0 {
 		return base
 	}
-	return fmt.Sprintf("%s#r%d", base, i)
+	ref := replicaRef{base: base.String(), i: i}
+	if k, ok := replicaCache.Load(ref); ok {
+		return k.(relation.Key)
+	}
+	k := relation.KeyOf(fmt.Sprintf("%s#r%d", base, i))
+	replicaCache.Store(ref, k)
+	return k
 }
 
 // recordAnswer collects an answer at its owner, applying the owner-side

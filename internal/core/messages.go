@@ -1,17 +1,49 @@
 package core
 
 import (
+	"sync"
+
 	"rjoin/internal/id"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
 	"rjoin/internal/sim"
 )
 
+// The high-volume message kinds — tuple deliveries, query placements
+// and answers — are pooled. Every such message is delivered at most
+// once and its receiver copies out whatever it retains, so the handler
+// dispatch loop can recycle the struct as soon as the handler returns.
+// Messages dropped by the overlay (dead or detached recipient) simply
+// fall to the garbage collector; only delivery recycles.
+var (
+	tupleMsgPool  = sync.Pool{New: func() interface{} { return new(tupleMsg) }}
+	evalMsgPool   = sync.Pool{New: func() interface{} { return new(evalMsg) }}
+	answerMsgPool = sync.Pool{New: func() interface{} { return new(answerMsg) }}
+)
+
+func newTupleMsg(t *relation.Tuple, key relation.Key, level query.Level, publisher id.ID) *tupleMsg {
+	m := tupleMsgPool.Get().(*tupleMsg)
+	*m = tupleMsg{T: t, Key: key, Level: level, Publisher: publisher}
+	return m
+}
+
+func newEvalMsg(q *query.Query, key relation.Key, level query.Level, ric []ricInfo) *evalMsg {
+	m := evalMsgPool.Get().(*evalMsg)
+	*m = evalMsg{Q: q, Key: key, Level: level, RIC: ric}
+	return m
+}
+
+func newAnswerMsg(queryID string, values []relation.Value) *answerMsg {
+	m := answerMsgPool.Get().(*answerMsg)
+	*m = answerMsg{QueryID: queryID, Values: values}
+	return m
+}
+
 // tupleMsg is Procedure 1's newTuple(t, Key, IP(x), Level) message: one
 // copy per index key of the tuple.
 type tupleMsg struct {
 	T         *relation.Tuple
-	Key       string
+	Key       relation.Key
 	Level     query.Level
 	Publisher id.ID
 }
@@ -22,7 +54,7 @@ type tupleMsg struct {
 // piggy-backed per Section 7.
 type evalMsg struct {
 	Q     *query.Query
-	Key   string
+	Key   relation.Key
 	Level query.Level
 	RIC   []ricInfo
 }
@@ -39,7 +71,7 @@ type answerMsg struct {
 // decision maker can reach it in one hop), and when the report was
 // produced.
 type ricInfo struct {
-	Key  string
+	Key  relation.Key
 	Rate float64
 	Addr id.ID
 	At   sim.Time
@@ -52,7 +84,7 @@ type ricInfo struct {
 type ricRequestMsg struct {
 	Origin  id.ID
 	ReqID   int64
-	Pending []string // candidate keys not yet visited, in visit order
+	Pending []relation.Key // candidate keys not yet visited, in visit order
 	Got     []ricInfo
 }
 

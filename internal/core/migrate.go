@@ -5,6 +5,7 @@ import (
 
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
+	"rjoin/internal/relation"
 )
 
 // MoveNode implements identifier movement (Karger–Ruhl, used by the
@@ -45,8 +46,8 @@ func (e *Engine) MoveNode(n *chord.Node, newID id.ID) (*chord.Node, error) {
 // number of list entries moved.
 func (e *Engine) RehomeKeys() int {
 	moved := 0
-	owner := func(key string) *Proc {
-		o := e.ring.Owner(id.HashKey(key))
+	owner := func(key relation.Key) *Proc {
+		o := e.ring.Owner(key.ID())
 		if o == nil {
 			return nil
 		}

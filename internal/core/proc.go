@@ -17,7 +17,7 @@ import (
 // elimination rule.
 type storedQuery struct {
 	q     *query.Query
-	key   string
+	key   relation.Key
 	level query.Level
 	seen  map[string]bool // trigger projections already used (DISTINCT)
 
@@ -83,7 +83,18 @@ type alttEntry struct {
 type pendingPlacement struct {
 	q     *query.Query
 	cands []query.Candidate
-	known map[string]ricInfo
+	known []ricInfo
+}
+
+// findInfo scans a small report list for a key; candidate sets hold a
+// handful of keys, so linear search beats a map and allocates nothing.
+func findInfo(known []ricInfo, key relation.Key) (ricInfo, bool) {
+	for i := range known {
+		if known[i].Key == key {
+			return known[i], true
+		}
+	}
+	return ricInfo{}, false
 }
 
 // Proc is the RJoin processor running at one DHT node: the local query
@@ -93,11 +104,11 @@ type Proc struct {
 	eng  *Engine
 	node *chord.Node
 
-	queries map[string][]*storedQuery    // by index key, both levels
-	tuples  map[string][]*relation.Tuple // value-level tuple store
-	altt    map[string][]alttEntry       // attribute-level tuple table
+	queries map[relation.Key][]*storedQuery    // by index key, both levels
+	tuples  map[relation.Key][]*relation.Tuple // value-level tuple store
+	altt    map[relation.Key][]alttEntry       // attribute-level tuple table
 
-	stats   map[string]*rateStat
+	stats   map[relation.Key]*rateStat
 	ct      *candidateTable
 	pending map[int64]*pendingPlacement
 }
@@ -106,24 +117,32 @@ func newProc(eng *Engine, node *chord.Node) *Proc {
 	return &Proc{
 		eng:     eng,
 		node:    node,
-		queries: make(map[string][]*storedQuery),
-		tuples:  make(map[string][]*relation.Tuple),
-		altt:    make(map[string][]alttEntry),
-		stats:   make(map[string]*rateStat),
+		queries: make(map[relation.Key][]*storedQuery),
+		tuples:  make(map[relation.Key][]*relation.Tuple),
+		altt:    make(map[relation.Key][]alttEntry),
+		stats:   make(map[relation.Key]*rateStat),
 		ct:      newCandidateTable(),
 		pending: make(map[int64]*pendingPlacement),
 	}
 }
 
-// HandleMessage dispatches overlay deliveries.
+// HandleMessage dispatches overlay deliveries. The pooled message
+// kinds are recycled once their handler returns — handlers copy out
+// everything they retain.
 func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 	switch m := msg.(type) {
 	case *tupleMsg:
 		p.onTuple(now, m)
+		*m = tupleMsg{}
+		tupleMsgPool.Put(m)
 	case *evalMsg:
 		p.onEval(now, m)
+		*m = evalMsg{}
+		evalMsgPool.Put(m)
 	case *answerMsg:
 		p.eng.recordAnswer(now, m)
+		*m = answerMsg{}
+		answerMsgPool.Put(m)
 	case *ricRequestMsg:
 		p.onRICRequest(now, m)
 	case *ricReplyMsg:
@@ -131,7 +150,7 @@ func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 	}
 }
 
-func (p *Proc) recordArrival(key string, now sim.Time) {
+func (p *Proc) recordArrival(key relation.Key, now sim.Time) {
 	st, ok := p.stats[key]
 	if !ok {
 		st = &rateStat{epoch: epochOf(now, p.eng.Cfg.RICWindow)}
@@ -141,7 +160,7 @@ func (p *Proc) recordArrival(key string, now sim.Time) {
 }
 
 // rate returns the node's current RIC estimate for a key.
-func (p *Proc) rate(key string, now sim.Time) float64 {
+func (p *Proc) rate(key relation.Key, now sim.Time) float64 {
 	st, ok := p.stats[key]
 	if !ok {
 		return 0
@@ -150,13 +169,14 @@ func (p *Proc) rate(key string, now sim.Time) float64 {
 }
 
 // ownsKey reports whether this node is Successor(Hash(key)) according
-// to its local routing state.
-func (p *Proc) ownsKey(key string) bool {
+// to its local routing state. The key's ring identifier is cached, so
+// this is pure interval arithmetic.
+func (p *Proc) ownsKey(key relation.Key) bool {
 	pred := p.node.Predecessor()
 	if pred == nil {
 		return true
 	}
-	return id.BetweenRightIncl(id.HashKey(key), pred.ID(), p.node.ID())
+	return id.BetweenRightIncl(key.ID(), pred.ID(), p.node.ID())
 }
 
 // onTuple is Procedure 2: a node receives newTuple(t, Key, Level).
@@ -214,6 +234,10 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 		p.eng.Counters.DuplicatesSuppressed++
 		return
 	}
+	if len(sq.q.Relations) == 1 {
+		p.completeTrigger(sq, t)
+		return
+	}
 	q2, ok := query.Rewrite(sq.q, t)
 	if !ok {
 		return
@@ -233,9 +257,30 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	p.dispatch(now, q2)
 }
 
+// completeTrigger is the final-rewriting-step fast path shared by both
+// trigger sites: the query has one remaining relation, so substitution
+// completes it and the answer row is shipped directly to the owner
+// without materialising the child query. Window start bookkeeping is
+// skipped because a completed query never consults its window again.
+// The counters match what dispatch would have recorded for the
+// materialised child.
+func (p *Proc) completeTrigger(sq *storedQuery, t *relation.Tuple) {
+	vals, ok := query.RewriteComplete(sq.q, t)
+	if !ok {
+		return
+	}
+	sq.markTrigger(t)
+	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
+	p.eng.Counters.RewritesCreated++
+	if sq.q.Depth+1 >= 2 {
+		p.eng.Counters.DeepRewrites++
+	}
+	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, vals))
+}
+
 // storeTuple stores a value-level tuple (counted as storage load) and
 // optionally garbage-collects stored tuples no window can reach.
-func (p *Proc) storeTuple(now sim.Time, key string, t *relation.Tuple) {
+func (p *Proc) storeTuple(now sim.Time, key relation.Key, t *relation.Tuple) {
 	p.tuples[key] = append(p.tuples[key], t)
 	p.eng.SL.Add(p.node.ID(), 1)
 	p.eng.Counters.TuplesStored++
@@ -258,7 +303,7 @@ func (p *Proc) storeTuple(now sim.Time, key string, t *relation.Tuple) {
 
 // alttScan returns the live ALTT entries for a key, pruning expired
 // ones in passing.
-func (p *Proc) alttScan(key string, now sim.Time) []alttEntry {
+func (p *Proc) alttScan(key relation.Key, now sim.Time) []alttEntry {
 	entries := p.altt[key]
 	// Entries expire in arrival order (constant Δ): pop the prefix.
 	i := 0
@@ -332,6 +377,10 @@ func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	}
 	if !sq.allowTrigger(t) {
 		p.eng.Counters.DuplicatesSuppressed++
+		return
+	}
+	if len(sq.q.Relations) == 1 {
+		p.completeTrigger(sq, t)
 		return
 	}
 	q2, ok := query.Rewrite(sq.q, t)
@@ -426,18 +475,21 @@ func mergeExclude(exclude, combined []int64) []int64 {
 // dispatch routes a freshly created rewrite: completed queries become
 // answers sent directly to the owner; contradictory queries are
 // discarded; everything else is indexed at the node the placement
-// strategy selects.
+// strategy selects. Dropped rewrites are returned to the free list —
+// they never escaped this function.
 func (p *Proc) dispatch(now sim.Time, q2 *query.Query) {
 	p.eng.Counters.RewritesCreated++
 	if q2.Depth >= 2 {
 		p.eng.Counters.DeepRewrites++
 	}
 	if q2.IsComplete() {
-		p.eng.net.SendDirect(p.node, id.ID(q2.Owner), &answerMsg{QueryID: q2.ID, Values: q2.AnswerValues()})
+		p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, q2.AnswerValues()))
+		query.Release(q2)
 		return
 	}
 	if q2.Contradictory() {
 		p.eng.Counters.ContradictoryDropped++
+		query.Release(q2)
 		return
 	}
 	p.place(now, q2)
@@ -451,7 +503,8 @@ func (p *Proc) place(now sim.Time, q *query.Query) {
 		// Default rule (Section 3): rewritten queries are indexed at
 		// value level, where tuple stores are unbounded. See
 		// Config.AllowAttrRewrites for the Section 6 generalization.
-		vcands := cands[:0:0]
+		// Candidates returned a fresh slice, so filter it in place.
+		vcands := cands[:0]
 		for _, c := range cands {
 			if c.Level == query.ValueLevel {
 				vcands = append(vcands, c)
@@ -463,6 +516,7 @@ func (p *Proc) place(now sim.Time, q *query.Query) {
 	}
 	if len(cands) == 0 {
 		p.eng.Counters.UnplaceableDropped++
+		query.Release(q)
 		return
 	}
 	switch p.eng.Cfg.Strategy {
@@ -488,12 +542,12 @@ func (p *Proc) place(now sim.Time, q *query.Query) {
 // reply index the query at the candidate with the lowest predicted
 // rate, directly (one hop) because the reply carried its address.
 func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
-	known := make(map[string]ricInfo, len(cands))
-	var unknown []string
+	var known []ricInfo
+	var unknown []relation.Key
 	for _, c := range cands {
 		if p.eng.Cfg.UseCT {
 			if e, ok := p.ct.fresh(c.Key, now, p.eng.Cfg.CTValidity); ok {
-				known[c.Key] = ricInfo{Key: c.Key, Rate: e.Rate, Addr: e.Addr, At: e.At}
+				known = append(known, ricInfo{Key: c.Key, Rate: e.Rate, Addr: e.Addr, At: e.At})
 				continue
 			}
 		}
@@ -506,15 +560,15 @@ func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
 	// Visit unknown candidates in clockwise ring order from here (the
 	// "optimal order to contact these nodes").
 	sort.Slice(unknown, func(i, j int) bool {
-		return id.Dist(p.node.ID(), id.HashKey(unknown[i])) <
-			id.Dist(p.node.ID(), id.HashKey(unknown[j]))
+		return id.Dist(p.node.ID(), unknown[i].ID()) <
+			id.Dist(p.node.ID(), unknown[j].ID())
 	})
 	reqID := p.eng.nextReqID()
 	p.pending[reqID] = &pendingPlacement{q: q, cands: cands, known: known}
 	p.eng.Counters.RICRequests++
 	req := &ricRequestMsg{Origin: p.node.ID(), ReqID: reqID, Pending: unknown}
 	p.eng.net.WithTag(TagRIC, func() {
-		p.eng.net.Send(p.node, id.HashKey(unknown[0]), req)
+		p.eng.net.Send(p.node, unknown[0].ID(), req)
 	})
 }
 
@@ -535,7 +589,7 @@ func (p *Proc) onRICRequest(now sim.Time, m *ricRequestMsg) {
 		if len(m.Pending) == 0 {
 			p.eng.net.SendDirect(p.node, m.Origin, &ricReplyMsg{ReqID: m.ReqID, Got: m.Got})
 		} else {
-			p.eng.net.Send(p.node, id.HashKey(m.Pending[0]), m)
+			p.eng.net.Send(p.node, m.Pending[0].ID(), m)
 		}
 	})
 }
@@ -550,7 +604,7 @@ func (p *Proc) onRICReply(now sim.Time, m *ricReplyMsg) {
 	p.eng.Counters.RICReplies++
 	for _, info := range m.Got {
 		p.ct.merge(info)
-		pp.known[info.Key] = info
+		pp.known = append(pp.known, info)
 	}
 	p.decide(pp.q, pp.cands, pp.known)
 }
@@ -558,11 +612,11 @@ func (p *Proc) onRICReply(now sim.Time, m *ricReplyMsg) {
 // decide picks the candidate with the lowest predicted rate (ties
 // resolve to clause order, which is deterministic) and sends the query
 // there — in one hop when the candidate's address is known.
-func (p *Proc) decide(q *query.Query, cands []query.Candidate, known map[string]ricInfo) {
+func (p *Proc) decide(q *query.Query, cands []query.Candidate, known []ricInfo) {
 	best := cands[0]
-	bestInfo, haveBest := known[best.Key]
+	bestInfo, haveBest := findInfo(known, best.Key)
 	for _, c := range cands[1:] {
-		info, ok := known[c.Key]
+		info, ok := findInfo(known, c.Key)
 		if !ok {
 			continue
 		}
@@ -576,11 +630,12 @@ func (p *Proc) decide(q *query.Query, cands []query.Candidate, known map[string]
 	}
 	var piggy []ricInfo
 	if p.eng.Cfg.PiggybackRIC {
-		for _, c := range cands {
-			if info, ok := known[c.Key]; ok {
-				piggy = append(piggy, info)
-			}
-		}
+		// Every known report concerns a candidate key (CT hits come
+		// from the candidate scan, walk replies cover exactly the
+		// unknown candidates), so the piggy-backed set is the known
+		// set itself — no copy needed. Receivers only merge it into
+		// their candidate tables, which is order-insensitive.
+		piggy = known
 	}
 	p.sendEval(q, best, piggy, haveBest)
 }
@@ -596,13 +651,13 @@ func (p *Proc) sendEval(q *query.Query, c query.Candidate, piggy []ricInfo, dire
 		keys := make([]id.ID, r)
 		for i := 0; i < r; i++ {
 			rk := replicaKey(c.Key, i)
-			msgs[i] = &evalMsg{Q: q, Key: rk, Level: c.Level, RIC: piggy}
-			keys[i] = id.HashKey(rk)
+			msgs[i] = newEvalMsg(q, rk, c.Level, piggy)
+			keys[i] = rk.ID()
 		}
 		p.eng.net.MultiSend(p.node, msgs, keys)
 		return
 	}
-	msg := &evalMsg{Q: q, Key: c.Key, Level: c.Level, RIC: piggy}
+	msg := newEvalMsg(q, c.Key, c.Level, piggy)
 	if direct {
 		// The address may be stale (node left); fall back to routing.
 		if tgt := p.eng.ring.Node(p.addrFor(c.Key, piggy)); tgt != nil && p.stillOwns(tgt.ID(), c.Key) {
@@ -610,10 +665,10 @@ func (p *Proc) sendEval(q *query.Query, c query.Candidate, piggy []ricInfo, dire
 			return
 		}
 	}
-	p.eng.net.Send(p.node, id.HashKey(c.Key), msg)
+	p.eng.net.Send(p.node, c.Key.ID(), msg)
 }
 
-func (p *Proc) addrFor(key string, piggy []ricInfo) id.ID {
+func (p *Proc) addrFor(key relation.Key, piggy []ricInfo) id.ID {
 	if e, ok := p.ct.get(key); ok {
 		return e.Addr
 	}
@@ -627,7 +682,7 @@ func (p *Proc) addrFor(key string, piggy []ricInfo) id.ID {
 
 // stillOwns verifies a cached address still owns the key before sending
 // directly.
-func (p *Proc) stillOwns(addr id.ID, key string) bool {
-	owner := p.eng.ring.Owner(id.HashKey(key))
+func (p *Proc) stillOwns(addr id.ID, key relation.Key) bool {
+	owner := p.eng.ring.Owner(key.ID())
 	return owner != nil && owner.ID() == addr
 }

@@ -4,9 +4,9 @@ import (
 	"strings"
 	"testing"
 
-	"rjoin/internal/id"
 	"rjoin/internal/overlay"
 	"rjoin/internal/refeval"
+	"rjoin/internal/relation"
 )
 
 // TestReplicationPreservesAnswers: with attribute-level replication the
@@ -64,8 +64,8 @@ func TestReplicationSpreadsAttrLoad(t *testing.T) {
 		var max int64
 		for _, base := range []string{"R+A", "R+B", "R+C"} {
 			for i := 0; i < maxInt(replicas, 1); i++ {
-				key := replicaKey(base, i)
-				owner := eng.Ring().Owner(id.HashKey(key))
+				key := replicaKey(relation.KeyOf(base), i)
+				owner := eng.Ring().Owner(key.ID())
 				p := eng.Proc(owner)
 				if st, ok := p.stats[key]; ok {
 					total := st.countCur + st.countPrev
@@ -92,13 +92,14 @@ func maxInt(a, b int) int {
 }
 
 func TestReplicaKeyStability(t *testing.T) {
-	if replicaKey("R+A", 0) != "R+A" {
+	base := relation.KeyOf("R+A")
+	if replicaKey(base, 0) != base {
 		t.Fatal("replica 0 must keep the base key")
 	}
-	if replicaKey("R+A", 2) != "R+A#r2" {
-		t.Fatalf("replica key %q", replicaKey("R+A", 2))
+	if replicaKey(base, 2).String() != "R+A#r2" {
+		t.Fatalf("replica key %q", replicaKey(base, 2))
 	}
-	if !strings.HasPrefix(replicaKey("R+A", 1), "R+A") {
+	if !strings.HasPrefix(replicaKey(base, 1).String(), "R+A") {
 		t.Fatal("replica keys must extend the base key")
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"rjoin/internal/id"
+	"rjoin/internal/relation"
 	"rjoin/internal/sim"
 )
 
@@ -72,11 +73,11 @@ type ctEntry struct {
 // RIC info piggy-backed on rewritten queries, keeping the most recent
 // report per key.
 type candidateTable struct {
-	entries map[string]ctEntry
+	entries map[relation.Key]ctEntry
 }
 
 func newCandidateTable() *candidateTable {
-	return &candidateTable{entries: make(map[string]ctEntry)}
+	return &candidateTable{entries: make(map[relation.Key]ctEntry)}
 }
 
 // merge records a report, keeping the newest per key.
@@ -89,7 +90,7 @@ func (ct *candidateTable) merge(info ricInfo) {
 
 // fresh returns the entry for key if it exists and was learned within
 // validity ticks of now.
-func (ct *candidateTable) fresh(key string, now sim.Time, validity int64) (ctEntry, bool) {
+func (ct *candidateTable) fresh(key relation.Key, now sim.Time, validity int64) (ctEntry, bool) {
 	e, ok := ct.entries[key]
 	if !ok || int64(now-e.At) > validity {
 		return ctEntry{}, false
@@ -98,7 +99,7 @@ func (ct *candidateTable) fresh(key string, now sim.Time, validity int64) (ctEnt
 }
 
 // get returns the entry regardless of freshness.
-func (ct *candidateTable) get(key string) (ctEntry, bool) {
+func (ct *candidateTable) get(key relation.Key) (ctEntry, bool) {
 	e, ok := ct.entries[key]
 	return e, ok
 }

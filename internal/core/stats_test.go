@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"testing/quick"
+
+	"rjoin/internal/relation"
 )
 
 func TestRateStatEpochRollover(t *testing.T) {
@@ -69,14 +71,14 @@ func TestRateStatBoundsProperty(t *testing.T) {
 
 func TestCandidateTableKeepsNewest(t *testing.T) {
 	ct := newCandidateTable()
-	ct.merge(ricInfo{Key: "R+A", Rate: 5, Addr: 1, At: 100})
-	ct.merge(ricInfo{Key: "R+A", Rate: 9, Addr: 2, At: 50}) // older: ignored
-	e, ok := ct.get("R+A")
+	ct.merge(ricInfo{Key: relation.KeyOf("R+A"), Rate: 5, Addr: 1, At: 100})
+	ct.merge(ricInfo{Key: relation.KeyOf("R+A"), Rate: 9, Addr: 2, At: 50}) // older: ignored
+	e, ok := ct.get(relation.KeyOf("R+A"))
 	if !ok || e.Rate != 5 || e.Addr != 1 {
 		t.Fatalf("entry %+v", e)
 	}
-	ct.merge(ricInfo{Key: "R+A", Rate: 2, Addr: 3, At: 200}) // newer: wins
-	e, _ = ct.get("R+A")
+	ct.merge(ricInfo{Key: relation.KeyOf("R+A"), Rate: 2, Addr: 3, At: 200}) // newer: wins
+	e, _ = ct.get(relation.KeyOf("R+A"))
 	if e.Rate != 2 || e.Addr != 3 {
 		t.Fatalf("entry %+v after newer merge", e)
 	}
@@ -87,14 +89,14 @@ func TestCandidateTableKeepsNewest(t *testing.T) {
 
 func TestCandidateTableFreshness(t *testing.T) {
 	ct := newCandidateTable()
-	ct.merge(ricInfo{Key: "k", Rate: 1, At: 100})
-	if _, ok := ct.fresh("k", 150, 100); !ok {
+	ct.merge(ricInfo{Key: relation.KeyOf("k"), Rate: 1, At: 100})
+	if _, ok := ct.fresh(relation.KeyOf("k"), 150, 100); !ok {
 		t.Fatal("fresh entry rejected")
 	}
-	if _, ok := ct.fresh("k", 250, 100); ok {
+	if _, ok := ct.fresh(relation.KeyOf("k"), 250, 100); ok {
 		t.Fatal("stale entry accepted")
 	}
-	if _, ok := ct.fresh("missing", 0, 100); ok {
+	if _, ok := ct.fresh(relation.KeyOf("missing"), 0, 100); ok {
 		t.Fatal("missing entry accepted")
 	}
 }

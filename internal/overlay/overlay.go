@@ -76,6 +76,7 @@ type Network struct {
 	tagged   map[string]*metrics.Load
 	tag      string
 	outboxes map[id.ID]*outbox
+	legs     []leg // scratch for grouped multiSend, reused across calls
 
 	// MessagesSent counts every point-to-point transmission, i.e. the
 	// network-wide total of the traffic metric.
@@ -157,13 +158,20 @@ func (nw *Network) chargePath(from *chord.Node, path []*chord.Node) int64 {
 	return delay
 }
 
+// deliverEvent completes a delivery at its scheduled time. It is a
+// package-level CtxFunc so scheduling a delivery allocates nothing —
+// the network, recipient and payload ride in the event's inline Ctx.
+func deliverEvent(now sim.Time, c sim.Ctx) {
+	nw := c.A.(*Network)
+	owner := c.B.(*chord.Node)
+	if h, ok := nw.handlers[owner.ID()]; ok && owner.Alive() {
+		nw.Delivered++
+		h.HandleMessage(now, c.C)
+	}
+}
+
 func (nw *Network) deliver(owner *chord.Node, delay int64, msg Message) {
-	nw.Engine.After(delay, func(now sim.Time) {
-		if h, ok := nw.handlers[owner.ID()]; ok && owner.Alive() {
-			nw.Delivered++
-			h.HandleMessage(now, msg)
-		}
-	})
+	nw.Engine.AfterCtx(delay, deliverEvent, sim.Ctx{A: nw, B: owner, C: msg})
 }
 
 func (nw *Network) charge(node id.ID, n int64) {
@@ -250,10 +258,14 @@ func (nw *Network) enqueue(from *chord.Node, key id.ID, msg Message) {
 	ob.keys = append(ob.keys, key)
 	if !ob.scheduled {
 		ob.scheduled = true
-		nw.Engine.After(nw.cfg.BatchWindow, func(sim.Time) {
-			nw.flush(from)
-		})
+		nw.Engine.AfterCtx(nw.cfg.BatchWindow, flushEvent, sim.Ctx{A: nw, B: from})
 	}
+}
+
+// flushEvent is the batch-window expiry callback; see deliverEvent for
+// why it is a package-level CtxFunc.
+func flushEvent(_ sim.Time, c sim.Ctx) {
+	c.A.(*Network).flush(c.B.(*chord.Node))
 }
 
 // flush sends a node's buffered messages as one grouped multiSend.
@@ -306,6 +318,12 @@ func (nw *Network) MultiSend(from *chord.Node, msgs []Message, keys []id.ID) {
 	nw.multiSendNow(from, msgs, keys)
 }
 
+// leg is one delivery of a grouped multiSend.
+type leg struct {
+	key id.ID
+	msg Message
+}
+
 // multiSendNow performs the actual delivery for MultiSend and for batch
 // flushes.
 func (nw *Network) multiSendNow(from *chord.Node, msgs []Message, keys []id.ID) {
@@ -316,14 +334,12 @@ func (nw *Network) multiSendNow(from *chord.Node, msgs []Message, keys []id.ID) 
 		return
 	}
 	// Grouped: visit owners in clockwise ring order starting at the
-	// origin, each leg routed from the previous owner.
-	type leg struct {
-		key id.ID
-		msg Message
-	}
-	legs := make([]leg, len(msgs))
+	// origin, each leg routed from the previous owner. The legs buffer
+	// is scratch owned by the network; deliveries copy what they need
+	// before this function returns.
+	legs := nw.legs[:0]
 	for j := range msgs {
-		legs[j] = leg{keys[j], msgs[j]}
+		legs = append(legs, leg{keys[j], msgs[j]})
 	}
 	sort.Slice(legs, func(i, j int) bool {
 		return id.Dist(from.ID(), legs[i].key) < id.Dist(from.ID(), legs[j].key)
@@ -336,6 +352,10 @@ func (nw *Network) multiSendNow(from *chord.Node, msgs []Message, keys []id.ID) 
 		nw.deliver(owner, accumulated, lg.msg)
 		cur = owner
 	}
+	for j := range legs {
+		legs[j].msg = nil // drop payload references until next use
+	}
+	nw.legs = legs[:0]
 }
 
 // Broadcast delivers one message to every key in keys (the paper's

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"rjoin/internal/relation"
 )
@@ -236,67 +237,161 @@ func (q *Query) Matches(t *relation.Tuple) bool {
 	return true
 }
 
+// rewritePool recycles rewrite-churned Query structs. A triggered
+// rewrite that completes into an answer or turns out contradictory
+// lives for a few microseconds; recycling the struct keeps the rewrite
+// hot path free of per-trigger header allocations. Only the struct is
+// pooled — slices are either shared with the parent (copy-on-write) or
+// freshly sized for the child.
+var rewritePool = sync.Pool{New: func() interface{} { return new(Query) }}
+
+// Release returns a rewritten query to the free list. Callers must
+// guarantee no reference to q escaped (e.g. a rewrite that was dropped
+// without being sent anywhere). Shared parent slices are unaffected.
+func Release(q *Query) {
+	*q = Query{}
+	rewritePool.Put(q)
+}
+
+// RewriteComplete performs the final rewriting step for a query whose
+// FROM list holds exactly one remaining relation: substituting a
+// triggering tuple completes the query, so the answer row is produced
+// directly, without materialising the intermediate child query that
+// Rewrite would build only for dispatch to immediately tear down into
+// AnswerValues. It returns ok=false when t does not trigger q, exactly
+// like Rewrite.
+func RewriteComplete(q *Query, t *relation.Tuple) ([]relation.Value, bool) {
+	if len(q.Relations) != 1 || !q.Matches(t) {
+		return nil, false
+	}
+	rel := t.Relation()
+	out := make([]relation.Value, len(q.Select))
+	for i, s := range q.Select {
+		if s.IsConst {
+			out[i] = s.Const
+			continue
+		}
+		if s.Col.Rel != rel {
+			// The general path would have produced an "complete" query
+			// with an unresolved column and panicked in AnswerValues;
+			// validated queries cannot reach this.
+			panic(fmt.Sprintf("query: RewriteComplete on query %s (column %s unresolved)", q.ID, s.Col))
+		}
+		v, ok := t.Value(s.Col.Attr)
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
 // Rewrite substitutes tuple t into q, producing the query with one
 // fewer relation (the paper's rewrite(q, t)). It returns ok=false when
 // t does not trigger q. The caller is responsible for window-validity
 // checks and for setting Start on the result.
+//
+// The result is copy-on-write: slices the substitution leaves untouched
+// (Select when no column of rel appears, Joins when no conjunct touches
+// rel, Selections when nothing is added or dropped, and always Exclude)
+// are shared with the parent. Neither parent nor child is ever mutated
+// after creation, so sharing is safe; anyone who needs an independent
+// deep copy uses Clone.
 func Rewrite(q *Query, t *relation.Tuple) (*Query, bool) {
 	if !q.Matches(t) {
 		return nil, false
 	}
 	rel := t.Relation()
-	out := q.Clone()
+	out := rewritePool.Get().(*Query)
+	*out = *q // scalars copied, slice headers shared
 	out.Depth = q.Depth + 1
 
 	// FROM list loses the substituted relation.
-	keep := out.Relations[:0]
-	for _, r := range out.Relations {
+	rels := make([]string, 0, len(q.Relations)-1)
+	for _, r := range q.Relations {
 		if r != rel {
-			keep = append(keep, r)
+			rels = append(rels, r)
 		}
 	}
-	out.Relations = keep
+	out.Relations = rels
 
-	// Select columns of rel become constants.
-	for i, s := range out.Select {
+	// Select columns of rel become constants; untouched lists stay
+	// shared with the parent.
+	for i, s := range q.Select {
 		if !s.IsConst && s.Col.Rel == rel {
-			v, ok := t.Value(s.Col.Attr)
-			if !ok {
-				return nil, false
+			sel := make([]SelectItem, len(q.Select))
+			copy(sel, q.Select)
+			for k := i; k < len(sel); k++ {
+				if sc := sel[k]; !sc.IsConst && sc.Col.Rel == rel {
+					v, ok := t.Value(sc.Col.Attr)
+					if !ok {
+						Release(out)
+						return nil, false
+					}
+					sel[k] = SelectItem{IsConst: true, Const: v}
+				}
 			}
-			out.Select[i] = SelectItem{IsConst: true, Const: v}
+			out.Select = sel
+			break
 		}
 	}
 
-	// Join conjuncts with one side on rel become selections on the
-	// other side; conjuncts fully on rel were validated by Matches and
-	// are dropped.
-	joins := out.Joins[:0]
-	for _, j := range out.Joins {
+	// Size the surviving clauses in one counting pass: join conjuncts
+	// with one side on rel become selections on the other side,
+	// conjuncts fully on rel were validated by Matches and are dropped,
+	// and selections on rel are likewise validated and dropped.
+	keptJoins, converted := 0, 0
+	for _, j := range q.Joins {
 		lOn, rOn := j.Left.Rel == rel, j.Right.Rel == rel
 		switch {
 		case lOn && rOn:
-			// checked in Matches; drop
-		case lOn:
-			v, _ := t.Value(j.Left.Attr)
-			out.Selections = append(out.Selections, SelCond{Col: j.Right, Val: v})
-		case rOn:
-			v, _ := t.Value(j.Right.Attr)
-			out.Selections = append(out.Selections, SelCond{Col: j.Left, Val: v})
+		case lOn, rOn:
+			converted++
 		default:
-			joins = append(joins, j)
+			keptJoins++
 		}
 	}
-	out.Joins = joins
-
-	// Selections on rel were validated by Matches and are dropped.
-	sels := out.Selections[:0]
-	for _, s := range out.Selections {
+	keptSels := 0
+	for _, s := range q.Selections {
 		if s.Col.Rel != rel {
-			sels = append(sels, s)
+			keptSels++
 		}
 	}
-	out.Selections = sels
+
+	if keptJoins < len(q.Joins) {
+		joins := make([]JoinCond, 0, keptJoins)
+		for _, j := range q.Joins {
+			if j.Left.Rel != rel && j.Right.Rel != rel {
+				joins = append(joins, j)
+			}
+		}
+		out.Joins = joins
+	}
+
+	if converted > 0 || keptSels < len(q.Selections) {
+		// Surviving selections keep clause order; selections converted
+		// from join conjuncts follow, in join order — the same ordering
+		// the pre-copy-on-write implementation produced.
+		sels := make([]SelCond, 0, keptSels+converted)
+		for _, s := range q.Selections {
+			if s.Col.Rel != rel {
+				sels = append(sels, s)
+			}
+		}
+		for _, j := range q.Joins {
+			lOn, rOn := j.Left.Rel == rel, j.Right.Rel == rel
+			switch {
+			case lOn && rOn:
+			case lOn:
+				v, _ := t.Value(j.Left.Attr)
+				sels = append(sels, SelCond{Col: j.Right, Val: v})
+			case rOn:
+				v, _ := t.Value(j.Right.Attr)
+				sels = append(sels, SelCond{Col: j.Left, Val: v})
+			}
+		}
+		out.Selections = sels
+	}
 	return out, true
 }
 
@@ -318,10 +413,11 @@ func (l Level) String() string {
 	return "value"
 }
 
-// Candidate is one possible index placement for a query: a key, its
-// level, and the column (and value, for value level) it derives from.
+// Candidate is one possible index placement for a query: a key (with
+// its ring identifier precomputed), its level, and the column (and
+// value, for value level) it derives from.
 type Candidate struct {
-	Key   string
+	Key   relation.Key
 	Level Level
 	Col   ColRef
 	Val   relation.Value
@@ -336,23 +432,26 @@ type Candidate struct {
 // Section 3. The result is deduplicated and deterministically ordered
 // (joins and selections in clause order, implied triples last).
 func (q *Query) Candidates() []Candidate {
-	var out []Candidate
-	seen := make(map[string]bool)
+	out := make([]Candidate, 0, 2*len(q.Joins)+len(q.Selections))
+	// Candidate sets are small (one or two per clause), so dedup by
+	// linear scan instead of a map — cheaper and allocation free.
 	add := func(c Candidate) {
-		if !seen[c.Key] {
-			seen[c.Key] = true
-			out = append(out, c)
+		for i := range out {
+			if out[i].Key == c.Key {
+				return
+			}
 		}
+		out = append(out, c)
 	}
 	// (a) attribute-level pairs from join conjuncts.
 	for _, j := range q.Joins {
-		add(Candidate{Key: relation.AttrKey(j.Left.Rel, j.Left.Attr), Level: AttrLevel, Col: j.Left})
-		add(Candidate{Key: relation.AttrKey(j.Right.Rel, j.Right.Attr), Level: AttrLevel, Col: j.Right})
+		add(Candidate{Key: relation.AttrKeyOf(j.Left.Rel, j.Left.Attr), Level: AttrLevel, Col: j.Left})
+		add(Candidate{Key: relation.AttrKeyOf(j.Right.Rel, j.Right.Attr), Level: AttrLevel, Col: j.Right})
 	}
 	// (b) explicit value-level triples from selections.
 	for _, s := range q.Selections {
 		add(Candidate{
-			Key:   relation.ValueKey(s.Col.Rel, s.Col.Attr, s.Val),
+			Key:   relation.ValueKeyOf(s.Col.Rel, s.Col.Attr, s.Val),
 			Level: ValueLevel, Col: s.Col, Val: s.Val,
 		})
 	}
@@ -360,7 +459,7 @@ func (q *Query) Candidates() []Candidate {
 	// equivalence classes.
 	for _, imp := range q.impliedSelections() {
 		add(Candidate{
-			Key:   relation.ValueKey(imp.Col.Rel, imp.Col.Attr, imp.Val),
+			Key:   relation.ValueKeyOf(imp.Col.Rel, imp.Col.Attr, imp.Val),
 			Level: ValueLevel, Col: imp.Col, Val: imp.Val,
 		})
 	}
@@ -426,6 +525,23 @@ func (q *Query) impliedSelections() []SelCond {
 // equivalence class (e.g. 3=S.A and 5=S.A, possibly through joins).
 // RJoin discards such rewrites instead of indexing them.
 func (q *Query) Contradictory() bool {
+	// A contradiction needs two constants on one class, i.e. at least
+	// two selection conjuncts.
+	if len(q.Selections) < 2 {
+		return false
+	}
+	// Without joins every column is its own class: compare selections
+	// pairwise (clauses are few) instead of building the union-find.
+	if len(q.Joins) == 0 {
+		for i, a := range q.Selections {
+			for _, b := range q.Selections[:i] {
+				if a.Col == b.Col && !a.Val.Equal(b.Val) {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	parent := make(map[ColRef]ColRef)
 	var find func(c ColRef) ColRef
 	find = func(c ColRef) ColRef {

@@ -201,7 +201,7 @@ func TestCandidatesInputQuery(t *testing.T) {
 		if c.Level != AttrLevel {
 			t.Fatalf("input query candidate at value level: %v", c)
 		}
-		if !wantKeys[c.Key] {
+		if !wantKeys[c.Key.String()] {
 			t.Fatalf("unexpected candidate key %q", c.Key)
 		}
 	}
@@ -215,7 +215,7 @@ func TestCandidatesRewrittenIncludeImplied(t *testing.T) {
 	cands := q1.Candidates()
 	keys := make(map[string]Level)
 	for _, c := range cands {
-		keys[c.Key] = c.Level
+		keys[c.Key.String()] = c.Level
 	}
 	// (a) join pairs at attribute level.
 	for _, k := range []string{"S+B", "J+B", "J+C", "M+C"} {
@@ -247,7 +247,7 @@ func TestImpliedSelectionPropagation(t *testing.T) {
 	}
 	keys := make(map[string]bool)
 	for _, c := range q.Candidates() {
-		keys[c.Key] = true
+		keys[c.Key.String()] = true
 	}
 	if !keys["M+B+6"] {
 		t.Fatalf("implied candidate M+B+6 missing: %v", keys)
@@ -271,7 +271,7 @@ func TestImpliedTransitivePropagation(t *testing.T) {
 	}
 	keys := make(map[string]bool)
 	for _, c := range q.Candidates() {
-		keys[c.Key] = true
+		keys[c.Key.String()] = true
 	}
 	for _, want := range []string{"B+Y+7", "C+Z+7"} {
 		if !keys[want] {

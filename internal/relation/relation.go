@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+
+	"rjoin/internal/id"
 )
 
 // Kind discriminates the value types the SQL subset supports.
@@ -61,6 +64,7 @@ type Schema struct {
 	Relation string
 	Attrs    []string
 	index    map[string]int
+	attrKeys []Key // interned Rel+Attr keys, in Attrs order
 }
 
 // NewSchema builds a schema, validating that attribute names are unique
@@ -81,6 +85,10 @@ func NewSchema(relation string, attrs ...string) (*Schema, error) {
 			return nil, fmt.Errorf("relation: schema %s repeats attribute %s", relation, a)
 		}
 		s.index[a] = i
+	}
+	s.attrKeys = make([]Key, len(attrs))
+	for i, a := range attrs {
+		s.attrKeys[i] = AttrKeyOf(relation, a)
 	}
 	return s, nil
 }
@@ -165,16 +173,81 @@ func ValueKey(rel, attr string, v Value) string {
 	return rel + "+" + attr + "+" + v.String()
 }
 
+// Key is an index key (Rel+Attr or Rel+Attr+Value) carrying both its
+// string form and its ring identifier Hash(key), computed once. Every
+// layer passes Keys instead of raw strings so the consistent hash —
+// by far the most expensive step of routing — is never re-derived for
+// a key the process has seen before. Key is comparable and can key
+// maps directly.
+type Key struct {
+	s string
+	h id.ID
+}
+
+// String returns the paper's textual key form.
+func (k Key) String() string { return k.s }
+
+// ID returns the cached ring identifier; it always equals
+// id.HashKey(k.String()).
+func (k Key) ID() id.ID { return k.h }
+
+// IsZero reports whether k is the zero Key.
+func (k Key) IsZero() bool { return k.s == "" }
+
+// The intern tables memoize key → ring-identifier bindings process-wide.
+// Contents are a pure function of the key text, so sharing them across
+// concurrently running simulations is harmless and deterministic.
+// Value-level keys are interned on the (rel, attr, value) triple so a
+// hit skips the string concatenation as well as the hash. The tables
+// grow with the number of distinct keys ever derived and are never
+// evicted — the deliberate trade for a hash-free hot path; at the
+// simulated scales (10^5-10^6 keys) this is a few tens of megabytes.
+var (
+	internByString sync.Map // string → Key
+	internByTriple sync.Map // valueTriple → Key
+)
+
+type valueTriple struct {
+	rel, attr string
+	val       Value
+}
+
+// KeyOf returns the interned Key for an arbitrary key string.
+func KeyOf(s string) Key {
+	if k, ok := internByString.Load(s); ok {
+		return k.(Key)
+	}
+	k := Key{s: s, h: id.HashKey(s)}
+	internByString.Store(s, k)
+	return k
+}
+
+// AttrKeyOf returns the interned attribute-level Key Rel+Attr.
+func AttrKeyOf(rel, attr string) Key { return KeyOf(AttrKey(rel, attr)) }
+
+// ValueKeyOf returns the interned value-level Key Rel+Attr+Value
+// without materialising the key string on a hit.
+func ValueKeyOf(rel, attr string, v Value) Key {
+	t := valueTriple{rel: rel, attr: attr, val: v}
+	if k, ok := internByTriple.Load(t); ok {
+		return k.(Key)
+	}
+	k := KeyOf(ValueKey(rel, attr, v))
+	internByTriple.Store(t, k)
+	return k
+}
+
 // Keys returns the 2*k index keys of a k-attribute tuple, attribute
 // level and value level for every attribute, in schema order — exactly
-// the keys Procedure 1 publishes a new tuple under.
-func (t *Tuple) Keys() (attrKeys, valueKeys []string) {
+// the keys Procedure 1 publishes a new tuple under. The attribute-level
+// slice is precomputed on the schema and shared; callers must not
+// mutate it.
+func (t *Tuple) Keys() (attrKeys, valueKeys []Key) {
 	rel := t.Schema.Relation
-	attrKeys = make([]string, len(t.Values))
-	valueKeys = make([]string, len(t.Values))
+	attrKeys = t.Schema.attrKeys
+	valueKeys = make([]Key, len(t.Values))
 	for i, attr := range t.Schema.Attrs {
-		attrKeys[i] = AttrKey(rel, attr)
-		valueKeys[i] = ValueKey(rel, attr, t.Values[i])
+		valueKeys[i] = ValueKeyOf(rel, attr, t.Values[i])
 	}
 	return attrKeys, valueKeys
 }

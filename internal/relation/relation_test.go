@@ -3,6 +3,8 @@ package relation
 import (
 	"testing"
 	"testing/quick"
+
+	"rjoin/internal/id"
 )
 
 func TestValueString(t *testing.T) {
@@ -105,12 +107,34 @@ func TestKeysMatchProcedure1(t *testing.T) {
 	wantAttr := []string{"R+A", "R+B", "R+C"}
 	wantValue := []string{"R+A+2", "R+B+5", "R+C+8"}
 	for i := range wantAttr {
-		if attrKeys[i] != wantAttr[i] {
+		if attrKeys[i].String() != wantAttr[i] {
 			t.Fatalf("attr key %d = %q, want %q", i, attrKeys[i], wantAttr[i])
 		}
-		if valueKeys[i] != wantValue[i] {
+		if valueKeys[i].String() != wantValue[i] {
 			t.Fatalf("value key %d = %q, want %q", i, valueKeys[i], wantValue[i])
 		}
+	}
+}
+
+func TestKeyCachesRingID(t *testing.T) {
+	for _, s := range []string{"R+A", "R+A+2", "S+B+x", "R+A#r3"} {
+		k := KeyOf(s)
+		if k.String() != s {
+			t.Fatalf("KeyOf(%q).String() = %q", s, k.String())
+		}
+		if k.ID() != id.HashKey(s) {
+			t.Fatalf("KeyOf(%q).ID() = %v, want id.HashKey = %v", s, k.ID(), id.HashKey(s))
+		}
+	}
+	// The triple-interned value key must agree with the string form.
+	if ValueKeyOf("S", "B", Int64(6)) != KeyOf("S+B+6") {
+		t.Fatal("ValueKeyOf and KeyOf disagree")
+	}
+	if AttrKeyOf("S", "B") != KeyOf("S+B") {
+		t.Fatal("AttrKeyOf and KeyOf disagree")
+	}
+	if KeyOf("R+A").IsZero() || (Key{}).IsZero() == false {
+		t.Fatal("IsZero")
 	}
 }
 

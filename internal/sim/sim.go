@@ -4,10 +4,16 @@
 // is an integer tick counter, every scheduled event carries a virtual
 // timestamp, and events fire in (time, sequence) order so that a given
 // seed reproduces an experiment exactly.
+//
+// The event queue is a typed 4-ary min-heap storing events inline: no
+// container/heap interface boxing, no per-push pointer allocation. The
+// (time, sequence) ordering key is a total order (sequence numbers are
+// unique), so the firing order is independent of heap shape and
+// bit-identical to any other correct priority queue — replay
+// determinism does not depend on the heap implementation.
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
@@ -18,38 +24,43 @@ type Time int64
 // Duration is a span of virtual time in ticks.
 type Duration = int64
 
-// Event is a scheduled callback.
+// Ctx carries context to a CtxFunc without allocating: three reference
+// slots that hold pointers or pre-boxed interfaces for free. Scalars
+// small enough to matter ride inside the objects the slots point at,
+// keeping the inline event struct compact (events are copied on every
+// heap swap).
+type Ctx struct {
+	A, B, C interface{}
+}
+
+// CtxFunc is an allocation-free scheduled callback: a package-level (or
+// otherwise pre-existing) function pointer invoked with the Ctx it was
+// scheduled with. Unlike a closure, scheduling one allocates nothing.
+type CtxFunc func(now Time, c Ctx)
+
+// event is one scheduled callback, stored inline in the heap slice.
+// Exactly one of fn (closure path) and cb (context path) is non-nil.
 type event struct {
-	at   Time
-	seq  uint64
-	call func(Time)
+	at  Time
+	seq uint64
+	fn  func(Time)
+	cb  CtxFunc
+	ctx Ctx
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires before o: (time, sequence) order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
 // Engine is a deterministic event loop over virtual time.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap ordered by (at, seq)
 	rng    *rand.Rand
 	fired  uint64
 }
@@ -70,20 +81,93 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past is clamped to "now" (the event still runs, after already-queued
-// events for the current instant).
-func (e *Engine) At(t Time, fn func(Time)) {
+// push inserts an event into the 4-ary heap.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h[i].before(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.events = h
+}
+
+// pop removes and returns the minimum event. The caller guarantees the
+// heap is non-empty.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release references held by the vacated slot
+	h = h[:n]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Smallest of up to four children.
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if h[j].before(&h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(&last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	if n > 0 {
+		h[i] = last
+	}
+	e.events = h
+	return root
+}
+
+// schedule clamps t to now and pushes the event.
+func (e *Engine) schedule(t Time, ev event) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, call: fn})
+	ev.at = t
+	ev.seq = e.seq
+	e.push(ev)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is clamped to "now" (the event still runs, after already-queued
+// events for the current instant).
+func (e *Engine) At(t Time, fn func(Time)) {
+	e.schedule(t, event{fn: fn})
 }
 
 // After schedules fn to run d ticks from now.
 func (e *Engine) After(d Duration, fn func(Time)) {
 	e.At(e.now+Time(d), fn)
+}
+
+// AtCtx schedules cb(t, c) at absolute virtual time t without
+// allocating: the context is stored inline in the event queue. Hot
+// paths (message delivery, batch flushes) use this instead of closures.
+func (e *Engine) AtCtx(t Time, cb CtxFunc, c Ctx) {
+	e.schedule(t, event{cb: cb, ctx: c})
+}
+
+// AfterCtx schedules cb d ticks from now; see AtCtx.
+func (e *Engine) AfterCtx(d Duration, cb CtxFunc, c Ctx) {
+	e.AtCtx(e.now+Time(d), cb, c)
 }
 
 // Step executes the single next event, if any, and reports whether one
@@ -92,10 +176,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.fired++
-	ev.call(e.now)
+	if ev.fn != nil {
+		ev.fn(e.now)
+	} else {
+		ev.cb(e.now, ev.ctx)
+	}
 	return true
 }
 

@@ -212,3 +212,19 @@ func TestInvalidOptions(t *testing.T) {
 		t.Fatal("negative node count accepted")
 	}
 }
+
+func TestUnplaceableQueryKeepsID(t *testing.T) {
+	// A predicate-free single-relation query has no index candidates;
+	// the engine drops (and pool-recycles) it, but the subscription must
+	// still carry the real query ID, not a zeroed one.
+	net := quickNet(t, Options{Seed: 21})
+	net.MustDefineRelation("R", "A")
+	sub := net.MustSubscribe("select R.A from R")
+	if sub.ID == "" {
+		t.Fatal("unplaceable query returned an empty ID")
+	}
+	net.Run()
+	if got := net.Engine().Counters.UnplaceableDropped; got != 1 {
+		t.Fatalf("UnplaceableDropped = %d, want 1", got)
+	}
+}
