@@ -65,13 +65,19 @@ func goldenWorkload(opts Options) (Stats, uint64) {
 	return net.Stats(), h.Sum64()
 }
 
-// goldenConfigs are the two configurations the golden test pins down:
-// the paper-default engine, and the future-work extensions (batching,
-// attribute replication, migration) that exercise every scheduling path.
+// goldenConfigs are the configurations the golden test pins down: the
+// paper-default engine; the future-work extensions (batching,
+// attribute replication, migration) that exercise every scheduling
+// path; and a churn-enabled run whose joins, graceful leaves and
+// crashes must replay bit-identically — handover ordering, bounce
+// paths, ownership re-routes and crash recovery included.
 func goldenConfigs() []Options {
 	return []Options{
 		{Nodes: 96, Seed: 42},
 		{Nodes: 96, Seed: 42, BatchWindow: 4, AttrReplicas: 2, EnableMigration: true, MaxHopDelay: 3},
+		{Nodes: 96, Seed: 42, Churn: ChurnOptions{
+			JoinRate: 25, LeaveRate: 25, CrashRate: 10, Interval: 8, StabilizeInterval: 16, MinNodes: 48,
+		}},
 	}
 }
 
@@ -89,6 +95,12 @@ func TestGoldenDeterminism(t *testing.T) {
 	}{
 		{Stats{Messages: 12650, RICMessages: 362, QueryProcessingLoad: 1862, StorageLoad: 1484, Answers: 8746, RewritesCreated: 9933, MaxNodeQPL: 220, ParticipatingNodes: 53}, 0x631b5dd40811f4a5},
 		{Stats{Messages: 12791, RICMessages: 199, QueryProcessingLoad: 2099, StorageLoad: 1728, Answers: 8609, RewritesCreated: 10060, MaxNodeQPL: 255, ParticipatingNodes: 54}, 0x196e6f513d18ce1d},
+		// Churn-enabled: 19 joins, 22 graceful leaves and 10 crashes
+		// interleave the mixed workload; the digest pins the handover
+		// ordering, bounce paths, ownership re-routes and crash
+		// recovery to an exact replay.
+		{Stats{Messages: 12572, RICMessages: 552, QueryProcessingLoad: 1607, StorageLoad: 1235, Answers: 8282, RewritesCreated: 9214, MaxNodeQPL: 156, ParticipatingNodes: 63,
+			Joins: 19, Leaves: 22, Crashes: 10, HandoverMessages: 22, HandoverEntries: 296, MessagesRerouted: 2, MessagesBounced: 821, RewritesLost: 7, TuplesLost: 16}, 0x2b62efaa569da411},
 	}
 	for i, opts := range goldenConfigs() {
 		st1, d1 := goldenWorkload(opts)

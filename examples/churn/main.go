@@ -1,0 +1,92 @@
+// Churn: continuous joins on an overlay whose membership changes while
+// the stream is live. A fleet-telemetry join runs across a ring that
+// grows, shrinks gracefully (state handed to successors — no answer is
+// lost or duplicated) and suffers outright crashes (state loss is
+// counted, input queries are re-indexed and the stream keeps flowing).
+//
+// Spontaneous churn is driven by Options.Churn rates on the virtual
+// clock; the explicit AddNode / RemoveNode / Crash calls below inject
+// the deterministic "incidents" the commentary narrates.
+package main
+
+import (
+	"fmt"
+
+	"rjoin"
+)
+
+func main() {
+	net := rjoin.MustNetwork(rjoin.Options{
+		Nodes: 64,
+		Seed:  2026,
+		// Background churn: rates are events per 1000 virtual ticks,
+		// so 30 means roughly one join and one graceful leave every
+		// ~33 ticks, floor at 32 nodes.
+		Churn: rjoin.ChurnOptions{JoinRate: 30, LeaveRate: 30, MinNodes: 32},
+	})
+
+	net.MustDefineRelation("Position", "Truck", "Zone")
+	net.MustDefineRelation("Alert", "Zone", "Severity")
+
+	// Which trucks are inside a zone that raises an alert?
+	sub := net.MustSubscribe(
+		"select Position.Truck, Alert.Severity from Position,Alert where Position.Zone=Alert.Zone")
+	net.Run()
+
+	cursor := 0
+	report := func(phase string) {
+		batch := sub.AnswersSince(cursor)
+		cursor += len(batch)
+		st := net.Stats()
+		fmt.Printf("%-22s nodes=%-3d answers+%-3d joins=%d leaves=%d crashes=%d handover=%d/%d bounced=%d lost=%d\n",
+			phase, net.Nodes(), len(batch), st.Joins, st.Leaves, st.Crashes,
+			st.HandoverMessages, st.HandoverEntries, st.MessagesBounced,
+			st.RewritesLost+st.TuplesLost)
+	}
+
+	stream := func(rounds, base int) {
+		for i := 0; i < rounds; i++ {
+			net.MustPublish("Position", base+i, (base+i)%7)
+			if i%2 == 0 {
+				net.MustPublish("Alert", (base+i)%7, i%3)
+			}
+			net.RunFor(16) // advance the clock so background churn can fire
+			net.Run()
+		}
+	}
+
+	stream(20, 0)
+	report("steady state")
+
+	// Incident 1: a third of the fleet is decommissioned gracefully —
+	// every stored query and tuple hands over to a successor.
+	for i := 0; i < 16 && net.Nodes() > 33; i++ {
+		if err := net.RemoveNode((i * 3) % net.Nodes()); err != nil {
+			panic(err)
+		}
+	}
+	stream(20, 100)
+	report("after graceful drain")
+
+	// Incident 2: a rack dies without warning.
+	for i := 0; i < 3; i++ {
+		if err := net.Crash(i * 5 % net.Nodes()); err != nil {
+			panic(err)
+		}
+	}
+	stream(20, 200)
+	report("after crashes")
+
+	// Incident 3: capacity comes back.
+	for i := 0; i < 10; i++ {
+		if err := net.AddNode(); err != nil {
+			panic(err)
+		}
+	}
+	stream(20, 300)
+	report("after scale-up")
+
+	st := net.Stats()
+	fmt.Printf("\ntotal: %d answers over %d messages; %d membership events, %d state entries handed over, %d recovered query placements\n",
+		st.Answers, st.Messages, st.Joins+st.Leaves+st.Crashes, st.HandoverEntries, st.QueriesRecovered)
+}

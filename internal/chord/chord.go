@@ -64,6 +64,11 @@ type Ring struct {
 	byID  map[id.ID]*Node
 	order []*Node // alive nodes sorted by id; maintained on change
 	dirty bool
+
+	// fingerStride rotates which finger indices TickStabilize repairs,
+	// so incremental maintenance touches the full table every
+	// ringTickRounds rounds.
+	fingerStride int
 }
 
 // NewRing returns an empty overlay.
@@ -208,6 +213,33 @@ func (r *Ring) StabilizeAll() {
 	}
 }
 
+// ringTickRounds is how many TickStabilize rounds cover a full finger
+// table: each round repairs id.Bits/ringTickRounds finger indices per
+// node, the incremental fix_fingers cadence of a running deployment.
+const ringTickRounds = 8
+
+// TickStabilize runs one incremental maintenance round, the unit of
+// work a deployment performs per stabilization timer fire: every alive
+// node stabilizes its successor/predecessor links, then repairs a
+// rotating 1/8 slice of its finger table. Repeated rounds converge the
+// ring after membership changes without paying FixAllFingers on every
+// tick; mid-convergence lookups stay correct because routing falls
+// back to the successor chain (and, pathologically, ground truth).
+func (r *Ring) TickStabilize() {
+	nodes := r.sorted()
+	for _, n := range nodes {
+		n.Stabilize()
+	}
+	stride := id.Bits / ringTickRounds
+	lo := r.fingerStride * stride
+	r.fingerStride = (r.fingerStride + 1) % ringTickRounds
+	for _, n := range nodes {
+		for i := lo; i < lo+stride; i++ {
+			n.FixFinger(i)
+		}
+	}
+}
+
 // BuildPerfect sets every alive node's successor list, predecessor and
 // finger table to their ground-truth values. Used by the experiment
 // harness to start from a converged overlay (the paper measures a stable
@@ -274,6 +306,15 @@ func (n *Node) FixAllFingers() {
 	for i := 0; i < id.Bits; i++ {
 		n.finger[i] = n.ring.successorOf(id.FingerStart(n.id, i))
 	}
+}
+
+// FixFinger repairs one finger table entry — Chord's fix_fingers()
+// step, run incrementally by TickStabilize.
+func (n *Node) FixFinger(i int) {
+	if !n.alive || i < 0 || i >= id.Bits {
+		return
+	}
+	n.finger[i] = n.ring.successorOf(id.FingerStart(n.id, i))
 }
 
 // closestPrecedingNode returns the alive finger (or successor-list

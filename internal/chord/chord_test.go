@@ -230,6 +230,169 @@ func TestLookupPathExcludesOrigin(t *testing.T) {
 	}
 }
 
+// verifyLookups asserts that lookups from every node agree with ground
+// truth for a batch of random targets.
+func verifyLookups(t *testing.T, r *Ring, seed int64, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		nodes := r.Nodes()
+		from := nodes[rng.Intn(len(nodes))]
+		target := id.ID(rng.Uint64())
+		owner, _ := from.Lookup(target)
+		if want := r.Owner(target); owner != want {
+			t.Fatalf("lookup(%v) from %v = %v, want %v", target, from, owner, want)
+		}
+	}
+}
+
+func TestOneNodeRingLeaveAndRejoin(t *testing.T) {
+	r := NewRing()
+	n, err := r.Join(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Leave(n)
+	if r.Size() != 0 {
+		t.Fatalf("size after sole node left = %d, want 0", r.Size())
+	}
+	if r.Owner(123) != nil {
+		t.Fatal("empty ring must own nothing")
+	}
+	// The identifier is free again and the rejoined node bootstraps a
+	// fresh singleton ring.
+	n2, err := r.Join(11)
+	if err != nil {
+		t.Fatalf("rejoin after leave: %v", err)
+	}
+	if n2.Successor() != n2 || n2.Predecessor() != n2 {
+		t.Fatal("rejoined singleton must point at itself")
+	}
+	if owner, _ := n2.Lookup(999); owner != n2 {
+		t.Fatal("singleton lookup must resolve locally")
+	}
+}
+
+func TestTwoNodeRing(t *testing.T) {
+	r := NewRing()
+	a, _ := r.Join(100)
+	b, err := r.Join(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Successor() != b || b.Successor() != a {
+		t.Fatal("two-node ring successors must point at each other")
+	}
+	if r.Owner(150) != b || r.Owner(250) != a {
+		t.Fatal("two-node ownership arcs wrong")
+	}
+	verifyLookups(t, r, 21, 50)
+
+	// Leaving one node collapses back to a correct singleton.
+	r.Leave(b)
+	r.StabilizeAll()
+	if a.Successor() != a {
+		t.Fatal("survivor must become its own successor")
+	}
+	if p := a.Predecessor(); p != nil && p != a {
+		t.Fatalf("survivor predecessor = %v, want self or nil", p)
+	}
+	if r.Owner(150) != a {
+		t.Fatal("survivor must own the whole ring")
+	}
+}
+
+func TestTwoNodeRingFailure(t *testing.T) {
+	r := NewRing()
+	a, _ := r.Join(100)
+	b, _ := r.Join(200)
+	r.Fail(b)
+	for i := 0; i < 3; i++ {
+		r.StabilizeAll()
+	}
+	if a.Successor() != a {
+		t.Fatal("survivor of a 2-node failure must self-succeed")
+	}
+	if owner, _ := a.Lookup(150); owner != a {
+		t.Fatal("survivor must resolve all keys locally")
+	}
+}
+
+// Leave of a node's own successor: the predecessor must splice past it
+// and keep routing correct, including when the two are adjacent in a
+// larger ring.
+func TestLeaveOfOwnSuccessor(t *testing.T) {
+	r := buildRing(t, 64, 31)
+	nodes := r.Nodes()
+	n := nodes[10]
+	victim := n.Successor()
+	if victim == n {
+		t.Fatal("fixture broken: node is its own successor in a 64-ring")
+	}
+	r.Leave(victim)
+	if n.Successor() == victim {
+		t.Fatal("leave did not splice the predecessor past the victim")
+	}
+	r.StabilizeAll()
+	if got := n.Successor(); got != r.Owner(victim.ID()) {
+		t.Fatalf("successor after leave = %v, want %v", got, r.Owner(victim.ID()))
+	}
+	verifyLookups(t, r, 32, 200)
+}
+
+// Fail followed by StabilizeAll rounds must reconverge successor lists,
+// predecessors and fingers to ground truth, even when a node's whole
+// nearby neighbourhood fails at once.
+func TestFailThenStabilizeConvergence(t *testing.T) {
+	r := buildRing(t, 96, 33)
+	nodes := append([]*Node(nil), r.Nodes()...)
+	// Fail a contiguous run of successors (harder than scattered
+	// failures: the survivor's first few successor-list entries all die).
+	for k := 1; k <= 5; k++ {
+		r.Fail(nodes[(20+k)%len(nodes)])
+	}
+	for i := 0; i < 4; i++ {
+		r.StabilizeAll()
+	}
+	for _, n := range r.Nodes() {
+		if want := r.Owner(n.ID() + 1); n.Successor() != want {
+			t.Fatalf("successor of %v = %v, want %v", n, n.Successor(), want)
+		}
+		if p := n.Predecessor(); p == nil || !p.Alive() {
+			t.Fatalf("predecessor of %v not repaired: %v", n, p)
+		}
+	}
+	verifyLookups(t, r, 34, 300)
+}
+
+// TickStabilize is the incremental maintenance cadence: after churn,
+// enough rounds must converge the ring exactly like StabilizeAll.
+func TestTickStabilizeConverges(t *testing.T) {
+	r := buildRing(t, 80, 35)
+	rng := rand.New(rand.NewSource(36))
+	for i := 0; i < 6; i++ {
+		nodes := r.Nodes()
+		r.Fail(nodes[rng.Intn(len(nodes))])
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Join(id.ID(rng.Uint64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One full finger rotation plus slack.
+	for i := 0; i < 2*ringTickRounds; i++ {
+		r.TickStabilize()
+	}
+	for _, n := range r.Nodes() {
+		for i := 0; i < id.Bits; i++ {
+			if want := r.Owner(id.FingerStart(n.ID(), i)); n.finger[i] != want {
+				t.Fatalf("finger[%d] of %v = %v, want %v", i, n, n.finger[i], want)
+			}
+		}
+	}
+	verifyLookups(t, r, 37, 300)
+}
+
 func BenchmarkLookup1024(b *testing.B) {
 	r := buildRing(b, 1024, 12)
 	nodes := r.Nodes()

@@ -18,6 +18,11 @@ import (
 // "Request RIC" series of the figures).
 const TagRIC = "ric"
 
+// TagChurn is the traffic tag under which membership-change traffic is
+// charged: state handover chunks, their forwarding hops, and crash
+// recovery re-submissions.
+const TagChurn = "churn"
+
 // Answer is one result row delivered to a query owner.
 type Answer struct {
 	QueryID string
@@ -48,6 +53,15 @@ type Counters struct {
 	RICRequests          int64
 	QueriesMigrated      int64
 	RICReplies           int64
+
+	// Churn bookkeeping (see handover.go).
+	HandoverMessages int64 // handover chunks shipped between nodes
+	HandoverEntries  int64 // state entries those chunks carried
+	MessagesRerouted int64 // deliveries corrected by the ownership check
+	QueriesRecovered int64 // input-query placements re-indexed after a crash
+	QueriesLost      int64 // input-query state dropped with no recovery possible
+	RewritesLost     int64 // rewritten-query state dropped by crashes
+	TuplesLost       int64 // stored tuples and ALTT entries dropped by crashes
 }
 
 // Engine runs RJoin over an overlay: it owns one Proc per DHT node,
@@ -285,6 +299,12 @@ func rowKey(vals []relation.Value) string {
 // Answers returns the rows delivered so far for a query, in delivery
 // order. The returned slice is shared; callers must not mutate it.
 func (e *Engine) Answers(queryID string) []Answer { return e.answers[queryID] }
+
+// AllAnswers returns every query's delivered answers keyed by query
+// ID. Map and slices are shared; callers must not mutate them. The
+// churn experiments use this to compare whole answer sets against a
+// reference run.
+func (e *Engine) AllAnswers() map[string][]Answer { return e.answers }
 
 // TotalAnswers returns the number of answers delivered across all
 // queries.

@@ -33,38 +33,56 @@ func newEvalMsg(q *query.Query, key relation.Key, level query.Level, ric []ricIn
 	return m
 }
 
-func newAnswerMsg(queryID string, values []relation.Value) *answerMsg {
+func newAnswerMsg(queryID string, owner id.ID, values []relation.Value) *answerMsg {
 	m := answerMsgPool.Get().(*answerMsg)
-	*m = answerMsg{QueryID: queryID, Values: values}
+	*m = answerMsg{QueryID: queryID, Owner: owner, Values: values}
 	return m
 }
 
 // tupleMsg is Procedure 1's newTuple(t, Key, IP(x), Level) message: one
-// copy per index key of the tuple.
+// copy per index key of the tuple. Reroutes counts ownership
+// corrections applied mid-churn (see Proc.reroute).
 type tupleMsg struct {
 	T         *relation.Tuple
 	Key       relation.Key
 	Level     query.Level
 	Publisher id.ID
+	Reroutes  uint8
 }
+
+// RingKey implements overlay.Rekeyable: an undeliverable tuple message
+// is bound to its index key.
+func (m *tupleMsg) RingKey() id.ID { return m.Key.ID() }
 
 // evalMsg carries an input or rewritten query to the node that will
 // store it (the paper's Eval(q, Key, Owner(q)) message; input-query
 // indexing uses the same shape). RIC entries learned by the sender are
 // piggy-backed per Section 7.
 type evalMsg struct {
-	Q     *query.Query
-	Key   relation.Key
-	Level query.Level
-	RIC   []ricInfo
+	Q        *query.Query
+	Key      relation.Key
+	Level    query.Level
+	RIC      []ricInfo
+	Reroutes uint8
 }
 
+// RingKey implements overlay.Rekeyable.
+func (m *evalMsg) RingKey() id.ID { return m.Key.ID() }
+
 // answerMsg delivers one answer row directly to the input query's
-// owner.
+// owner. Owner is carried so that an answer in flight to a node that
+// just departed can be bounced to the successor of the owner's
+// identifier — the node applications reach when they look the owner up
+// after the departure.
 type answerMsg struct {
 	QueryID string
+	Owner   id.ID
 	Values  []relation.Value
 }
+
+// RingKey implements overlay.Rekeyable: answers re-route to the
+// current successor of the owner's ring position.
+func (m *answerMsg) RingKey() id.ID { return m.Owner }
 
 // ricInfo is one candidate's report: the key it is responsible for, the
 // rate of incoming tuples it observes for that key, its address (so the
@@ -88,8 +106,75 @@ type ricRequestMsg struct {
 	Got     []ricInfo
 }
 
-// ricReplyMsg returns the collected reports to the origin.
+// RingKey implements overlay.Rekeyable: the walk continues at the
+// next pending candidate's owner.
+func (m *ricRequestMsg) RingKey() id.ID {
+	if len(m.Pending) > 0 {
+		return m.Pending[0].ID()
+	}
+	return m.Origin
+}
+
+// ricReplyMsg returns the collected reports to the origin. Origin is
+// carried so a reply whose origin departed mid-walk can follow the
+// pending placement to the origin's successor (graceful leaves hand
+// pending placements over with the rest of the node's state).
 type ricReplyMsg struct {
+	ReqID  int64
+	Origin id.ID
+	Got    []ricInfo
+}
+
+// RingKey implements overlay.Rekeyable.
+func (m *ricReplyMsg) RingKey() id.ID { return m.Origin }
+
+// handoverMsg moves RJoin state between nodes during membership
+// changes: a gracefully leaving node drains its entire store to its
+// successor, and a freshly joined node receives the slice of its
+// successor's store that falls in its new arc. Entries are ordered
+// deterministically (keys sorted by their string form) and chunked so
+// the traffic charged for a handover scales with the state moved.
+type handoverMsg struct {
+	From id.ID
+	// To is the intended recipient, kept for bouncing: if the recipient
+	// dies before the handover lands, the chunk re-routes to the
+	// current successor of this identifier.
+	To   id.ID
+	Hops uint8 // forwarding steps taken by entries that missed their owner
+
+	Queries []*storedQuery
+	Tuples  []handedTuple
+	ALTT    []handedALTT
+	Stats   []handedStat
+	CT      []ricInfo
+	Pending []handedPending
+}
+
+// RingKey implements overlay.Rekeyable.
+func (m *handoverMsg) RingKey() id.ID { return m.To }
+
+// entryCount returns how many state entries the chunk carries.
+func (m *handoverMsg) entryCount() int {
+	return len(m.Queries) + len(m.Tuples) + len(m.ALTT) +
+		len(m.Stats) + len(m.CT) + len(m.Pending)
+}
+
+type handedTuple struct {
+	Key relation.Key
+	T   *relation.Tuple
+}
+
+type handedALTT struct {
+	Key relation.Key
+	E   alttEntry
+}
+
+type handedStat struct {
+	Key relation.Key
+	S   rateStat
+}
+
+type handedPending struct {
 	ReqID int64
-	Got   []ricInfo
+	PP    *pendingPlacement
 }

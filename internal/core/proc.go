@@ -128,14 +128,23 @@ func newProc(eng *Engine, node *chord.Node) *Proc {
 
 // HandleMessage dispatches overlay deliveries. The pooled message
 // kinds are recycled once their handler returns — handlers copy out
-// everything they retain.
+// everything they retain. Keyed messages that arrive at a node that no
+// longer owns their key (stale routing state mid-churn) are re-routed
+// before any processing, and are not recycled on that path: they are
+// still in flight.
 func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 	switch m := msg.(type) {
 	case *tupleMsg:
+		if p.reroute(m.Key, &m.Reroutes, m) {
+			return
+		}
 		p.onTuple(now, m)
 		*m = tupleMsg{}
 		tupleMsgPool.Put(m)
 	case *evalMsg:
+		if p.reroute(m.Key, &m.Reroutes, m) {
+			return
+		}
 		p.onEval(now, m)
 		*m = evalMsg{}
 		evalMsgPool.Put(m)
@@ -147,7 +156,29 @@ func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 		p.onRICRequest(now, m)
 	case *ricReplyMsg:
 		p.onRICReply(now, m)
+	case *handoverMsg:
+		p.onHandover(now, m)
 	}
+}
+
+// maxReroutes bounds ownership-correction forwarding so a message
+// cannot circulate forever between nodes with mutually stale views; a
+// message that exhausts the budget is processed where it is.
+const maxReroutes = 4
+
+// reroute forwards a keyed message that was delivered to a node whose
+// local routing state says it is not responsible for the key — the
+// arrival-side half of churn healing (the overlay's bounce path covers
+// dead recipients; this covers live-but-wrong ones). In a converged
+// ring it never fires. Returns true when the message was forwarded.
+func (p *Proc) reroute(key relation.Key, hops *uint8, m overlay.Message) bool {
+	if *hops >= maxReroutes || p.ownsKey(key) {
+		return false
+	}
+	*hops++
+	p.eng.Counters.MessagesRerouted++
+	p.eng.net.Send(p.node, key.ID(), m)
+	return true
 }
 
 func (p *Proc) recordArrival(key relation.Key, now sim.Time) {
@@ -170,11 +201,15 @@ func (p *Proc) rate(key relation.Key, now sim.Time) float64 {
 
 // ownsKey reports whether this node is Successor(Hash(key)) according
 // to its local routing state. The key's ring identifier is cached, so
-// this is pure interval arithmetic.
+// this is pure interval arithmetic. While the predecessor link is down
+// (unknown, or pointing at a node that crashed and has not been
+// stabilized away yet) the check falls back to ground truth, so a node
+// whose predecessor just died does not disown the keys it inherited.
 func (p *Proc) ownsKey(key relation.Key) bool {
 	pred := p.node.Predecessor()
-	if pred == nil {
-		return true
+	if pred == nil || !pred.Alive() {
+		o := p.eng.ring.Owner(key.ID())
+		return o == nil || o.ID() == p.node.ID()
 	}
 	return id.BetweenRightIncl(key.ID(), pred.ID(), p.node.ID())
 }
@@ -275,7 +310,7 @@ func (p *Proc) completeTrigger(sq *storedQuery, t *relation.Tuple) {
 	if sq.q.Depth+1 >= 2 {
 		p.eng.Counters.DeepRewrites++
 	}
-	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, vals))
+	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, id.ID(sq.q.Owner), vals))
 }
 
 // storeTuple stores a value-level tuple (counted as storage load) and
@@ -483,7 +518,7 @@ func (p *Proc) dispatch(now sim.Time, q2 *query.Query) {
 		p.eng.Counters.DeepRewrites++
 	}
 	if q2.IsComplete() {
-		p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, q2.AnswerValues()))
+		p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues()))
 		query.Release(q2)
 		return
 	}
@@ -587,7 +622,7 @@ func (p *Proc) onRICRequest(now sim.Time, m *ricRequestMsg) {
 	}
 	p.eng.net.WithTag(TagRIC, func() {
 		if len(m.Pending) == 0 {
-			p.eng.net.SendDirect(p.node, m.Origin, &ricReplyMsg{ReqID: m.ReqID, Got: m.Got})
+			p.eng.net.SendDirect(p.node, m.Origin, &ricReplyMsg{ReqID: m.ReqID, Origin: m.Origin, Got: m.Got})
 		} else {
 			p.eng.net.Send(p.node, m.Pending[0].ID(), m)
 		}

@@ -57,13 +57,18 @@ func (p Params) scaled(n int) int {
 
 // run is one configured network with its workload generator.
 type run struct {
-	eng   *core.Engine
-	nodes []*chord.Node
-	gen   *workload.Generator
-	rng   *rand.Rand
+	eng *core.Engine
+	gen *workload.Generator
+	rng *rand.Rand
 }
 
 func newRun(p Params, cfg core.Config, wcfg workload.Config) *run {
+	return newRunNet(p, cfg, wcfg, overlay.DefaultConfig())
+}
+
+// newRunNet is newRun with an explicit overlay configuration (the
+// churn figure enables message bouncing).
+func newRunNet(p Params, cfg core.Config, wcfg workload.Config, netCfg overlay.Config) *run {
 	ring := chord.NewRing()
 	idRng := rand.New(rand.NewSource(p.Seed))
 	for i := 0; i < p.Nodes; i++ {
@@ -75,14 +80,20 @@ func newRun(p Params, cfg core.Config, wcfg workload.Config) *run {
 	}
 	ring.BuildPerfect()
 	se := sim.NewEngine(p.Seed)
-	nw := overlay.NewNetwork(ring, se, overlay.DefaultConfig())
+	nw := overlay.NewNetwork(ring, se, netCfg)
 	eng := core.NewEngine(ring, se, nw, cfg)
 	return &run{
-		eng:   eng,
-		nodes: ring.Nodes(),
-		gen:   workload.MustGenerator(wcfg, p.Seed),
-		rng:   rand.New(rand.NewSource(p.Seed + 1)),
+		eng: eng,
+		gen: workload.MustGenerator(wcfg, p.Seed),
+		rng: rand.New(rand.NewSource(p.Seed + 1)),
 	}
+}
+
+// node picks a pseudo-random node from the live membership (a snapshot
+// would go stale under churn or identifier movement).
+func (r *run) node() *chord.Node {
+	nodes := r.eng.Ring().Nodes()
+	return nodes[r.rng.Intn(len(nodes))]
 }
 
 // warmup publishes n tuples before the measured experiment begins and
@@ -100,8 +111,7 @@ func (r *run) submitQueries(n int, window query.WindowSpec) {
 	for i := 0; i < n; i++ {
 		q := r.gen.Query()
 		q.Window = window
-		owner := r.nodes[r.rng.Intn(len(r.nodes))]
-		if _, err := r.eng.SubmitQuery(owner, q); err != nil {
+		if _, err := r.eng.SubmitQuery(r.node(), q); err != nil {
 			panic(err) // generator output is valid by construction
 		}
 	}
@@ -110,7 +120,7 @@ func (r *run) submitQueries(n int, window query.WindowSpec) {
 
 func (r *run) publish(n int) {
 	for i := 0; i < n; i++ {
-		r.eng.PublishTuple(r.nodes[r.rng.Intn(len(r.nodes))], r.gen.Tuple())
+		r.eng.PublishTuple(r.node(), r.gen.Tuple())
 		r.eng.Run()
 	}
 }
@@ -462,17 +472,19 @@ func Fig9(p Params) []*metrics.Table {
 }
 
 // All runs every figure and returns the tables keyed by figure id, in
-// paper order.
+// paper order. The churn figure ("churn") is this reproduction's own
+// extension: the paper measures a stable overlay only.
 func All(p Params) map[string][]*metrics.Table {
 	f7, f8 := Fig7And8(p)
 	return map[string][]*metrics.Table{
-		"2": Fig2(p),
-		"3": Fig3(p),
-		"4": Fig4(p),
-		"5": Fig5(p),
-		"6": Fig6(p),
-		"7": f7,
-		"8": f8,
-		"9": Fig9(p),
+		"2":     Fig2(p),
+		"3":     Fig3(p),
+		"4":     Fig4(p),
+		"5":     Fig5(p),
+		"6":     Fig6(p),
+		"7":     f7,
+		"8":     f8,
+		"9":     Fig9(p),
+		"churn": FigChurn(p),
 	}
 }

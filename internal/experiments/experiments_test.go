@@ -122,6 +122,38 @@ func TestFig9BalancerShavesHead(t *testing.T) {
 	}
 }
 
+// TestFigChurnShapes: graceful-only churn delivers the reference
+// exactly; the crash scenario's losses are counted, not silent.
+func TestFigChurnShapes(t *testing.T) {
+	p := tiny()
+	tabs := FigChurn(p)
+	if len(tabs) != 3 {
+		t.Fatalf("FigChurn returned %d tables", len(tabs))
+	}
+	events, comp := tableWrap{tabs[0].Rows}, tableWrap{tabs[1].Rows}
+	// Row order: static, leave, join+leave, crash.
+	if cell(events, 0, 1) != 0 || cell(events, 0, 2) != 0 || cell(events, 0, 3) != 0 {
+		t.Fatal("static scenario churned")
+	}
+	if cell(events, 1, 2) == 0 {
+		t.Fatal("leave scenario performed no leaves")
+	}
+	if cell(events, 1, 5) == 0 {
+		t.Fatal("leaves moved no handover chunks")
+	}
+	if cell(events, 3, 3) == 0 {
+		t.Fatal("crash scenario performed no crashes")
+	}
+	for row, name := range []string{"static", "leave", "join+leave"} {
+		if lost, dup := cell(comp, row, 3), cell(comp, row, 4); lost != 0 || dup != 0 {
+			t.Errorf("%s: lost=%v duplicated=%v, want exactly-once", name, lost, dup)
+		}
+	}
+	if cell(comp, 3, 1) == 0 {
+		t.Fatal("reference expected no answers; workload too weak")
+	}
+}
+
 func TestAllRunsEveryFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("All() runs every experiment")
@@ -129,7 +161,7 @@ func TestAllRunsEveryFigure(t *testing.T) {
 	p := tiny()
 	p.Queries = 500
 	all := All(p)
-	for _, figID := range []string{"2", "3", "4", "5", "6", "7", "8", "9"} {
+	for _, figID := range []string{"2", "3", "4", "5", "6", "7", "8", "9", "churn"} {
 		tabs, ok := all[figID]
 		if !ok || len(tabs) == 0 {
 			t.Fatalf("figure %s missing", figID)

@@ -27,6 +27,16 @@ import (
 // Message is an opaque payload delivered to a node's handler.
 type Message interface{}
 
+// Rekeyable is implemented by messages that can survive the death of
+// their addressee: RingKey returns the ring identifier the message is
+// semantically bound to (the index key of a tuple or query, the owner
+// identifier of an answer), so an undeliverable copy can be bounced to
+// the node currently responsible for that point of the ring. Messages
+// without a RingKey are dropped when their recipient is gone.
+type Rekeyable interface {
+	RingKey() id.ID
+}
+
 // Handler consumes messages delivered to one node.
 type Handler interface {
 	HandleMessage(now sim.Time, msg Message)
@@ -56,6 +66,12 @@ type Config struct {
 	// most BatchWindow; MaxDelta accounts for it, so the ALTT
 	// completeness bound still holds.
 	BatchWindow int64
+	// Bounce re-routes undeliverable Rekeyable messages — sends whose
+	// recipient left or crashed before delivery — to the node currently
+	// responsible for the message's ring key, instead of dropping them.
+	// Required under churn; in a static converged ring it never fires.
+	// Off by default so failure-injection tests keep drop semantics.
+	Bounce bool
 }
 
 // DefaultConfig is a deterministic single-tick-per-hop network with
@@ -84,6 +100,9 @@ type Network struct {
 	// Delivered counts end-to-end deliveries (one per Send/SendDirect,
 	// one per target for MultiSend).
 	Delivered int64
+	// Bounced counts undeliverable messages re-routed to the current
+	// owner of their ring key (see Config.Bounce).
+	Bounced int64
 }
 
 // NewNetwork creates an overlay over an existing ring and engine.
@@ -161,13 +180,45 @@ func (nw *Network) chargePath(from *chord.Node, path []*chord.Node) int64 {
 // deliverEvent completes a delivery at its scheduled time. It is a
 // package-level CtxFunc so scheduling a delivery allocates nothing —
 // the network, recipient and payload ride in the event's inline Ctx.
+// A recipient that died while the message was in flight triggers the
+// bounce path; a recipient that is alive but detached (failure
+// injection in tests) still drops the message silently.
 func deliverEvent(now sim.Time, c sim.Ctx) {
 	nw := c.A.(*Network)
 	owner := c.B.(*chord.Node)
 	if h, ok := nw.handlers[owner.ID()]; ok && owner.Alive() {
 		nw.Delivered++
 		h.HandleMessage(now, c.C)
+		return
 	}
+	if !owner.Alive() {
+		nw.bounce(c.C)
+	}
+}
+
+// bounce re-routes an undeliverable message to the node currently
+// responsible for its ring key — the departed recipient's next of kin
+// under the successor rule. The recovery hop is charged to the new
+// owner (it performs the fetch in a real deployment's key-handoff
+// repair) and takes one hop delay. If the new owner also dies before
+// delivery, the bounce repeats against fresh ground truth, so the
+// message survives any churn that leaves the ring non-empty.
+func (nw *Network) bounce(msg Message) {
+	if !nw.cfg.Bounce {
+		return
+	}
+	rk, ok := msg.(Rekeyable)
+	if !ok {
+		return
+	}
+	tgt := nw.Ring.Owner(rk.RingKey())
+	if tgt == nil {
+		return // ring is empty; nothing can take the message
+	}
+	nw.Bounced++
+	nw.MessagesSent++
+	nw.charge(tgt.ID(), 1)
+	nw.deliver(tgt, nw.hopDelay(), msg)
 }
 
 func (nw *Network) deliver(owner *chord.Node, delay int64, msg Message) {
@@ -223,6 +274,7 @@ func (nw *Network) ResetTraffic() {
 	}
 	nw.MessagesSent = 0
 	nw.Delivered = 0
+	nw.Bounced = 0
 }
 
 // Send routes msg from node "from" to Successor(key) through the DHT
@@ -283,11 +335,14 @@ func (nw *Network) flush(from *chord.Node) {
 }
 
 // SendDirect delivers msg to a node whose address is already known, in a
-// single hop (the paper's sendDirect(msg, addr)).
+// single hop (the paper's sendDirect(msg, addr)). A recipient that has
+// already left the network loses the message, unless bouncing is
+// enabled and the message carries a ring key to re-route by.
 func (nw *Network) SendDirect(from *chord.Node, to id.ID, msg Message) {
 	owner := nw.Ring.Node(to)
 	if owner == nil {
-		return // recipient has left the network; message is lost
+		nw.bounce(msg)
+		return
 	}
 	var delay int64
 	if owner != from {
@@ -297,6 +352,32 @@ func (nw *Network) SendDirect(from *chord.Node, to id.ID, msg Message) {
 	}
 	nw.deliver(owner, delay, msg)
 }
+
+// Transfer delivers msg to a known alive recipient at the current
+// instant, charging one message: the synchronous state handoff a
+// departing or splitting node completes before responsibility for its
+// keys moves on. The handoff is on the wire like any message — and
+// counted in the traffic metric — but delivery is instantaneous, so no
+// regular (≥ one hop delay) message can observe the new owner before
+// its state has arrived. It reports whether the recipient accepted.
+func (nw *Network) Transfer(from *chord.Node, to id.ID, msg Message) bool {
+	owner := nw.Ring.Node(to)
+	if owner == nil {
+		nw.bounce(msg)
+		return false
+	}
+	if owner != from {
+		nw.charge(from.ID(), 1)
+		nw.MessagesSent++
+	}
+	nw.deliver(owner, 0, msg)
+	return true
+}
+
+// FlushNode immediately flushes a node's batched outbox. A node about
+// to leave gracefully empties its buffers first so batching cannot turn
+// a clean departure into message loss.
+func (nw *Network) FlushNode(from *chord.Node) { nw.flush(from) }
 
 // MultiSend delivers msgs[j] to Successor(keys[j]) for every j. With
 // grouping disabled each delivery is an independent O(log N) lookup

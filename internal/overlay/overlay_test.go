@@ -112,6 +112,109 @@ func TestSendDirectToDeadNodeDropped(t *testing.T) {
 	}
 }
 
+// keyedMsg is a test message implementing Rekeyable.
+type keyedMsg struct {
+	key  id.ID
+	body string
+}
+
+func (m keyedMsg) RingKey() id.ID { return m.key }
+
+// An in-flight message whose recipient dies before delivery bounces to
+// the current owner of its ring key when Bounce is enabled.
+func TestBounceInFlightToNewOwner(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bounce = true
+	f := newFixture(t, 64, cfg)
+	key := id.HashKey("doomed-key")
+	victim := f.ring.Owner(key)
+	f.nw.Send(f.nodes[0], key, keyedMsg{key: key, body: "survive"})
+	f.ring.Fail(victim) // dies while the message is in flight
+	f.ring.StabilizeAll()
+	f.engine.Run()
+	heir := f.ring.Owner(key)
+	if heir == victim {
+		t.Fatal("fixture broken: owner unchanged after failure")
+	}
+	got := f.received[heir.ID()]
+	if len(got) != 1 || got[0].(keyedMsg).body != "survive" {
+		t.Fatalf("heir received %v, want the bounced message", got)
+	}
+	if f.nw.Bounced != 1 {
+		t.Fatalf("Bounced = %d, want 1", f.nw.Bounced)
+	}
+}
+
+// Without Bounce (the default), dead-recipient messages keep their
+// historical drop semantics even when Rekeyable.
+func TestNoBounceByDefault(t *testing.T) {
+	f := newFixture(t, 64, DefaultConfig())
+	key := id.HashKey("doomed-key")
+	victim := f.ring.Owner(key)
+	f.nw.Send(f.nodes[0], key, keyedMsg{key: key, body: "lost"})
+	f.ring.Fail(victim)
+	f.engine.Run()
+	heir := f.ring.Owner(key)
+	if len(f.received[heir.ID()]) != 0 || f.nw.Bounced != 0 {
+		t.Fatal("message must drop when bouncing is disabled")
+	}
+}
+
+// SendDirect to an identifier that already left re-routes by ring key.
+func TestSendDirectBouncesWhenAddresseeGone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bounce = true
+	f := newFixture(t, 64, cfg)
+	victim := f.nodes[7]
+	vid := victim.ID()
+	f.ring.Fail(victim)
+	f.nw.SendDirect(f.nodes[0], vid, keyedMsg{key: vid, body: "answer"})
+	f.engine.Run()
+	heir := f.ring.Owner(vid)
+	got := f.received[heir.ID()]
+	if len(got) != 1 || got[0].(keyedMsg).body != "answer" {
+		t.Fatalf("successor received %v, want the bounced direct message", got)
+	}
+}
+
+// Non-Rekeyable messages cannot be re-routed and are dropped even with
+// bouncing on.
+func TestBounceRequiresRingKey(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bounce = true
+	f := newFixture(t, 64, cfg)
+	victim := f.nodes[3]
+	f.ring.Fail(victim)
+	f.nw.SendDirect(f.nodes[0], victim.ID(), "opaque")
+	f.engine.Run()
+	if f.nw.Bounced != 0 {
+		t.Fatal("opaque message must not bounce")
+	}
+}
+
+// Transfer delivers instantly (same tick), costs one message, and is
+// ordered before any regular send issued afterwards.
+func TestTransferInstantAndCounted(t *testing.T) {
+	f := newFixture(t, 64, DefaultConfig())
+	from, to := f.nodes[0], f.nodes[9]
+	var order []string
+	f.nw.Attach(to, HandlerFunc(func(now sim.Time, msg Message) {
+		if now != f.engine.Now() && len(order) == 0 {
+			t.Fatalf("transfer delivered at %d, want instant", now)
+		}
+		order = append(order, msg.(string))
+	}))
+	f.nw.Transfer(from, to.ID(), "state")
+	f.nw.SendDirect(from, to.ID(), "later")
+	f.engine.Run()
+	if len(order) != 2 || order[0] != "state" || order[1] != "later" {
+		t.Fatalf("delivery order %v, want [state later]", order)
+	}
+	if f.nw.Traffic.Get(from.ID()) != 2 {
+		t.Fatalf("sender charged %d, want 2", f.nw.Traffic.Get(from.ID()))
+	}
+}
+
 func TestMultiSendDeliversAll(t *testing.T) {
 	for _, grouping := range []bool{false, true} {
 		cfg := DefaultConfig()

@@ -40,12 +40,18 @@ type CtxFunc func(now Time, c Ctx)
 
 // event is one scheduled callback, stored inline in the heap slice.
 // Exactly one of fn (closure path) and cb (context path) is non-nil.
+// Background events (bg) are housekeeping — periodic stabilization,
+// churn draws — that fire in timestamp order like any other event but
+// do not count as pending work: Run returns once only background
+// events remain, so a self-rescheduling maintenance loop cannot keep
+// the simulation alive forever.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func(Time)
 	cb  CtxFunc
 	ctx Ctx
+	bg  bool
 }
 
 // before reports whether e fires before o: (time, sequence) order.
@@ -61,6 +67,7 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	events []event // 4-ary min-heap ordered by (at, seq)
+	fg     int     // queued events that are not background
 	rng    *rand.Rand
 	fired  uint64
 }
@@ -143,6 +150,9 @@ func (e *Engine) schedule(t Time, ev event) {
 	e.seq++
 	ev.at = t
 	ev.seq = e.seq
+	if !ev.bg {
+		e.fg++
+	}
 	e.push(ev)
 }
 
@@ -177,6 +187,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.pop()
+	if !ev.bg {
+		e.fg--
+	}
 	e.now = ev.at
 	e.fired++
 	if ev.fn != nil {
@@ -187,15 +200,20 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run drains the event queue completely. Events may schedule further
-// events; Run returns only when the queue is empty.
+// Run drains all pending foreground work. Events may schedule further
+// events; Run returns when only background events (periodic
+// maintenance scheduled with AtBg/EveryBg) remain queued. Background
+// events whose timestamps fall before remaining foreground work still
+// fire in order along the way.
 func (e *Engine) Run() {
-	for e.Step() {
+	for e.fg > 0 {
+		e.Step()
 	}
 }
 
-// RunUntil executes events with timestamp <= deadline and then advances
-// the clock to the deadline. Later events remain queued.
+// RunUntil executes events with timestamp <= deadline — background
+// included — and then advances the clock to the deadline. Later events
+// remain queued.
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		e.Step()
@@ -207,3 +225,46 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// PendingForeground returns the number of queued non-background events
+// (the count Run drains to zero).
+func (e *Engine) PendingForeground() int { return e.fg }
+
+// AtBg schedules fn at absolute time t as a background event: it fires
+// in order like any event when the clock passes t, but a pending
+// occurrence does not keep Run alive. Churn traces and other
+// pre-scheduled environment events use this so a trace extending past
+// the last real message cannot stall quiescence detection.
+func (e *Engine) AtBg(t Time, fn func(Time)) {
+	e.schedule(t, event{fn: fn, bg: true})
+}
+
+// Every schedules fn every interval ticks, starting interval from now,
+// until fn returns false. The occurrences are foreground events: Run
+// will keep executing them, so Every is for bounded, self-terminating
+// series; unbounded housekeeping belongs in EveryBg.
+func (e *Engine) Every(interval Duration, fn func(Time) bool) {
+	e.every(interval, fn, false)
+}
+
+// EveryBg is Every with background occurrences: the periodic series
+// fires whenever foreground work (or RunUntil) advances the clock past
+// the next tick, but never prevents Run from returning. Periodic
+// stabilization and churn-rate draws run on this.
+func (e *Engine) EveryBg(interval Duration, fn func(Time) bool) {
+	e.every(interval, fn, true)
+}
+
+func (e *Engine) every(interval Duration, fn func(Time) bool, bg bool) {
+	if interval <= 0 {
+		interval = 1
+	}
+	var tick func(Time)
+	tick = func(now Time) {
+		if !fn(now) {
+			return
+		}
+		e.schedule(now+Time(interval), event{fn: tick, bg: bg})
+	}
+	e.schedule(e.now+Time(interval), event{fn: tick, bg: bg})
+}

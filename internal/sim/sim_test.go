@@ -123,3 +123,85 @@ func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 		t.Fatal("Step on empty queue must return false")
 	}
 }
+
+func TestEveryRepeatsUntilCancelled(t *testing.T) {
+	e := NewEngine(1)
+	var at []Time
+	e.Every(10, func(now Time) bool {
+		at = append(at, now)
+		return len(at) < 3
+	})
+	e.Run()
+	want := []Time{10, 20, 30}
+	if len(at) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(at), len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("firings at %v, want %v", at, want)
+		}
+	}
+}
+
+// A background periodic series must not keep Run alive: Run drains
+// foreground work, interleaving only background ticks whose timestamps
+// it passes, and returns with the series still queued.
+func TestEveryBgDoesNotStallRun(t *testing.T) {
+	e := NewEngine(1)
+	bgFired := 0
+	e.EveryBg(5, func(Time) bool { bgFired++; return true })
+	fgFired := 0
+	e.At(12, func(Time) { fgFired++ })
+	e.Run() // must terminate
+	if fgFired != 1 {
+		t.Fatalf("foreground fired %d, want 1", fgFired)
+	}
+	// Ticks at 5 and 10 precede the foreground event at 12.
+	if bgFired != 2 {
+		t.Fatalf("background fired %d times during Run, want 2", bgFired)
+	}
+	if e.PendingForeground() != 0 {
+		t.Fatalf("foreground pending %d after Run", e.PendingForeground())
+	}
+	if e.Pending() == 0 {
+		t.Fatal("background series should remain queued after Run")
+	}
+	// RunUntil advances background series explicitly.
+	e.RunUntil(30)
+	if bgFired != 6 {
+		t.Fatalf("background fired %d times after RunUntil(30), want 6", bgFired)
+	}
+}
+
+// Background events scheduling foreground work extends Run: the new
+// foreground events (and their cascades) drain before Run returns.
+func TestBackgroundCanScheduleForeground(t *testing.T) {
+	e := NewEngine(1)
+	var delivered []Time
+	e.EveryBg(10, func(now Time) bool {
+		if now == 10 {
+			e.After(1, func(at Time) { delivered = append(delivered, at) })
+		}
+		return true
+	})
+	e.At(15, func(Time) {})
+	e.Run()
+	if len(delivered) != 1 || delivered[0] != 11 {
+		t.Fatalf("foreground work from background tick delivered %v, want [11]", delivered)
+	}
+}
+
+func TestAtBgFiresOnlyWhenClockPasses(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.AtBg(100, func(Time) { fired = true })
+	e.At(50, func(Time) {})
+	e.Run()
+	if fired {
+		t.Fatal("background event past foreground horizon must not fire in Run")
+	}
+	e.RunUntil(100)
+	if !fired {
+		t.Fatal("RunUntil must fire queued background events")
+	}
+}

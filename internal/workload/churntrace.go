@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ChurnKind is one class of membership event.
+type ChurnKind uint8
+
+const (
+	// ChurnJoin adds a node at a fresh identifier.
+	ChurnJoin ChurnKind = iota
+	// ChurnLeave removes a node gracefully (state handover).
+	ChurnLeave
+	// ChurnCrash removes a node abruptly (state loss).
+	ChurnCrash
+)
+
+// String implements fmt.Stringer.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnJoin:
+		return "join"
+	case ChurnLeave:
+		return "leave"
+	case ChurnCrash:
+		return "crash"
+	default:
+		return "unknown"
+	}
+}
+
+// ChurnEvent is one scheduled membership change of a churn trace.
+type ChurnEvent struct {
+	At   int64 // virtual time in ticks
+	Kind ChurnKind
+}
+
+// ChurnConfig describes a churn workload by its event rates, expressed
+// as expected events per 1000 ticks of virtual time — the natural unit
+// for comparing against message delays of a few ticks. Zero rates
+// disable the corresponding event class.
+type ChurnConfig struct {
+	JoinRate  float64
+	LeaveRate float64
+	CrashRate float64
+}
+
+// Enabled reports whether the config produces any events at all.
+func (c ChurnConfig) Enabled() bool {
+	return c.JoinRate > 0 || c.LeaveRate > 0 || c.CrashRate > 0
+}
+
+// Validate rejects negative rates.
+func (c ChurnConfig) Validate() error {
+	if c.JoinRate < 0 || c.LeaveRate < 0 || c.CrashRate < 0 {
+		return fmt.Errorf("workload: negative churn rate %+v", c)
+	}
+	return nil
+}
+
+// ChurnTrace draws a deterministic membership-event schedule over
+// [0, horizon): each event class arrives as a Poisson process at its
+// configured rate (exponential inter-arrival times), the standard
+// session-time model of DHT churn studies. The merged trace is sorted
+// by time, with ties broken join < leave < crash so replays are exact.
+func ChurnTrace(cfg ChurnConfig, horizon int64, seed int64) ([]ChurnEvent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("workload: negative churn horizon %d", horizon)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []ChurnEvent
+	draw := func(kind ChurnKind, rate float64) {
+		if rate <= 0 {
+			return
+		}
+		mean := 1000.0 / rate // mean inter-arrival in ticks
+		at := 0.0
+		for {
+			// Inverse-CDF exponential draw from the shared source, so
+			// one seed fixes the whole trace.
+			at += -mean * math.Log(1-rng.Float64())
+			if int64(at) >= horizon {
+				return
+			}
+			out = append(out, ChurnEvent{At: int64(at), Kind: kind})
+		}
+	}
+	draw(ChurnJoin, cfg.JoinRate)
+	draw(ChurnLeave, cfg.LeaveRate)
+	draw(ChurnCrash, cfg.CrashRate)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out, nil
+}
+
+// MustChurnTrace is ChurnTrace that panics on error.
+func MustChurnTrace(cfg ChurnConfig, horizon int64, seed int64) []ChurnEvent {
+	tr, err := ChurnTrace(cfg, horizon, seed)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

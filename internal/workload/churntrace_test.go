@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChurnTraceDeterministic(t *testing.T) {
+	cfg := ChurnConfig{JoinRate: 5, LeaveRate: 3, CrashRate: 1}
+	a := MustChurnTrace(cfg, 100000, 42)
+	b := MustChurnTrace(cfg, 100000, 42)
+	if len(a) == 0 {
+		t.Fatal("trace empty at these rates")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChurnTraceSortedAndBounded(t *testing.T) {
+	tr := MustChurnTrace(ChurnConfig{JoinRate: 10, LeaveRate: 10, CrashRate: 10}, 5000, 7)
+	last := int64(-1)
+	for _, ev := range tr {
+		if ev.At < last {
+			t.Fatalf("trace not time-sorted: %d after %d", ev.At, last)
+		}
+		if ev.At < 0 || ev.At >= 5000 {
+			t.Fatalf("event at %d outside horizon", ev.At)
+		}
+		last = ev.At
+	}
+}
+
+// Rates are per 1000 ticks: over a long horizon the per-kind counts
+// must land near rate*horizon/1000.
+func TestChurnTraceRates(t *testing.T) {
+	cfg := ChurnConfig{JoinRate: 8, LeaveRate: 4, CrashRate: 2}
+	horizon := int64(1 << 20)
+	tr := MustChurnTrace(cfg, horizon, 11)
+	counts := map[ChurnKind]float64{}
+	for _, ev := range tr {
+		counts[ev.Kind]++
+	}
+	expect := func(kind ChurnKind, rate float64) {
+		want := rate * float64(horizon) / 1000
+		got := counts[kind]
+		if math.Abs(got-want) > 0.15*want {
+			t.Errorf("%v: %v events, want ~%v", kind, got, want)
+		}
+	}
+	expect(ChurnJoin, cfg.JoinRate)
+	expect(ChurnLeave, cfg.LeaveRate)
+	expect(ChurnCrash, cfg.CrashRate)
+}
+
+func TestChurnTraceValidation(t *testing.T) {
+	if _, err := ChurnTrace(ChurnConfig{JoinRate: -1}, 100, 1); err == nil {
+		t.Fatal("negative rate must be rejected")
+	}
+	if _, err := ChurnTrace(ChurnConfig{JoinRate: 1}, -5, 1); err == nil {
+		t.Fatal("negative horizon must be rejected")
+	}
+	tr, err := ChurnTrace(ChurnConfig{}, 10000, 1)
+	if err != nil || len(tr) != 0 {
+		t.Fatalf("zero rates must give an empty trace, got %d events, err %v", len(tr), err)
+	}
+}

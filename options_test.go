@@ -1,6 +1,58 @@
 package rjoin
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+// TestInvertedDelayBoundsRejected: NewNetwork must refuse inverted or
+// negative hop-delay bounds with a descriptive error instead of
+// silently clamping.
+func TestInvertedDelayBoundsRejected(t *testing.T) {
+	if _, err := NewNetwork(Options{Nodes: 8, MinHopDelay: 5, MaxHopDelay: 2}); err == nil {
+		t.Fatal("MinHopDelay > MaxHopDelay accepted")
+	} else if !strings.Contains(err.Error(), "MinHopDelay 5 exceeds MaxHopDelay 2") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, MinHopDelay: 3}); err == nil {
+		// Max defaults to zero: still inverted, still an error.
+		t.Fatal("MinHopDelay above defaulted MaxHopDelay accepted")
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, MinHopDelay: -1, MaxHopDelay: 4}); err == nil {
+		t.Fatal("negative MinHopDelay accepted")
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, MaxHopDelay: -2}); err == nil {
+		t.Fatal("negative MaxHopDelay accepted")
+	}
+	// Valid shapes still construct.
+	for _, opts := range []Options{
+		{Nodes: 8},
+		{Nodes: 8, MaxHopDelay: 4},
+		{Nodes: 8, MinHopDelay: 2, MaxHopDelay: 2},
+		{Nodes: 8, MinHopDelay: 1, MaxHopDelay: 9},
+	} {
+		if _, err := NewNetwork(opts); err != nil {
+			t.Fatalf("valid bounds %+v rejected: %v", opts, err)
+		}
+	}
+}
+
+// TestChurnOptionsValidated: negative churn rates and tuning knobs are
+// rejected.
+func TestChurnOptionsValidated(t *testing.T) {
+	if _, err := NewNetwork(Options{Nodes: 8, Churn: ChurnOptions{LeaveRate: -3}}); err == nil {
+		t.Fatal("negative churn rate accepted")
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, Churn: ChurnOptions{StabilizeInterval: -1}}); err == nil {
+		t.Fatal("negative stabilize interval accepted")
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, Churn: ChurnOptions{Interval: -4}}); err == nil {
+		t.Fatal("negative churn interval accepted")
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, Churn: ChurnOptions{MinNodes: -2}}); err == nil {
+		t.Fatal("negative MinNodes accepted")
+	}
+}
 
 // runFixedWorkload drives one deterministic workload under the given
 // options and returns the subscription's answer count plus stats.

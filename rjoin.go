@@ -28,12 +28,14 @@ import (
 	"math/rand"
 
 	"rjoin/internal/chord"
+	"rjoin/internal/churn"
 	"rjoin/internal/core"
 	"rjoin/internal/id"
 	"rjoin/internal/overlay"
 	"rjoin/internal/relation"
 	"rjoin/internal/sim"
 	"rjoin/internal/sqlparse"
+	"rjoin/internal/workload"
 )
 
 // Value is one attribute value: an integer or a string.
@@ -98,6 +100,32 @@ type Options struct {
 	// AttrReplicas spreads attribute-level keys over this many replica
 	// keys (the [18] hotspot remedy); values < 2 disable replication.
 	AttrReplicas int
+	// Churn drives runtime membership changes — joins, graceful leaves
+	// and crashes — while queries are live. The zero value keeps the
+	// overlay static (the paper's setting). Explicit AddNode /
+	// RemoveNode / Crash calls work either way.
+	Churn ChurnOptions
+}
+
+// ChurnOptions configures spontaneous membership churn. Rates are
+// expected events per 1000 virtual ticks; an event class with rate
+// zero never fires spontaneously. Graceful leaves hand the departing
+// node's state to its successor (no answers are lost or duplicated);
+// crashes drop state, with the engine re-indexing the input queries
+// that died and counting everything else as loss.
+type ChurnOptions struct {
+	JoinRate  float64
+	LeaveRate float64
+	CrashRate float64
+	// Interval is the cadence in ticks of the churn-rate draws
+	// (default 32).
+	Interval int64
+	// StabilizeInterval is the period in ticks of the incremental
+	// Chord maintenance round (default 64).
+	StabilizeInterval int64
+	// MinNodes floors the overlay size: leave/crash draws below it are
+	// skipped (default 2).
+	MinNodes int
 }
 
 // Answer is one delivered result row.
@@ -131,17 +159,38 @@ type Stats struct {
 	// MaxNodeQPL and ParticipatingNodes describe the QPL distribution.
 	MaxNodeQPL         int64
 	ParticipatingNodes int
+
+	// Membership churn accounting. Joins/Leaves/Crashes count events
+	// (spontaneous and explicit); HandoverMessages/HandoverEntries
+	// measure graceful-leave and join state transfer;
+	// MessagesRerouted and MessagesBounced are the healing work of the
+	// routing layer; QueriesRecovered, QueriesLost, RewritesLost and
+	// TuplesLost describe crash damage and repair. All zero on a
+	// static overlay.
+	Joins            int64
+	Leaves           int64
+	Crashes          int64
+	HandoverMessages int64
+	HandoverEntries  int64
+	MessagesRerouted int64
+	MessagesBounced  int64
+	QueriesRecovered int64
+	QueriesLost      int64
+	RewritesLost     int64
+	TuplesLost       int64
 }
 
 // Network is a simulated RJoin deployment: a Chord overlay with an
 // RJoin processor on every node, driven by a deterministic virtual
-// clock.
+// clock. Membership may change at runtime (Options.Churn, AddNode,
+// RemoveNode, Crash); node selection for subscriptions and
+// publications always draws from the live ring.
 type Network struct {
-	eng   *core.Engine
-	cat   *relation.Catalog
-	nodes []*chord.Node
-	rng   *rand.Rand
-	subs  map[string]*Subscription
+	eng  *core.Engine
+	cat  *relation.Catalog
+	mgr  *churn.Manager
+	rng  *rand.Rand
+	subs map[string]*Subscription
 }
 
 // Subscription is a live continuous query.
@@ -151,7 +200,8 @@ type Subscription struct {
 	// SQL is the submitted query text (as parsed and rendered).
 	SQL string
 
-	net *Network
+	net   *Network
+	cache []Answer // answers already converted; extended incrementally
 }
 
 // NewNetwork builds a converged overlay of opts.Nodes nodes and attaches
@@ -163,8 +213,28 @@ func NewNetwork(opts Options) (*Network, error) {
 	if opts.Nodes < 1 {
 		return nil, fmt.Errorf("rjoin: invalid node count %d", opts.Nodes)
 	}
+	if opts.MinHopDelay < 0 || opts.MaxHopDelay < 0 {
+		return nil, fmt.Errorf("rjoin: negative hop delay bound [%d, %d]",
+			opts.MinHopDelay, opts.MaxHopDelay)
+	}
 	if opts.MinHopDelay == 0 && opts.MaxHopDelay == 0 {
 		opts.MinHopDelay, opts.MaxHopDelay = 1, 1
+	}
+	if opts.MinHopDelay > opts.MaxHopDelay {
+		return nil, fmt.Errorf("rjoin: MinHopDelay %d exceeds MaxHopDelay %d",
+			opts.MinHopDelay, opts.MaxHopDelay)
+	}
+	churnRates := workload.ChurnConfig{
+		JoinRate:  opts.Churn.JoinRate,
+		LeaveRate: opts.Churn.LeaveRate,
+		CrashRate: opts.Churn.CrashRate,
+	}
+	if err := churnRates.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Churn.Interval < 0 || opts.Churn.StabilizeInterval < 0 || opts.Churn.MinNodes < 0 {
+		return nil, fmt.Errorf("rjoin: negative churn tuning (interval %d, stabilize %d, min nodes %d)",
+			opts.Churn.Interval, opts.Churn.StabilizeInterval, opts.Churn.MinNodes)
 	}
 	ring := chord.NewRing()
 	idRng := rand.New(rand.NewSource(opts.Seed))
@@ -182,6 +252,10 @@ func NewNetwork(opts Options) (*Network, error) {
 		MaxHopDelay:    opts.MaxHopDelay,
 		GroupMultiSend: true,
 		BatchWindow:    opts.BatchWindow,
+		// With bouncing on, messages in flight to a node that departs
+		// re-route to the key's new owner. On a static ring it never
+		// fires, so enabling it unconditionally costs nothing.
+		Bounce: true,
 	})
 	cfg := core.DefaultConfig()
 	cfg.Strategy = opts.Strategy
@@ -192,16 +266,30 @@ func NewNetwork(opts Options) (*Network, error) {
 	cfg.EnableMigration = opts.EnableMigration
 	cfg.AttrReplicas = opts.AttrReplicas
 	eng := core.NewEngine(ring, se, nw, cfg)
+	mgr := churn.New(eng, churn.Config{
+		Rates:          churnRates,
+		Interval:       opts.Churn.Interval,
+		StabilizeEvery: opts.Churn.StabilizeInterval,
+		MinNodes:       opts.Churn.MinNodes,
+		Seed:           opts.Seed + 2,
+	})
+	// The manager's periodic loops start with the first membership
+	// change: immediately when spontaneous churn is configured, lazily
+	// on the first AddNode/RemoveNode/Crash otherwise, so a static
+	// network pays nothing for stabilization it cannot need.
+	if churnRates.Enabled() {
+		mgr.Start()
+	}
 	cat, err := relation.NewCatalog()
 	if err != nil {
 		return nil, err
 	}
 	return &Network{
-		eng:   eng,
-		cat:   cat,
-		nodes: ring.Nodes(),
-		rng:   rand.New(rand.NewSource(opts.Seed + 1)),
-		subs:  make(map[string]*Subscription),
+		eng:  eng,
+		cat:  cat,
+		mgr:  mgr,
+		rng:  rand.New(rand.NewSource(opts.Seed + 1)),
+		subs: make(map[string]*Subscription),
 	}, nil
 }
 
@@ -239,8 +327,7 @@ func (n *Network) Subscribe(sql string) (*Subscription, error) {
 	if err != nil {
 		return nil, err
 	}
-	owner := n.nodes[n.rng.Intn(len(n.nodes))]
-	qid, err := n.eng.SubmitQuery(owner, q)
+	qid, err := n.eng.SubmitQuery(n.randomNode(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -285,9 +372,15 @@ func (n *Network) Publish(rel string, values ...interface{}) error {
 	if err != nil {
 		return err
 	}
-	publisher := n.nodes[n.rng.Intn(len(n.nodes))]
-	n.eng.PublishTuple(publisher, t)
+	n.eng.PublishTuple(n.randomNode(), t)
 	return nil
+}
+
+// randomNode picks a pseudo-random node from the live membership (a
+// construction-time snapshot would go stale under churn).
+func (n *Network) randomNode() *chord.Node {
+	nodes := n.eng.Ring().Nodes()
+	return nodes[n.rng.Intn(len(nodes))]
 }
 
 // MustPublish is Publish that panics on error.
@@ -307,8 +400,54 @@ func (n *Network) RunFor(d int64) { n.eng.RunUntil(n.eng.Sim().Now() + sim.Time(
 // Now returns the current virtual time in ticks.
 func (n *Network) Now() int64 { return int64(n.eng.Sim().Now()) }
 
-// Nodes returns the overlay size.
-func (n *Network) Nodes() int { return len(n.nodes) }
+// Nodes returns the current overlay size (membership may change at
+// runtime under churn).
+func (n *Network) Nodes() int { return n.eng.Ring().Size() }
+
+// AddNode joins one new node at a pseudo-random free identifier. The
+// node takes over its arc of the key space, receiving the stored state
+// that falls in it from its successor.
+func (n *Network) AddNode() error {
+	_, err := n.mgr.Join()
+	return err
+}
+
+// RemoveNode removes the node at the given position of the current
+// identifier-ordered node list, gracefully: its stored queries,
+// tuples, candidate-table entries and RIC state transfer to its
+// successor as counted handover messages, so no answer is lost or
+// duplicated. The last node of a network cannot be removed.
+func (n *Network) RemoveNode(index int) error {
+	node, err := n.nodeAt(index)
+	if err != nil {
+		return err
+	}
+	return n.mgr.Leave(node)
+}
+
+// Crash abruptly removes the node at the given position of the current
+// identifier-ordered node list. Its state is lost; the engine
+// re-indexes the input queries that died with it (preserving their
+// identity and insertion time), and Stats counts the rewritten queries
+// and tuples that could not be saved. The last node cannot be crashed.
+func (n *Network) Crash(index int) error {
+	node, err := n.nodeAt(index)
+	if err != nil {
+		return err
+	}
+	return n.mgr.Crash(node)
+}
+
+func (n *Network) nodeAt(index int) (*chord.Node, error) {
+	nodes := n.eng.Ring().Nodes()
+	if index < 0 || index >= len(nodes) {
+		return nil, fmt.Errorf("rjoin: node index %d outside [0, %d)", index, len(nodes))
+	}
+	if len(nodes) <= 1 {
+		return nil, fmt.Errorf("rjoin: cannot remove the last node")
+	}
+	return nodes[index], nil
+}
 
 // Stats snapshots network-wide cost measures.
 func (n *Network) Stats() Stats {
@@ -321,6 +460,17 @@ func (n *Network) Stats() Stats {
 		RewritesCreated:     n.eng.Counters.RewritesCreated,
 		MaxNodeQPL:          n.eng.QPL.Max(),
 		ParticipatingNodes:  n.eng.QPL.Participants(),
+		Joins:               n.mgr.Stats.Joins,
+		Leaves:              n.mgr.Stats.Leaves,
+		Crashes:             n.mgr.Stats.Crashes,
+		HandoverMessages:    n.eng.Counters.HandoverMessages,
+		HandoverEntries:     n.eng.Counters.HandoverEntries,
+		MessagesRerouted:    n.eng.Counters.MessagesRerouted,
+		MessagesBounced:     n.eng.Net().Bounced,
+		QueriesRecovered:    n.eng.Counters.QueriesRecovered,
+		QueriesLost:         n.eng.Counters.QueriesLost,
+		RewritesLost:        n.eng.Counters.RewritesLost,
+		TuplesLost:          n.eng.Counters.TuplesLost,
 	}
 }
 
@@ -330,15 +480,34 @@ func (n *Network) Stats() Stats {
 func (n *Network) Engine() *core.Engine { return n.eng }
 
 // Answers returns the rows delivered so far for this subscription, in
-// delivery order.
+// delivery order. Conversion is incremental: each call converts only
+// the rows that arrived since the previous one. The returned slice is
+// shared with the subscription; callers must not mutate it.
 func (s *Subscription) Answers() []Answer {
 	raw := s.net.eng.Answers(s.ID)
-	out := make([]Answer, len(raw))
-	for i, a := range raw {
-		out[i] = Answer{Query: a.QueryID, Row: a.Values, At: int64(a.At)}
+	for i := len(s.cache); i < len(raw); i++ {
+		a := raw[i]
+		s.cache = append(s.cache, Answer{Query: a.QueryID, Row: a.Values, At: int64(a.At)})
 	}
-	return out
+	return s.cache
 }
 
-// Count returns the number of answers delivered so far.
+// AnswersSince returns the answers delivered at or after the given
+// cursor position (an index into the delivery order). A consumer polls
+// with its running total — typically cursor += len(batch) after each
+// call — and sees every answer exactly once. The returned slice is
+// shared; callers must not mutate it.
+func (s *Subscription) AnswersSince(cursor int) []Answer {
+	all := s.Answers()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(all) {
+		cursor = len(all)
+	}
+	return all[cursor:]
+}
+
+// Count returns the number of answers delivered so far, without
+// converting or allocating anything.
 func (s *Subscription) Count() int { return len(s.net.eng.Answers(s.ID)) }
