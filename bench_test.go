@@ -351,6 +351,41 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportMetric(float64(net.Engine().Sim().Fired()-before)/float64(b.N), "events/op")
 }
 
+// BenchmarkEngineThroughputWorkers is the serial-vs-parallel A/B on a
+// wide workload: bursts of publications drain together, so every
+// virtual tick carries events for many logical shards and the parallel
+// engine's sub-rounds have real width. workers=0 is the serial engine;
+// the parallel variants must produce bit-identical results to each
+// other (TestGoldenDeterminismParallel), so this benchmark measures
+// pure scheduling cost/benefit. On a single-core runner the parallel
+// engine pays barrier overhead for no gain; the speedup target lives
+// on multi-core CI runners.
+func BenchmarkEngineThroughputWorkers(b *testing.B) {
+	for _, workers := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			net := MustNetwork(Options{Nodes: 256, Seed: 13, Workers: workers})
+			net.MustDefineRelation("R", "A", "B")
+			net.MustDefineRelation("S", "A", "B")
+			for i := 0; i < 100; i++ {
+				net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+			}
+			net.Run()
+			before := net.Engine().Sim().Fired()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 16; j++ {
+					net.MustPublish("R", (i*16+j)%10, i)
+					net.MustPublish("S", (i*16+j)%10, i)
+				}
+				net.Run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(net.Engine().Sim().Fired()-before)/float64(b.N), "events/op")
+		})
+	}
+}
+
 // BenchmarkAblationGrouping compares grouped vs independent multiSend
 // (Section 2's message-grouping optimization) on the tuple-publication
 // path: the 2k index messages of Procedure 1 either chain along the
@@ -368,7 +403,7 @@ func BenchmarkAblationGrouping(b *testing.B) {
 		}
 		ring.BuildPerfect()
 		se := sim.NewEngine(17)
-		nw := overlay.NewNetwork(ring, se, overlay.Config{
+		nw := overlay.MustNetwork(ring, se, overlay.Config{
 			MinHopDelay: 1, MaxHopDelay: 1, GroupMultiSend: grouped,
 		})
 		eng := core.NewEngine(ring, se, nw, core.DefaultConfig())

@@ -114,3 +114,58 @@ func TestGoldenDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// parallelConfigs returns the golden configurations adapted to
+// parallel mode: the batching config's implicit MinHopDelay 0 becomes
+// the smallest valid lookahead window.
+func parallelConfigs() []Options {
+	cfgs := goldenConfigs()
+	for i := range cfgs {
+		if cfgs[i].MinHopDelay == 0 && cfgs[i].MaxHopDelay != 0 {
+			cfgs[i].MinHopDelay = 1
+		}
+	}
+	return cfgs
+}
+
+// TestGoldenDeterminismParallel pins the parallel engine's replay the
+// same way TestGoldenDeterminism pins the serial one, and additionally
+// proves worker-count invariance: for each configuration the stats and
+// the order-sensitive answer digest must be bit-identical across
+// Workers ∈ {2, 4, 8}, because the barrier schedule is keyed by the
+// fixed logical-shard space, never by the worker count. The parallel
+// digests differ from the serial ones by construction — sub-round
+// ordering and per-node RNG streams — which is why they are pinned
+// separately. Config 0 (unit delays, RIC placement) draws no random
+// numbers at all, so its parallel Stats equal the serial golden values
+// exactly and only the answer-order digest moves.
+func TestGoldenDeterminismParallel(t *testing.T) {
+	// Golden values captured when parallel execution was introduced.
+	golden := []struct {
+		stats  Stats
+		digest uint64
+	}{
+		{Stats{Messages: 12650, RICMessages: 362, QueryProcessingLoad: 1862, StorageLoad: 1484, Answers: 8746, RewritesCreated: 9933, MaxNodeQPL: 220, ParticipatingNodes: 53}, 0xc2547b24d4c721b1},
+		{Stats{Messages: 12509, RICMessages: 227, QueryProcessingLoad: 2076, StorageLoad: 1728, Answers: 8288, RewritesCreated: 9716, MaxNodeQPL: 255, ParticipatingNodes: 54}, 0xa238b08d03877621},
+		// Churn under parallel execution: membership changes run as
+		// global events between sub-rounds, handovers land in worker
+		// context, and the whole history still replays bit-identically.
+		{Stats{Messages: 12572, RICMessages: 552, QueryProcessingLoad: 1607, StorageLoad: 1235, Answers: 8282, RewritesCreated: 9214, MaxNodeQPL: 156, ParticipatingNodes: 63,
+			Joins: 19, Leaves: 22, Crashes: 10, HandoverMessages: 22, HandoverEntries: 296, MessagesRerouted: 2, MessagesBounced: 821, RewritesLost: 7, TuplesLost: 16}, 0x4209cc5b8b00c1f9},
+	}
+	for i, base := range parallelConfigs() {
+		for wi, w := range []int{2, 4, 8} {
+			opts := base
+			opts.Workers = w
+			st, d := goldenWorkload(opts)
+			if st != golden[i].stats || d != golden[i].digest {
+				if wi == 0 {
+					t.Fatalf("config %d workers %d: replay drifted from parallel golden baseline:\ngot  %+v digest %x\nwant %+v digest %x",
+						i, w, st, d, golden[i].stats, golden[i].digest)
+				}
+				t.Fatalf("config %d: digest depends on worker count: workers=%d gave %+v digest %x, want the workers=2 result %+v digest %x",
+					i, w, st, d, golden[i].stats, golden[i].digest)
+			}
+		}
+	}
+}

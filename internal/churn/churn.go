@@ -16,6 +16,14 @@
 // simulation events: pending churn never keeps Engine.Run from
 // reaching quiescence, it simply happens whenever foreground traffic
 // (or an explicit RunUntil) advances the virtual clock.
+//
+// Background events are also what makes churn safe — and deterministic
+// — under the parallel engine: the simulator executes shard-less
+// events serially between worker sub-rounds, so every membership
+// change (ring surgery, processor attach/detach, handover
+// construction, crash recovery) runs at a barrier with no handler in
+// flight, and the handover messages it emits enter the sharded queues
+// through the same deterministic merge as any other send.
 package churn
 
 import (

@@ -39,7 +39,7 @@ func testEngine(t testing.TB, nodes int, seed int64) *core.Engine {
 	se := sim.NewEngine(seed)
 	netCfg := overlay.DefaultConfig()
 	netCfg.Bounce = true
-	nw := overlay.NewNetwork(ring, se, netCfg)
+	nw := overlay.MustNetwork(ring, se, netCfg)
 	return core.NewEngine(ring, se, nw, core.DefaultConfig())
 }
 

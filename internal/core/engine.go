@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -64,6 +65,40 @@ type Counters struct {
 	TuplesLost       int64 // stored tuples and ALTT entries dropped by crashes
 }
 
+// add accumulates every count of o into c — the barrier merge of the
+// parallel engine's per-shard accumulators. Addition commutes, so the
+// merged totals are deterministic no matter which worker ran which
+// shard.
+func (c *Counters) add(o *Counters) {
+	c.TuplesPublished += o.TuplesPublished
+	c.TuplesReceived += o.TuplesReceived
+	c.TuplesStored += o.TuplesStored
+	c.TuplesCollected += o.TuplesCollected
+	c.ALTTStored += o.ALTTStored
+	c.ALTTExpired += o.ALTTExpired
+	c.QueriesSubmitted += o.QueriesSubmitted
+	c.InputQueriesStored += o.InputQueriesStored
+	c.RewritesCreated += o.RewritesCreated
+	c.DeepRewrites += o.DeepRewrites
+	c.RewritesStored += o.RewritesStored
+	c.QueriesExpired += o.QueriesExpired
+	c.AnswersDelivered += o.AnswersDelivered
+	c.AnswerDupesFiltered += o.AnswerDupesFiltered
+	c.DuplicatesSuppressed += o.DuplicatesSuppressed
+	c.ContradictoryDropped += o.ContradictoryDropped
+	c.UnplaceableDropped += o.UnplaceableDropped
+	c.RICRequests += o.RICRequests
+	c.QueriesMigrated += o.QueriesMigrated
+	c.RICReplies += o.RICReplies
+	c.HandoverMessages += o.HandoverMessages
+	c.HandoverEntries += o.HandoverEntries
+	c.MessagesRerouted += o.MessagesRerouted
+	c.QueriesRecovered += o.QueriesRecovered
+	c.QueriesLost += o.QueriesLost
+	c.RewritesLost += o.RewritesLost
+	c.TuplesLost += o.TuplesLost
+}
+
 // Engine runs RJoin over an overlay: it owns one Proc per DHT node,
 // assigns query identities, publishes tuples (Procedure 1) and collects
 // answers.
@@ -81,6 +116,7 @@ type Engine struct {
 	net   *overlay.Network
 	procs map[id.ID]*Proc
 
+	answersMu  sync.Mutex // guards answers and seenRows (parallel owners)
 	answers    map[string][]Answer
 	distinctQs map[string]bool
 	seenRows   map[string]map[string]bool // owner-side DISTINCT filter
@@ -89,6 +125,15 @@ type Engine struct {
 	pubSeq   int64
 	queryCnt int64
 	reqCnt   int64
+
+	// Parallel-mode accumulators: while workers run, every hot-path
+	// count goes to the acting node's shard slot and merges into the
+	// public Counters/QPL/SL at the next Sync. Nil on a serial engine.
+	par      bool
+	shardCtr []Counters
+	shardQPL []*metrics.Load
+	shardSL  []*metrics.Load
+	shardReq []int64 // per-shard RIC request id counters
 }
 
 // NewEngine attaches an RJoin processor to every node of the ring. The
@@ -116,6 +161,17 @@ func NewEngine(ring *chord.Ring, se *sim.Engine, net *overlay.Network, cfg Confi
 	e.delta = cfg.Delta
 	if cfg.Delta == 0 {
 		e.delta = net.MaxDelta()
+	}
+	if se.Workers() > 0 {
+		e.par = true
+		e.shardCtr = make([]Counters, sim.Shards)
+		e.shardQPL = make([]*metrics.Load, sim.Shards)
+		e.shardSL = make([]*metrics.Load, sim.Shards)
+		e.shardReq = make([]int64, sim.Shards)
+		for i := 0; i < sim.Shards; i++ {
+			e.shardQPL[i] = metrics.NewLoad()
+			e.shardSL[i] = metrics.NewLoad()
+		}
 	}
 	for _, n := range ring.Nodes() {
 		e.NodeJoined(n)
@@ -161,7 +217,9 @@ func (e *Engine) nextReqID() int64 {
 
 // oracleRate is the simulator-level ground truth used by
 // StrategyWorst: the actual current rate at the node responsible for a
-// key. RJoin proper never calls this.
+// key. RJoin proper never calls this. It reads another processor's
+// rate table, which is why StrategyWorst is rejected in parallel mode:
+// a worker peeking across shards mid-round would race the owner.
 func (e *Engine) oracleRate(key relation.Key, now sim.Time) float64 {
 	owner := e.ring.Owner(key.ID())
 	if owner == nil {
@@ -265,8 +323,13 @@ func replicaKey(base relation.Key, i int) relation.Key {
 
 // recordAnswer collects an answer at its owner, applying the owner-side
 // set-semantics filter for DISTINCT queries (a final local safety net on
-// top of the distributed projection rule).
-func (e *Engine) recordAnswer(now sim.Time, m *answerMsg) {
+// top of the distributed projection rule). ctr is the acting shard's
+// counter slot. The mutex serializes only the shared map bookkeeping:
+// per-query delivery order is already fixed by the owner's shard
+// schedule, so locking cannot perturb it.
+func (e *Engine) recordAnswer(now sim.Time, m *answerMsg, ctr *Counters) {
+	e.answersMu.Lock()
+	defer e.answersMu.Unlock()
 	if e.distinctQs[m.QueryID] {
 		rows, ok := e.seenRows[m.QueryID]
 		if !ok {
@@ -275,12 +338,12 @@ func (e *Engine) recordAnswer(now sim.Time, m *answerMsg) {
 		}
 		key := rowKey(m.Values)
 		if rows[key] {
-			e.Counters.AnswerDupesFiltered++
+			ctr.AnswerDupesFiltered++
 			return
 		}
 		rows[key] = true
 	}
-	e.Counters.AnswersDelivered++
+	ctr.AnswersDelivered++
 	e.answers[m.QueryID] = append(e.answers[m.QueryID], Answer{
 		QueryID: m.QueryID,
 		Values:  m.Values,
@@ -288,40 +351,92 @@ func (e *Engine) recordAnswer(now sim.Time, m *answerMsg) {
 	})
 }
 
+// rowKey canonicalizes a row for the DISTINCT filter. Each value is
+// tagged with its kind and length-prefixed (uvarint), so the encoding
+// is injective: no choice of values — strings containing NUL, strings
+// resembling the separator, or an integer rendering identically to a
+// string (Int64(12) vs String64("12")) — can make two distinct rows
+// collide, which a bare separator-joined rendering allowed (rows
+// differing only in where a NUL fell deduplicated against each other,
+// silently dropping a real answer).
 func rowKey(vals []relation.Value) string {
-	s := ""
+	var b []byte
 	for _, v := range vals {
-		s += v.String() + "\x00"
+		s := v.String()
+		b = append(b, byte(v.Kind))
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
 	}
-	return s
+	return string(b)
 }
 
 // Answers returns the rows delivered so far for a query, in delivery
 // order. The returned slice is shared; callers must not mutate it.
 func (e *Engine) Answers(queryID string) []Answer { return e.answers[queryID] }
 
-// AllAnswers returns every query's delivered answers keyed by query
-// ID. Map and slices are shared; callers must not mutate them. The
-// churn experiments use this to compare whole answer sets against a
-// reference run.
-func (e *Engine) AllAnswers() map[string][]Answer { return e.answers }
+// AllAnswers returns a snapshot of every query's delivered answers
+// keyed by query ID: the map, its slices and each answer's value row
+// are copies, so callers may mutate or retain them without corrupting
+// engine state. The churn experiments use this to compare whole answer
+// sets against a reference run.
+func (e *Engine) AllAnswers() map[string][]Answer {
+	out := make(map[string][]Answer, len(e.answers))
+	for qid, list := range e.answers {
+		cp := make([]Answer, len(list))
+		for i, a := range list {
+			a.Values = append([]relation.Value(nil), a.Values...)
+			cp[i] = a
+		}
+		out[qid] = cp
+	}
+	return out
+}
 
 // TotalAnswers returns the number of answers delivered across all
 // queries.
-func (e *Engine) TotalAnswers() int64 { return e.Counters.AnswersDelivered }
+func (e *Engine) TotalAnswers() int64 {
+	e.Sync()
+	return e.Counters.AnswersDelivered
+}
+
+// Sync merges the parallel engine's per-shard accumulators — counters,
+// QPL/SL and the overlay's traffic lanes — into the public aggregates.
+// It runs after every drain and before metric reads; on a serial
+// engine it is a no-op. Must be called from coordinator context only.
+func (e *Engine) Sync() {
+	if !e.par {
+		return
+	}
+	for i := range e.shardCtr {
+		e.Counters.add(&e.shardCtr[i])
+		e.shardCtr[i] = Counters{}
+	}
+	for i := range e.shardQPL {
+		e.shardQPL[i].DrainInto(e.QPL)
+		e.shardSL[i].DrainInto(e.SL)
+	}
+	e.net.Sync()
+}
 
 // Run drains all scheduled work (message deliveries and their
 // cascades) to quiescence.
-func (e *Engine) Run() { e.sim.Run() }
+func (e *Engine) Run() {
+	e.sim.Run()
+	e.Sync()
+}
 
 // RunUntil processes work up to the given virtual time.
-func (e *Engine) RunUntil(t sim.Time) { e.sim.RunUntil(t) }
+func (e *Engine) RunUntil(t sim.Time) {
+	e.sim.RunUntil(t)
+	e.Sync()
+}
 
 // ResetMetrics zeroes the engine's load measures, event counters and
 // the overlay's traffic accounting, without touching stored state or
 // the virtual clock. The experiment harness calls it after a warmup
 // stream so that measurements cover only the experiment proper.
 func (e *Engine) ResetMetrics() {
+	e.Sync() // fold pending shard deltas in so they are zeroed too
 	e.QPL.Reset()
 	e.SL.Reset()
 	e.Counters = Counters{}

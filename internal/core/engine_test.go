@@ -31,7 +31,7 @@ func testNet(t testing.TB, n int, seed int64, cfg Config, netCfg overlay.Config)
 	}
 	ring.BuildPerfect()
 	se := sim.NewEngine(seed)
-	nw := overlay.NewNetwork(ring, se, netCfg)
+	nw := overlay.MustNetwork(ring, se, netCfg)
 	eng := NewEngine(ring, se, nw, cfg)
 	return eng, ring.Nodes()
 }

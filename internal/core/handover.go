@@ -163,7 +163,7 @@ func buildArcHandover(e *Engine, sp *Proc, n *chord.Node) []*handoverMsg {
 // sendHandover ships prepared handover chunks as instantaneous
 // transfers, charged under the churn traffic tag.
 func (e *Engine) sendHandover(from *chord.Node, to id.ID, msgs []*handoverMsg) {
-	e.net.WithTag(TagChurn, func() {
+	e.net.WithTag(from, TagChurn, func() {
 		for _, m := range msgs {
 			if m.entryCount() == 0 {
 				continue
@@ -210,9 +210,9 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 				f := forward(sq.key)
 				f.Queries = append(f.Queries, sq)
 			} else if sq.q.Depth == 0 {
-				e.Counters.QueriesLost++
+				p.ctr.QueriesLost++
 			} else {
-				e.Counters.RewritesLost++
+				p.ctr.RewritesLost++
 			}
 			continue
 		}
@@ -225,7 +225,7 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 			continue
 		}
 		if strayed(h.Key) {
-			e.Counters.TuplesLost++
+			p.ctr.TuplesLost++
 			continue
 		}
 		p.tuples[h.Key] = append(p.tuples[h.Key], h.T)
@@ -237,7 +237,7 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 			continue
 		}
 		if strayed(h.Key) {
-			e.Counters.TuplesLost++
+			p.ctr.TuplesLost++
 			continue
 		}
 		p.insertALTT(h.Key, h.E)
@@ -267,8 +267,8 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 
 	for _, key := range fwdKeys {
 		f := fwd[key]
-		e.Counters.MessagesRerouted++
-		e.net.WithTag(TagChurn, func() {
+		p.ctr.MessagesRerouted++
+		e.net.WithTag(p.node, TagChurn, func() {
 			e.net.Send(p.node, key.ID(), f)
 		})
 	}
@@ -388,7 +388,9 @@ func (e *Engine) CrashNode(n *chord.Node) error {
 	}
 	e.countLostTuples(p)
 
-	e.net.WithTag(TagChurn, func() {
+	// Coordinator-context section: crash recovery sends originate from
+	// many different recovery homes, so the tag scopes to every lane.
+	e.net.WithTagAll(TagChurn, func() {
 		// Re-index each lost input placement at exactly the key it was
 		// stored under: with attribute-level replication the surviving
 		// replicas keep their copies, so recovering only the lost

@@ -5,6 +5,7 @@ import (
 
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
+	"rjoin/internal/metrics"
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
@@ -100,9 +101,21 @@ func findInfo(known []ricInfo, key relation.Key) (ricInfo, bool) {
 // Proc is the RJoin processor running at one DHT node: the local query
 // store, tuple store, ALTT, rate statistics and candidate table, plus
 // the message handlers of Procedures 2 and 3.
+//
+// ctr, qpl and sl are the slots the processor's handlers count into.
+// On a serial engine they alias the engine's public aggregates; on a
+// parallel engine they point at the node's shard accumulator, which
+// only the worker currently executing that shard touches, and which
+// Engine.Sync merges at the next barrier.
 type Proc struct {
 	eng  *Engine
 	node *chord.Node
+
+	shard int           // logical shard (sim.NoShard on a serial engine)
+	ctr   *Counters     // event-count slot
+	qpl   *metrics.Load // query-processing-load slot
+	sl    *metrics.Load // storage-load slot
+	rng   *sim.RNG      // placement draws (nil: use the engine source)
 
 	queries map[relation.Key][]*storedQuery    // by index key, both levels
 	tuples  map[relation.Key][]*relation.Tuple // value-level tuple store
@@ -114,7 +127,7 @@ type Proc struct {
 }
 
 func newProc(eng *Engine, node *chord.Node) *Proc {
-	return &Proc{
+	p := &Proc{
 		eng:     eng,
 		node:    node,
 		queries: make(map[relation.Key][]*storedQuery),
@@ -124,6 +137,32 @@ func newProc(eng *Engine, node *chord.Node) *Proc {
 		ct:      newCandidateTable(),
 		pending: make(map[int64]*pendingPlacement),
 	}
+	if eng.par {
+		p.shard = sim.ShardOfID(uint64(node.ID()))
+		p.ctr = &eng.shardCtr[p.shard]
+		p.qpl = eng.shardQPL[p.shard]
+		p.sl = eng.shardSL[p.shard]
+		p.rng = sim.NewRNG(eng.sim.Seed(), uint64(node.ID()), 0x91ac)
+	} else {
+		p.shard = sim.NoShard
+		p.ctr = &eng.Counters
+		p.qpl = eng.QPL
+		p.sl = eng.SL
+	}
+	return p
+}
+
+// nextReqID stamps a placement walk. Serial engines use one global
+// counter; parallel engines use a per-shard counter folded with the
+// shard index, which is globally unique (so handed-over pending
+// placements can never collide) yet deterministic, because a shard's
+// events execute sequentially no matter how many workers run.
+func (p *Proc) nextReqID() int64 {
+	if !p.eng.par {
+		return p.eng.nextReqID()
+	}
+	p.eng.shardReq[p.shard]++
+	return p.eng.shardReq[p.shard]*sim.Shards + int64(p.shard)
 }
 
 // HandleMessage dispatches overlay deliveries. The pooled message
@@ -149,7 +188,7 @@ func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 		*m = evalMsg{}
 		evalMsgPool.Put(m)
 	case *answerMsg:
-		p.eng.recordAnswer(now, m)
+		p.eng.recordAnswer(now, m, p.ctr)
 		*m = answerMsg{}
 		answerMsgPool.Put(m)
 	case *ricRequestMsg:
@@ -176,7 +215,7 @@ func (p *Proc) reroute(key relation.Key, hops *uint8, m overlay.Message) bool {
 		return false
 	}
 	*hops++
-	p.eng.Counters.MessagesRerouted++
+	p.ctr.MessagesRerouted++
 	p.eng.net.Send(p.node, key.ID(), m)
 	return true
 }
@@ -220,8 +259,8 @@ func (p *Proc) ownsKey(key relation.Key) bool {
 // the ALTT for Δ ticks.
 func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 	p.recordArrival(m.Key, now)
-	p.eng.QPL.Add(p.node.ID(), 1)
-	p.eng.Counters.TuplesReceived++
+	p.qpl.Add(p.node.ID(), 1)
+	p.ctr.TuplesReceived++
 
 	list := p.queries[m.Key]
 	if len(list) > 0 {
@@ -231,7 +270,7 @@ func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 			// Section 5 rule: a rewritten query found outside its
 			// window when triggered is deleted.
 			if sq.q.Depth > 0 && sq.q.Window.Enabled() && !sq.q.Window.Valid(sq.q.Start, clock) {
-				p.eng.Counters.QueriesExpired++
+				p.ctr.QueriesExpired++
 				continue
 			}
 			p.tryTrigger(now, sq, m.T)
@@ -251,7 +290,7 @@ func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 		p.storeTuple(now, m.Key, m.T)
 	} else if p.eng.delta >= 0 {
 		p.altt[m.Key] = append(p.altt[m.Key], alttEntry{t: m.T, expireAt: now + sim.Time(p.eng.delta)})
-		p.eng.Counters.ALTTStored++
+		p.ctr.ALTTStored++
 	}
 }
 
@@ -266,7 +305,7 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 		return // already combined at a previous home (migration)
 	}
 	if !sq.allowTrigger(t) {
-		p.eng.Counters.DuplicatesSuppressed++
+		p.ctr.DuplicatesSuppressed++
 		return
 	}
 	if len(sq.q.Relations) == 1 {
@@ -306,9 +345,9 @@ func (p *Proc) completeTrigger(sq *storedQuery, t *relation.Tuple) {
 	}
 	sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
-	p.eng.Counters.RewritesCreated++
+	p.ctr.RewritesCreated++
 	if sq.q.Depth+1 >= 2 {
-		p.eng.Counters.DeepRewrites++
+		p.ctr.DeepRewrites++
 	}
 	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, id.ID(sq.q.Owner), vals))
 }
@@ -317,8 +356,8 @@ func (p *Proc) completeTrigger(sq *storedQuery, t *relation.Tuple) {
 // optionally garbage-collects stored tuples no window can reach.
 func (p *Proc) storeTuple(now sim.Time, key relation.Key, t *relation.Tuple) {
 	p.tuples[key] = append(p.tuples[key], t)
-	p.eng.SL.Add(p.node.ID(), 1)
-	p.eng.Counters.TuplesStored++
+	p.sl.Add(p.node.ID(), 1)
+	p.ctr.TuplesStored++
 
 	cfg := p.eng.Cfg
 	if cfg.TupleGC && cfg.MaxWindowHint > 0 && len(p.tuples[key])%32 == 0 {
@@ -327,7 +366,7 @@ func (p *Proc) storeTuple(now sim.Time, key relation.Key, t *relation.Tuple) {
 		for _, old := range p.tuples[key] {
 			// Conservative: drop only when out of reach on both clocks.
 			if seqNow-old.PubSeq > cfg.MaxWindowHint && timeNow-old.PubTime > cfg.MaxWindowHint {
-				p.eng.Counters.TuplesCollected++
+				p.ctr.TuplesCollected++
 				continue
 			}
 			kept = append(kept, old)
@@ -352,7 +391,7 @@ func (p *Proc) alttScan(key relation.Key, now sim.Time) []alttEntry {
 		} else {
 			p.altt[key] = entries
 		}
-		p.eng.Counters.ALTTExpired += int64(i)
+		p.ctr.ALTTExpired += int64(i)
 	}
 	return entries
 }
@@ -372,16 +411,16 @@ func (p *Proc) onEval(now sim.Time, m *evalMsg) {
 		// tuples were published before submission, so scanning the
 		// local stores suffices and nothing waits for the future.
 		if m.Q.Depth > 0 {
-			p.eng.QPL.Add(p.node.ID(), 1)
+			p.qpl.Add(p.node.ID(), 1)
 		}
 	} else {
 		p.queries[m.Key] = append(p.queries[m.Key], sq)
 		if m.Q.Depth > 0 {
-			p.eng.QPL.Add(p.node.ID(), 1)
-			p.eng.SL.Add(p.node.ID(), 1)
-			p.eng.Counters.RewritesStored++
+			p.qpl.Add(p.node.ID(), 1)
+			p.sl.Add(p.node.ID(), 1)
+			p.ctr.RewritesStored++
 		} else {
-			p.eng.Counters.InputQueriesStored++
+			p.ctr.InputQueriesStored++
 		}
 	}
 
@@ -411,7 +450,7 @@ func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 		return // stored tuple outside the query's window: skip, keep query
 	}
 	if !sq.allowTrigger(t) {
-		p.eng.Counters.DuplicatesSuppressed++
+		p.ctr.DuplicatesSuppressed++
 		return
 	}
 	if len(sq.q.Relations) == 1 {
@@ -485,7 +524,7 @@ func (p *Proc) maybeMigrate(now sim.Time, sq *storedQuery) bool {
 	}
 	q2 := sq.q.Clone()
 	q2.Exclude = mergeExclude(q2.Exclude, sq.combined)
-	p.eng.Counters.QueriesMigrated++
+	p.ctr.QueriesMigrated++
 	p.place(now, q2)
 	return true
 }
@@ -513,9 +552,9 @@ func mergeExclude(exclude, combined []int64) []int64 {
 // strategy selects. Dropped rewrites are returned to the free list —
 // they never escaped this function.
 func (p *Proc) dispatch(now sim.Time, q2 *query.Query) {
-	p.eng.Counters.RewritesCreated++
+	p.ctr.RewritesCreated++
 	if q2.Depth >= 2 {
-		p.eng.Counters.DeepRewrites++
+		p.ctr.DeepRewrites++
 	}
 	if q2.IsComplete() {
 		p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues()))
@@ -523,7 +562,7 @@ func (p *Proc) dispatch(now sim.Time, q2 *query.Query) {
 		return
 	}
 	if q2.Contradictory() {
-		p.eng.Counters.ContradictoryDropped++
+		p.ctr.ContradictoryDropped++
 		query.Release(q2)
 		return
 	}
@@ -550,13 +589,18 @@ func (p *Proc) place(now sim.Time, q *query.Query) {
 		}
 	}
 	if len(cands) == 0 {
-		p.eng.Counters.UnplaceableDropped++
+		p.ctr.UnplaceableDropped++
 		query.Release(q)
 		return
 	}
 	switch p.eng.Cfg.Strategy {
 	case StrategyRandom:
-		c := cands[p.eng.sim.Rand().Intn(len(cands))]
+		var c query.Candidate
+		if p.rng != nil {
+			c = cands[p.rng.Intn(len(cands))]
+		} else {
+			c = cands[p.eng.sim.Rand().Intn(len(cands))]
+		}
 		p.sendEval(q, c, nil, false)
 	case StrategyWorst:
 		best := cands[0]
@@ -598,11 +642,11 @@ func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
 		return id.Dist(p.node.ID(), unknown[i].ID()) <
 			id.Dist(p.node.ID(), unknown[j].ID())
 	})
-	reqID := p.eng.nextReqID()
+	reqID := p.nextReqID()
 	p.pending[reqID] = &pendingPlacement{q: q, cands: cands, known: known}
-	p.eng.Counters.RICRequests++
+	p.ctr.RICRequests++
 	req := &ricRequestMsg{Origin: p.node.ID(), ReqID: reqID, Pending: unknown}
-	p.eng.net.WithTag(TagRIC, func() {
+	p.eng.net.WithTag(p.node, TagRIC, func() {
 		p.eng.net.Send(p.node, unknown[0].ID(), req)
 	})
 }
@@ -620,7 +664,7 @@ func (p *Proc) onRICRequest(now sim.Time, m *ricRequestMsg) {
 		m.Got = append(m.Got, ricInfo{Key: key, Rate: p.rate(key, now), Addr: p.node.ID(), At: now})
 		reported = true
 	}
-	p.eng.net.WithTag(TagRIC, func() {
+	p.eng.net.WithTag(p.node, TagRIC, func() {
 		if len(m.Pending) == 0 {
 			p.eng.net.SendDirect(p.node, m.Origin, &ricReplyMsg{ReqID: m.ReqID, Origin: m.Origin, Got: m.Got})
 		} else {
@@ -636,7 +680,7 @@ func (p *Proc) onRICReply(now sim.Time, m *ricReplyMsg) {
 		return
 	}
 	delete(p.pending, m.ReqID)
-	p.eng.Counters.RICReplies++
+	p.ctr.RICReplies++
 	for _, info := range m.Got {
 		p.ct.merge(info)
 		pp.known = append(pp.known, info)

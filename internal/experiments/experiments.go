@@ -80,7 +80,7 @@ func newRunNet(p Params, cfg core.Config, wcfg workload.Config, netCfg overlay.C
 	}
 	ring.BuildPerfect()
 	se := sim.NewEngine(p.Seed)
-	nw := overlay.NewNetwork(ring, se, netCfg)
+	nw := overlay.MustNetwork(ring, se, netCfg)
 	eng := core.NewEngine(ring, se, nw, cfg)
 	return &run{
 		eng: eng,

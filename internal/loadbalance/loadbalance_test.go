@@ -27,7 +27,7 @@ func buildEngine(t testing.TB, n int, seed int64) (*core.Engine, []*chord.Node) 
 	}
 	ring.BuildPerfect()
 	se := sim.NewEngine(seed)
-	nw := overlay.NewNetwork(ring, se, overlay.DefaultConfig())
+	nw := overlay.MustNetwork(ring, se, overlay.DefaultConfig())
 	eng := core.NewEngine(ring, se, nw, core.DefaultConfig())
 	return eng, ring.Nodes()
 }

@@ -133,6 +133,21 @@ func (l *Load) Merge(other *Load) {
 	}
 }
 
+// DrainInto moves every count of l into dst and leaves l empty,
+// keeping l's map allocated for reuse. The parallel engine's per-shard
+// accumulators drain into the public aggregates at every sync barrier,
+// so this path avoids reallocating 64 maps per drain.
+func (l *Load) DrainInto(dst *Load) {
+	if l.total == 0 && len(l.byNode) == 0 {
+		return
+	}
+	for n, v := range l.byNode {
+		dst.Add(n, v)
+	}
+	clear(l.byNode)
+	l.total = 0
+}
+
 // Clone returns a deep copy.
 func (l *Load) Clone() *Load {
 	c := NewLoad()

@@ -12,6 +12,16 @@
 // RJoin ... and messages that n has to route due to the DHT routing
 // protocols"), and every hop adds a bounded random delay on the virtual
 // clock, realising the relaxed asynchronous model with maximum delay δ.
+//
+// On a parallel engine (sim.Engine with workers) the overlay keeps one
+// accounting lane per logical shard: traffic counters, the active
+// traffic tag, the grouped-send scratch buffer and the batching
+// outboxes all live in the lane of the acting node, so concurrent
+// handlers never share mutable state. Hop-delay draws come from the
+// acting node's private counter-based stream instead of the engine's
+// shared source, making the draw sequence independent of scheduling
+// interleave. Lane deltas merge into the public aggregate counters at
+// Sync, which the core engine calls after every drain.
 package overlay
 
 import (
@@ -80,6 +90,32 @@ func DefaultConfig() Config {
 	return Config{MinHopDelay: 1, MaxHopDelay: 1, GroupMultiSend: true}
 }
 
+// lane is the per-shard accounting state of a parallel network. Every
+// mutation the message layer performs while a handler runs — traffic
+// charges, tag scoping, grouped-send scratch, outbox batching — goes to
+// the lane of the acting node's shard, which the sub-round schedule
+// guarantees is touched by at most one worker at a time.
+type lane struct {
+	traffic      *metrics.Load
+	tagged       map[string]*metrics.Load
+	tag          string
+	legs         []leg
+	outboxes     map[id.ID]*outbox
+	messagesSent int64
+	delivered    int64
+	bounced      int64
+}
+
+// actor resolves the execution context of one overlay operation: the
+// accounting lane, the hop-delay stream and the logical shard of the
+// node performing it. On a serial network all three are zero values and
+// the shared root fields are used instead.
+type actor struct {
+	l     *lane
+	rng   *sim.RNG
+	shard int
+}
+
 // Network binds a Chord ring to the event engine and implements the
 // messaging API.
 type Network struct {
@@ -94,6 +130,10 @@ type Network struct {
 	outboxes map[id.ID]*outbox
 	legs     []leg // scratch for grouped multiSend, reused across calls
 
+	par   bool               // parallel engine: lane-per-shard accounting
+	lanes []lane             // one per logical shard when par
+	rngs  map[id.ID]*sim.RNG // per-node hop-delay streams when par
+
 	// MessagesSent counts every point-to-point transmission, i.e. the
 	// network-wide total of the traffic metric.
 	MessagesSent int64
@@ -105,15 +145,20 @@ type Network struct {
 	Bounced int64
 }
 
-// NewNetwork creates an overlay over an existing ring and engine.
-func NewNetwork(ring *chord.Ring, engine *sim.Engine, cfg Config) *Network {
+// NewNetwork creates an overlay over an existing ring and engine. The
+// delay bounds must satisfy 0 <= MinHopDelay <= MaxHopDelay; inverted
+// or negative bounds are rejected, matching the public API's contract
+// rather than silently repairing them.
+func NewNetwork(ring *chord.Ring, engine *sim.Engine, cfg Config) (*Network, error) {
+	if cfg.MinHopDelay < 0 || cfg.MaxHopDelay < 0 {
+		return nil, fmt.Errorf("overlay: negative hop delay bound [%d, %d]",
+			cfg.MinHopDelay, cfg.MaxHopDelay)
+	}
 	if cfg.MaxHopDelay < cfg.MinHopDelay {
-		cfg.MaxHopDelay = cfg.MinHopDelay
+		return nil, fmt.Errorf("overlay: MinHopDelay %d exceeds MaxHopDelay %d",
+			cfg.MinHopDelay, cfg.MaxHopDelay)
 	}
-	if cfg.MinHopDelay < 0 {
-		cfg.MinHopDelay = 0
-	}
-	return &Network{
+	nw := &Network{
 		Ring:     ring,
 		Engine:   engine,
 		Traffic:  metrics.NewLoad(),
@@ -122,6 +167,29 @@ func NewNetwork(ring *chord.Ring, engine *sim.Engine, cfg Config) *Network {
 		tagged:   make(map[string]*metrics.Load),
 		outboxes: make(map[id.ID]*outbox),
 	}
+	if engine.Workers() > 0 {
+		nw.par = true
+		nw.lanes = make([]lane, sim.Shards)
+		for i := range nw.lanes {
+			nw.lanes[i] = lane{
+				traffic:  metrics.NewLoad(),
+				tagged:   make(map[string]*metrics.Load),
+				outboxes: make(map[id.ID]*outbox),
+			}
+		}
+		nw.rngs = make(map[id.ID]*sim.RNG)
+	}
+	return nw, nil
+}
+
+// MustNetwork is NewNetwork that panics on error, for tests and
+// harnesses whose configs are correct by construction.
+func MustNetwork(ring *chord.Ring, engine *sim.Engine, cfg Config) *Network {
+	nw, err := NewNetwork(ring, engine, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return nw
 }
 
 // outbox buffers one node's outgoing keyed messages between batch
@@ -135,11 +203,29 @@ type outbox struct {
 // Config returns the network's configuration.
 func (nw *Network) Config() Config { return nw.cfg }
 
+// actorFor resolves the execution context of the given acting node.
+// Must only be called with a node that has been Attached at some point
+// (every ring node is), so its delay stream exists.
+func (nw *Network) actorFor(n *chord.Node) actor {
+	if !nw.par {
+		return actor{shard: sim.NoShard}
+	}
+	s := sim.ShardOfID(uint64(n.ID()))
+	return actor{l: &nw.lanes[s], rng: nw.rngs[n.ID()], shard: s}
+}
+
 // Attach registers the message handler for a node. A node without a
 // handler silently drops deliveries (tests rely on this for failure
-// injection).
+// injection). On a parallel network Attach also derives the node's
+// private hop-delay stream; streams outlive Detach so messages bounced
+// off a departed node still draw deterministically.
 func (nw *Network) Attach(n *chord.Node, h Handler) {
 	nw.handlers[n.ID()] = h
+	if nw.par {
+		if _, ok := nw.rngs[n.ID()]; !ok {
+			nw.rngs[n.ID()] = sim.NewRNG(nw.Engine.Seed(), uint64(n.ID()), 0x0e7a)
+		}
+	}
 }
 
 // Detach removes a node's handler.
@@ -147,11 +233,16 @@ func (nw *Network) Detach(n *chord.Node) {
 	delete(nw.handlers, n.ID())
 }
 
-func (nw *Network) hopDelay() int64 {
+// hopDelay draws one hop's delay: from the acting node's private stream
+// on a parallel network, from the engine's shared source otherwise.
+func (nw *Network) hopDelay(rng *sim.RNG) int64 {
 	if nw.cfg.MaxHopDelay == nw.cfg.MinHopDelay {
 		return nw.cfg.MinHopDelay
 	}
 	spread := nw.cfg.MaxHopDelay - nw.cfg.MinHopDelay + 1
+	if rng != nil {
+		return nw.cfg.MinHopDelay + rng.Int63n(spread)
+	}
 	return nw.cfg.MinHopDelay + nw.Engine.Rand().Int63n(spread)
 }
 
@@ -159,19 +250,19 @@ func (nw *Network) hopDelay() int64 {
 // intermediate router on the path (the final element of path is the
 // recipient, which receives rather than sends), and returns the total
 // virtual delay of the walk.
-func (nw *Network) chargePath(from *chord.Node, path []*chord.Node) int64 {
+func (nw *Network) chargePath(a actor, from *chord.Node, path []*chord.Node) int64 {
 	senders := 1 + len(path) - 1 // origin + intermediates
 	if len(path) == 0 {
 		senders = 0 // local delivery, no transmission
 	}
-	nw.MessagesSent += int64(senders)
+	nw.addSent(a.l, int64(senders))
 	var delay int64
 	if len(path) > 0 {
-		nw.charge(from.ID(), 1)
-		delay += nw.hopDelay()
+		nw.charge(a.l, from.ID(), 1)
+		delay += nw.hopDelay(a.rng)
 		for _, hop := range path[:len(path)-1] {
-			nw.charge(hop.ID(), 1)
-			delay += nw.hopDelay()
+			nw.charge(a.l, hop.ID(), 1)
+			delay += nw.hopDelay(a.rng)
 		}
 	}
 	return delay
@@ -186,13 +277,14 @@ func (nw *Network) chargePath(from *chord.Node, path []*chord.Node) int64 {
 func deliverEvent(now sim.Time, c sim.Ctx) {
 	nw := c.A.(*Network)
 	owner := c.B.(*chord.Node)
+	a := nw.actorFor(owner)
 	if h, ok := nw.handlers[owner.ID()]; ok && owner.Alive() {
-		nw.Delivered++
+		nw.addDelivered(a.l, 1)
 		h.HandleMessage(now, c.C)
 		return
 	}
 	if !owner.Alive() {
-		nw.bounce(c.C)
+		nw.bounce(a, c.C)
 	}
 }
 
@@ -202,8 +294,11 @@ func deliverEvent(now sim.Time, c sim.Ctx) {
 // owner (it performs the fetch in a real deployment's key-handoff
 // repair) and takes one hop delay. If the new owner also dies before
 // delivery, the bounce repeats against fresh ground truth, so the
-// message survives any churn that leaves the ring non-empty.
-func (nw *Network) bounce(msg Message) {
+// message survives any churn that leaves the ring non-empty. The
+// actor is the context the failure was discovered in (the dead
+// recipient's shard, or the sender's for an already-dead direct
+// target).
+func (nw *Network) bounce(a actor, msg Message) {
 	if !nw.cfg.Bounce {
 		return
 	}
@@ -215,36 +310,110 @@ func (nw *Network) bounce(msg Message) {
 	if tgt == nil {
 		return // ring is empty; nothing can take the message
 	}
-	nw.Bounced++
-	nw.MessagesSent++
-	nw.charge(tgt.ID(), 1)
-	nw.deliver(tgt, nw.hopDelay(), msg)
+	nw.addBounced(a.l, 1)
+	nw.addSent(a.l, 1)
+	nw.charge(a.l, tgt.ID(), 1)
+	nw.deliver(a, tgt, nw.hopDelay(a.rng), msg)
 }
 
-func (nw *Network) deliver(owner *chord.Node, delay int64, msg Message) {
-	nw.Engine.AfterCtx(delay, deliverEvent, sim.Ctx{A: nw, B: owner, C: msg})
+// deliver schedules the completion of one delivery. The event is bound
+// to the recipient's shard; the actor supplies the source shard the
+// barrier merge orders by.
+func (nw *Network) deliver(a actor, owner *chord.Node, delay int64, msg Message) {
+	dst := sim.NoShard
+	if nw.par {
+		dst = sim.ShardOfID(uint64(owner.ID()))
+	}
+	nw.Engine.AfterCtxShard(delay, deliverEvent, sim.Ctx{A: nw, B: owner, C: msg}, a.shard, dst)
 }
 
-func (nw *Network) charge(node id.ID, n int64) {
-	nw.Traffic.Add(node, n)
-	if nw.tag != "" {
-		l, ok := nw.tagged[nw.tag]
-		if !ok {
-			l = metrics.NewLoad()
-			nw.tagged[nw.tag] = l
+// charge attributes n sent messages to a node, in the lane's counters
+// when a lane is given, in the root counters otherwise.
+func (nw *Network) charge(l *lane, node id.ID, n int64) {
+	if l == nil {
+		nw.Traffic.Add(node, n)
+		if nw.tag != "" {
+			tl, ok := nw.tagged[nw.tag]
+			if !ok {
+				tl = metrics.NewLoad()
+				nw.tagged[nw.tag] = tl
+			}
+			tl.Add(node, n)
 		}
-		l.Add(node, n)
+		return
+	}
+	l.traffic.Add(node, n)
+	if l.tag != "" {
+		tl, ok := l.tagged[l.tag]
+		if !ok {
+			tl = metrics.NewLoad()
+			l.tagged[l.tag] = tl
+		}
+		tl.Add(node, n)
 	}
 }
 
-// WithTag runs fn with every message sent inside it additionally charged
-// to the named traffic tag. The experiments use the tag "ric" to report
-// the Request-RIC share of total traffic separately, as the figures do.
-func (nw *Network) WithTag(tag string, fn func()) {
-	prev := nw.tag
-	nw.tag = tag
+func (nw *Network) addSent(l *lane, n int64) {
+	if l == nil {
+		nw.MessagesSent += n
+	} else {
+		l.messagesSent += n
+	}
+}
+
+func (nw *Network) addDelivered(l *lane, n int64) {
+	if l == nil {
+		nw.Delivered += n
+	} else {
+		l.delivered += n
+	}
+}
+
+func (nw *Network) addBounced(l *lane, n int64) {
+	if l == nil {
+		nw.Bounced += n
+	} else {
+		l.bounced += n
+	}
+}
+
+// WithTag runs fn with every message the given node sends inside it
+// additionally charged to the named traffic tag. The experiments use
+// the tag "ric" to report the Request-RIC share of total traffic
+// separately, as the figures do. The acting node names the lane the
+// tag scopes to; on a serial network it is ignored.
+func (nw *Network) WithTag(n *chord.Node, tag string, fn func()) {
+	if !nw.par {
+		prev := nw.tag
+		nw.tag = tag
+		fn()
+		nw.tag = prev
+		return
+	}
+	l := &nw.lanes[sim.ShardOfID(uint64(n.ID()))]
+	prev := l.tag
+	l.tag = tag
 	fn()
-	nw.tag = prev
+	l.tag = prev
+}
+
+// WithTagAll runs fn with the tag active on every lane. It is for
+// coordinator-context sections (crash recovery) whose sends originate
+// from many different nodes; it must never run while workers do.
+func (nw *Network) WithTagAll(tag string, fn func()) {
+	if !nw.par {
+		nw.WithTag(nil, tag, fn)
+		return
+	}
+	prevs := make([]string, len(nw.lanes))
+	for i := range nw.lanes {
+		prevs[i] = nw.lanes[i].tag
+		nw.lanes[i].tag = tag
+	}
+	fn()
+	for i := range nw.lanes {
+		nw.lanes[i].tag = prevs[i]
+	}
 }
 
 // TaggedTraffic returns the per-node traffic charged under a tag (nil
@@ -256,18 +425,47 @@ func (nw *Network) TaggedTraffic(tag string) *metrics.Load {
 	return metrics.NewLoad()
 }
 
+// Sync folds every lane's accounting deltas into the public aggregate
+// counters. The core engine calls it after each drain; it is a no-op on
+// a serial network and must only run from coordinator context.
+func (nw *Network) Sync() {
+	for i := range nw.lanes {
+		l := &nw.lanes[i]
+		l.traffic.DrainInto(nw.Traffic)
+		for tag, tl := range l.tagged {
+			dst, ok := nw.tagged[tag]
+			if !ok {
+				dst = metrics.NewLoad()
+				nw.tagged[tag] = dst
+			}
+			tl.DrainInto(dst)
+		}
+		nw.MessagesSent += l.messagesSent
+		nw.Delivered += l.delivered
+		nw.Bounced += l.bounced
+		l.messagesSent, l.delivered, l.bounced = 0, 0, 0
+	}
+}
+
 // RenameNode transfers a node's accumulated traffic accounting to a new
 // identifier (identifier movement keeps the physical node).
 func (nw *Network) RenameNode(old, new id.ID) {
+	nw.Sync()
 	nw.Traffic.Rename(old, new)
 	for _, l := range nw.tagged {
 		l.Rename(old, new)
+	}
+	if nw.par {
+		if rng, ok := nw.rngs[old]; ok {
+			nw.rngs[new] = rng
+		}
 	}
 }
 
 // ResetTraffic zeroes all traffic accounting (total and tagged). The
 // experiment harness calls it after warmup so measurements start clean.
 func (nw *Network) ResetTraffic() {
+	nw.Sync()
 	nw.Traffic.Reset()
 	for _, l := range nw.tagged {
 		l.Reset()
@@ -283,46 +481,64 @@ func (nw *Network) ResetTraffic() {
 // owner is resolved at flush time); delivery is asynchronous either
 // way.
 func (nw *Network) Send(from *chord.Node, key id.ID, msg Message) *chord.Node {
+	a := nw.actorFor(from)
 	if nw.cfg.BatchWindow > 0 {
-		nw.enqueue(from, key, msg)
+		nw.enqueue(a, from, key, msg)
 		return nil
 	}
-	return nw.sendNow(from, key, msg)
+	return nw.sendNow(a, from, key, msg)
 }
 
 // sendNow performs an immediate routed delivery, bypassing batching.
-func (nw *Network) sendNow(from *chord.Node, key id.ID, msg Message) *chord.Node {
+func (nw *Network) sendNow(a actor, from *chord.Node, key id.ID, msg Message) *chord.Node {
 	owner, path := from.Lookup(key)
-	delay := nw.chargePath(from, path)
-	nw.deliver(owner, delay, msg)
+	delay := nw.chargePath(a, from, path)
+	nw.deliver(a, owner, delay, msg)
 	return owner
+}
+
+// outboxFor returns the acting context's outbox map.
+func (nw *Network) outboxFor(a actor, node id.ID) *outbox {
+	boxes := nw.outboxes
+	if a.l != nil {
+		boxes = a.l.outboxes
+	}
+	ob, ok := boxes[node]
+	if !ok {
+		ob = &outbox{}
+		boxes[node] = ob
+	}
+	return ob
 }
 
 // enqueue buffers a keyed message in the sender's outbox and schedules
 // a flush at the end of the current batch window.
-func (nw *Network) enqueue(from *chord.Node, key id.ID, msg Message) {
-	ob, ok := nw.outboxes[from.ID()]
-	if !ok {
-		ob = &outbox{}
-		nw.outboxes[from.ID()] = ob
-	}
+func (nw *Network) enqueue(a actor, from *chord.Node, key id.ID, msg Message) {
+	ob := nw.outboxFor(a, from.ID())
 	ob.msgs = append(ob.msgs, msg)
 	ob.keys = append(ob.keys, key)
 	if !ob.scheduled {
 		ob.scheduled = true
-		nw.Engine.AfterCtx(nw.cfg.BatchWindow, flushEvent, sim.Ctx{A: nw, B: from})
+		nw.Engine.AfterCtxShard(nw.cfg.BatchWindow, flushEvent, sim.Ctx{A: nw, B: from}, a.shard, a.shard)
 	}
 }
 
 // flushEvent is the batch-window expiry callback; see deliverEvent for
-// why it is a package-level CtxFunc.
+// why it is a package-level CtxFunc. It executes in the sending node's
+// shard.
 func flushEvent(_ sim.Time, c sim.Ctx) {
-	c.A.(*Network).flush(c.B.(*chord.Node))
+	nw := c.A.(*Network)
+	from := c.B.(*chord.Node)
+	nw.flush(nw.actorFor(from), from)
 }
 
 // flush sends a node's buffered messages as one grouped multiSend.
-func (nw *Network) flush(from *chord.Node) {
-	ob, ok := nw.outboxes[from.ID()]
+func (nw *Network) flush(a actor, from *chord.Node) {
+	boxes := nw.outboxes
+	if a.l != nil {
+		boxes = a.l.outboxes
+	}
+	ob, ok := boxes[from.ID()]
 	if !ok || len(ob.msgs) == 0 {
 		return
 	}
@@ -331,7 +547,7 @@ func (nw *Network) flush(from *chord.Node) {
 	if !from.Alive() {
 		return // sender failed before the window closed
 	}
-	nw.multiSendNow(from, msgs, keys)
+	nw.multiSendNow(a, from, msgs, keys)
 }
 
 // SendDirect delivers msg to a node whose address is already known, in a
@@ -339,18 +555,19 @@ func (nw *Network) flush(from *chord.Node) {
 // already left the network loses the message, unless bouncing is
 // enabled and the message carries a ring key to re-route by.
 func (nw *Network) SendDirect(from *chord.Node, to id.ID, msg Message) {
+	a := nw.actorFor(from)
 	owner := nw.Ring.Node(to)
 	if owner == nil {
-		nw.bounce(msg)
+		nw.bounce(a, msg)
 		return
 	}
 	var delay int64
 	if owner != from {
-		nw.charge(from.ID(), 1)
-		nw.MessagesSent++
-		delay = nw.hopDelay()
+		nw.charge(a.l, from.ID(), 1)
+		nw.addSent(a.l, 1)
+		delay = nw.hopDelay(a.rng)
 	}
-	nw.deliver(owner, delay, msg)
+	nw.deliver(a, owner, delay, msg)
 }
 
 // Transfer delivers msg to a known alive recipient at the current
@@ -361,23 +578,24 @@ func (nw *Network) SendDirect(from *chord.Node, to id.ID, msg Message) {
 // regular (≥ one hop delay) message can observe the new owner before
 // its state has arrived. It reports whether the recipient accepted.
 func (nw *Network) Transfer(from *chord.Node, to id.ID, msg Message) bool {
+	a := nw.actorFor(from)
 	owner := nw.Ring.Node(to)
 	if owner == nil {
-		nw.bounce(msg)
+		nw.bounce(a, msg)
 		return false
 	}
 	if owner != from {
-		nw.charge(from.ID(), 1)
-		nw.MessagesSent++
+		nw.charge(a.l, from.ID(), 1)
+		nw.addSent(a.l, 1)
 	}
-	nw.deliver(owner, 0, msg)
+	nw.deliver(a, owner, 0, msg)
 	return true
 }
 
 // FlushNode immediately flushes a node's batched outbox. A node about
 // to leave gracefully empties its buffers first so batching cannot turn
 // a clean departure into message loss.
-func (nw *Network) FlushNode(from *chord.Node) { nw.flush(from) }
+func (nw *Network) FlushNode(from *chord.Node) { nw.flush(nw.actorFor(from), from) }
 
 // MultiSend delivers msgs[j] to Successor(keys[j]) for every j. With
 // grouping disabled each delivery is an independent O(log N) lookup
@@ -390,13 +608,14 @@ func (nw *Network) MultiSend(from *chord.Node, msgs []Message, keys []id.ID) {
 	if len(msgs) == 0 {
 		return
 	}
+	a := nw.actorFor(from)
 	if nw.cfg.BatchWindow > 0 {
 		for j := range msgs {
-			nw.enqueue(from, keys[j], msgs[j])
+			nw.enqueue(a, from, keys[j], msgs[j])
 		}
 		return
 	}
-	nw.multiSendNow(from, msgs, keys)
+	nw.multiSendNow(a, from, msgs, keys)
 }
 
 // leg is one delivery of a grouped multiSend.
@@ -407,18 +626,22 @@ type leg struct {
 
 // multiSendNow performs the actual delivery for MultiSend and for batch
 // flushes.
-func (nw *Network) multiSendNow(from *chord.Node, msgs []Message, keys []id.ID) {
+func (nw *Network) multiSendNow(a actor, from *chord.Node, msgs []Message, keys []id.ID) {
 	if !nw.cfg.GroupMultiSend || len(msgs) == 1 {
 		for j := range msgs {
-			nw.sendNow(from, keys[j], msgs[j])
+			nw.sendNow(a, from, keys[j], msgs[j])
 		}
 		return
 	}
 	// Grouped: visit owners in clockwise ring order starting at the
 	// origin, each leg routed from the previous owner. The legs buffer
-	// is scratch owned by the network; deliveries copy what they need
-	// before this function returns.
-	legs := nw.legs[:0]
+	// is scratch owned by the acting lane; deliveries copy what they
+	// need before this function returns.
+	scratch := &nw.legs
+	if a.l != nil {
+		scratch = &a.l.legs
+	}
+	legs := (*scratch)[:0]
 	for j := range msgs {
 		legs = append(legs, leg{keys[j], msgs[j]})
 	}
@@ -429,14 +652,14 @@ func (nw *Network) multiSendNow(from *chord.Node, msgs []Message, keys []id.ID) 
 	var accumulated int64
 	for _, lg := range legs {
 		owner, path := cur.Lookup(lg.key)
-		accumulated += nw.chargePath(cur, path)
-		nw.deliver(owner, accumulated, lg.msg)
+		accumulated += nw.chargePath(a, cur, path)
+		nw.deliver(a, owner, accumulated, lg.msg)
 		cur = owner
 	}
 	for j := range legs {
 		legs[j].msg = nil // drop payload references until next use
 	}
-	nw.legs = legs[:0]
+	*scratch = legs[:0]
 }
 
 // Broadcast delivers one message to every key in keys (the paper's

@@ -34,7 +34,7 @@ func newFixture(t testing.TB, n int, cfg Config) *fixture {
 		}
 	}
 	f.ring.BuildPerfect()
-	f.nw = NewNetwork(f.ring, f.engine, cfg)
+	f.nw = MustNetwork(f.ring, f.engine, cfg)
 	f.nodes = f.ring.Nodes()
 	for _, node := range f.nodes {
 		nid := node.ID()
@@ -43,6 +43,36 @@ func newFixture(t testing.TB, n int, cfg Config) *fixture {
 		}))
 	}
 	return f
+}
+
+// TestNewNetworkValidatesDelayBounds: the overlay must reject inverted
+// or negative hop-delay bounds with an error — the silent repair it
+// used to apply let internal callers construct networks the public API
+// would have refused.
+func TestNewNetworkValidatesDelayBounds(t *testing.T) {
+	ring := chord.NewRing()
+	if _, err := ring.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine(1)
+	for _, cfg := range []Config{
+		{MinHopDelay: 5, MaxHopDelay: 2},
+		{MinHopDelay: -1, MaxHopDelay: 1},
+		{MinHopDelay: 0, MaxHopDelay: -3},
+	} {
+		if _, err := NewNetwork(ring, engine, cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+	for _, cfg := range []Config{
+		{},
+		{MinHopDelay: 0, MaxHopDelay: 4},
+		{MinHopDelay: 2, MaxHopDelay: 2},
+	} {
+		if _, err := NewNetwork(ring, engine, cfg); err != nil {
+			t.Errorf("valid config %+v rejected: %v", cfg, err)
+		}
+	}
 }
 
 func TestSendDeliversToOwner(t *testing.T) {

@@ -62,21 +62,31 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
-// Engine is a deterministic event loop over virtual time.
+// Engine is a deterministic event loop over virtual time. By default
+// it executes serially; SetWorkers switches it to the deterministic
+// parallel schedule described in parallel.go.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events []event // 4-ary min-heap ordered by (at, seq)
-	fg     int     // queued events that are not background
+	events eventHeap // global events: 4-ary min-heap ordered by (at, seq)
+	fg     int       // queued events that are not background
 	rng    *rand.Rand
+	seed   int64
 	fired  uint64
+
+	par parState // parallel execution state; inert while par.workers == 0
 }
 
 // NewEngine returns an engine whose randomness derives entirely from
 // the given seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
+
+// Seed returns the seed the engine was built with. Per-node RNG
+// streams (see RNG) derive from it so one seed still fixes an entire
+// experiment in parallel mode.
+func (e *Engine) Seed() int64 { return e.seed }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -88,9 +98,14 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// eventHeap is a typed 4-ary min-heap of inline events ordered by
+// (at, seq). The serial engine owns one; the parallel engine owns one
+// per logical shard plus the global one.
+type eventHeap []event
+
 // push inserts an event into the 4-ary heap.
-func (e *Engine) push(ev event) {
-	h := append(e.events, ev)
+func (hp *eventHeap) push(ev event) {
+	h := append(*hp, ev)
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -100,13 +115,13 @@ func (e *Engine) push(ev event) {
 		h[i], h[p] = h[p], h[i]
 		i = p
 	}
-	e.events = h
+	*hp = h
 }
 
 // pop removes and returns the minimum event. The caller guarantees the
 // heap is non-empty.
-func (e *Engine) pop() event {
-	h := e.events
+func (hp *eventHeap) pop() event {
+	h := *hp
 	root := h[0]
 	n := len(h) - 1
 	last := h[n]
@@ -138,9 +153,13 @@ func (e *Engine) pop() event {
 	if n > 0 {
 		h[i] = last
 	}
-	e.events = h
+	*hp = h
 	return root
 }
+
+// push and pop on the engine operate on the global heap.
+func (e *Engine) push(ev event) { e.events.push(ev) }
+func (e *Engine) pop() event    { return e.events.pop() }
 
 // schedule clamps t to now and pushes the event.
 func (e *Engine) schedule(t Time, ev event) {
@@ -180,9 +199,32 @@ func (e *Engine) AfterCtx(d Duration, cb CtxFunc, c Ctx) {
 	e.AtCtx(e.now+Time(d), cb, c)
 }
 
+// AtCtxShard is AtCtx with shard routing for parallel mode: dst is the
+// logical shard whose worker must execute the event (the destination
+// node's shard), src is the logical shard of the acting node making the
+// call, or NoShard from driver or global-event context. On a serial
+// engine both are ignored and the call is exactly AtCtx.
+func (e *Engine) AtCtxShard(t Time, cb CtxFunc, c Ctx, src, dst int) {
+	if e.par.workers == 0 {
+		e.schedule(t, event{cb: cb, ctx: c})
+		return
+	}
+	e.scheduleShard(t, event{cb: cb, ctx: c}, src, dst)
+}
+
+// AfterCtxShard schedules cb d ticks from now; see AtCtxShard.
+func (e *Engine) AfterCtxShard(d Duration, cb CtxFunc, c Ctx, src, dst int) {
+	e.AtCtxShard(e.now+Time(d), cb, c, src, dst)
+}
+
 // Step executes the single next event, if any, and reports whether one
-// was executed.
+// was executed. Step is a serial-engine primitive: a parallel engine
+// defines order only at sub-round granularity, so it must be driven
+// through Run/RunUntil.
 func (e *Engine) Step() bool {
+	if e.par.workers > 0 {
+		panic("sim: Step is not supported on a parallel engine; use Run or RunUntil")
+	}
 	if len(e.events) == 0 {
 		return false
 	}
@@ -205,7 +247,15 @@ func (e *Engine) Step() bool {
 // maintenance scheduled with AtBg/EveryBg) remain queued. Background
 // events whose timestamps fall before remaining foreground work still
 // fire in order along the way.
+//
+// On a parallel engine the drain proceeds in barrier-synchronized time
+// steps (see parallel.go) and stops at the first time-step boundary
+// with no foreground work left.
 func (e *Engine) Run() {
+	if e.par.workers > 0 {
+		e.runParallel(0, true)
+		return
+	}
 	for e.fg > 0 {
 		e.Step()
 	}
@@ -215,6 +265,10 @@ func (e *Engine) Run() {
 // included — and then advances the clock to the deadline. Later events
 // remain queued.
 func (e *Engine) RunUntil(deadline Time) {
+	if e.par.workers > 0 {
+		e.runParallel(deadline, false)
+		return
+	}
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		e.Step()
 	}
@@ -224,7 +278,13 @@ func (e *Engine) RunUntil(deadline Time) {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	n := len(e.events)
+	for i := range e.par.heaps {
+		n += len(e.par.heaps[i])
+	}
+	return n
+}
 
 // PendingForeground returns the number of queued non-background events
 // (the count Run drains to zero).

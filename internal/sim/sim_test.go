@@ -143,6 +143,30 @@ func TestEveryRepeatsUntilCancelled(t *testing.T) {
 	}
 }
 
+// Non-positive intervals are coerced to one tick rather than looping
+// at the same instant forever (or panicking): the series stays usable
+// and still terminates when the callback returns false.
+func TestEveryNonPositiveIntervalCoercesToOne(t *testing.T) {
+	for _, interval := range []Duration{0, -7} {
+		e := NewEngine(1)
+		var at []Time
+		e.Every(interval, func(now Time) bool {
+			at = append(at, now)
+			return len(at) < 3
+		})
+		e.Run()
+		want := []Time{1, 2, 3}
+		if len(at) != len(want) {
+			t.Fatalf("interval %d: fired %d times, want %d", interval, len(at), len(want))
+		}
+		for i := range want {
+			if at[i] != want[i] {
+				t.Fatalf("interval %d: firings at %v, want %v", interval, at, want)
+			}
+		}
+	}
+}
+
 // A background periodic series must not keep Run alive: Run drains
 // foreground work, interleaving only background ticks whose timestamps
 // it passes, and returns with the series still queued.

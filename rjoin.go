@@ -100,6 +100,22 @@ type Options struct {
 	// AttrReplicas spreads attribute-level keys over this many replica
 	// keys (the [18] hotspot remedy); values < 2 disable replication.
 	AttrReplicas int
+	// Workers selects the execution mode of the event engine. 0 or 1
+	// (the default) runs the serial engine, bit-identical to previous
+	// releases. N >= 2 executes same-timestamp events in parallel on N
+	// OS threads under a conservative barrier schedule: nodes hash into
+	// a fixed set of logical shards, shards execute concurrently, and
+	// cross-shard effects merge at barriers in a deterministic order —
+	// so a seed still replays bit-identically, and the digests are the
+	// same for every N >= 2. They differ from serial digests: parallel
+	// mode draws delays and random placements from per-node
+	// counter-based streams instead of one shared source (a shared
+	// source's draw order would depend on thread interleaving).
+	// Parallel mode requires MinHopDelay >= 1 (the lookahead window
+	// that makes one virtual tick a safe barrier interval) and is
+	// incompatible with StrategyWorst (whose oracle reads rate state
+	// across shards).
+	Workers int
 	// Churn drives runtime membership changes — joins, graceful leaves
 	// and crashes — while queries are live. The zero value keeps the
 	// overlay static (the paper's setting). Explicit AddNode /
@@ -236,6 +252,17 @@ func NewNetwork(opts Options) (*Network, error) {
 		return nil, fmt.Errorf("rjoin: negative churn tuning (interval %d, stabilize %d, min nodes %d)",
 			opts.Churn.Interval, opts.Churn.StabilizeInterval, opts.Churn.MinNodes)
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("rjoin: negative worker count %d", opts.Workers)
+	}
+	if opts.Workers > 1 {
+		if opts.MinHopDelay < 1 {
+			return nil, fmt.Errorf("rjoin: Workers %d requires MinHopDelay >= 1 (the parallel lookahead window)", opts.Workers)
+		}
+		if opts.Strategy == StrategyWorst {
+			return nil, fmt.Errorf("rjoin: Workers %d is incompatible with StrategyWorst (its oracle reads cross-shard state)", opts.Workers)
+		}
+	}
 	ring := chord.NewRing()
 	idRng := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < opts.Nodes; i++ {
@@ -247,7 +274,10 @@ func NewNetwork(opts Options) (*Network, error) {
 	}
 	ring.BuildPerfect()
 	se := sim.NewEngine(opts.Seed)
-	nw := overlay.NewNetwork(ring, se, overlay.Config{
+	if opts.Workers > 1 {
+		se.SetWorkers(opts.Workers)
+	}
+	nw, err := overlay.NewNetwork(ring, se, overlay.Config{
 		MinHopDelay:    opts.MinHopDelay,
 		MaxHopDelay:    opts.MaxHopDelay,
 		GroupMultiSend: true,
@@ -257,6 +287,9 @@ func NewNetwork(opts Options) (*Network, error) {
 		// fires, so enabling it unconditionally costs nothing.
 		Bounce: true,
 	})
+	if err != nil {
+		return nil, err
+	}
 	cfg := core.DefaultConfig()
 	cfg.Strategy = opts.Strategy
 	cfg.Delta = opts.Delta
@@ -418,7 +451,7 @@ func (n *Network) AddNode() error {
 // successor as counted handover messages, so no answer is lost or
 // duplicated. The last node of a network cannot be removed.
 func (n *Network) RemoveNode(index int) error {
-	node, err := n.nodeAt(index)
+	node, err := n.nodeAt(index, "remove")
 	if err != nil {
 		return err
 	}
@@ -431,26 +464,30 @@ func (n *Network) RemoveNode(index int) error {
 // identity and insertion time), and Stats counts the rewritten queries
 // and tuples that could not be saved. The last node cannot be crashed.
 func (n *Network) Crash(index int) error {
-	node, err := n.nodeAt(index)
+	node, err := n.nodeAt(index, "crash")
 	if err != nil {
 		return err
 	}
 	return n.mgr.Crash(node)
 }
 
-func (n *Network) nodeAt(index int) (*chord.Node, error) {
+// nodeAt resolves a position in the identifier-ordered node list;
+// action names the membership operation for the last-node error, so
+// Crash does not report that it "cannot remove".
+func (n *Network) nodeAt(index int, action string) (*chord.Node, error) {
 	nodes := n.eng.Ring().Nodes()
 	if index < 0 || index >= len(nodes) {
 		return nil, fmt.Errorf("rjoin: node index %d outside [0, %d)", index, len(nodes))
 	}
 	if len(nodes) <= 1 {
-		return nil, fmt.Errorf("rjoin: cannot remove the last node")
+		return nil, fmt.Errorf("rjoin: cannot %s the last node", action)
 	}
 	return nodes[index], nil
 }
 
 // Stats snapshots network-wide cost measures.
 func (n *Network) Stats() Stats {
+	n.eng.Sync() // fold any unmerged parallel shard deltas in first
 	return Stats{
 		Messages:            n.eng.Net().Traffic.Total(),
 		RICMessages:         n.eng.Net().TaggedTraffic(core.TagRIC).Total(),

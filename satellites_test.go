@@ -1,0 +1,179 @@
+package rjoin
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDistinctNULValuesNotCollapsed is the end-to-end regression test
+// for the DISTINCT row-key bug: with the old NUL-separator encoding,
+// the rows ("a\x00", "b") and ("a", "\x00b") canonicalized identically
+// and the owner-side filter dropped the second real answer. The
+// length-prefixed encoding must deliver both.
+func TestDistinctNULValuesNotCollapsed(t *testing.T) {
+	net := MustNetwork(Options{Nodes: 32, Seed: 6})
+	net.MustDefineRelation("R", "A", "B", "C")
+	net.MustDefineRelation("S", "C", "D")
+	sub := net.MustSubscribe("select distinct R.A, R.B from R,S where R.C=S.C")
+	net.Run()
+	net.MustPublish("R", "a\x00", "b", 1)
+	net.MustPublish("R", "a", "\x00b", 1)
+	net.MustPublish("S", 1, 99)
+	net.Run()
+	ans := sub.Answers()
+	if len(ans) != 2 {
+		t.Fatalf("got %d answers, want 2 (adversarial NUL rows must stay distinct): %v", len(ans), ans)
+	}
+	seen := map[[2]string]bool{}
+	for _, a := range ans {
+		seen[[2]string{a.Row[0].String(), a.Row[1].String()}] = true
+	}
+	if !seen[[2]string{"a\x00", "b"}] || !seen[[2]string{"a", "\x00b"}] {
+		t.Fatalf("wrong answer rows: %v", ans)
+	}
+	// Equal rows are still deduplicated: republishing the same values
+	// adds nothing.
+	net.MustPublish("R", "a\x00", "b", 1)
+	net.Run()
+	if n := sub.Count(); n != 2 {
+		t.Fatalf("true duplicate not filtered: %d answers", n)
+	}
+}
+
+// TestAnswersSinceWithDistinct: the cursor contract must hold under
+// DISTINCT filtering — filtered duplicates never surface, never
+// advance the stream, and a consumer polling cursor += len(batch) sees
+// every retained answer exactly once.
+func TestAnswersSinceWithDistinct(t *testing.T) {
+	net := MustNetwork(Options{Nodes: 32, Seed: 8})
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	sub := net.MustSubscribe("select distinct S.B from R,S where R.A=S.A")
+	net.Run()
+
+	cursor := 0
+	var collected []string
+	poll := func() {
+		batch := sub.AnswersSince(cursor)
+		cursor += len(batch)
+		for _, a := range batch {
+			collected = append(collected, a.Row[0].String())
+		}
+	}
+
+	net.MustPublish("R", 1, 10)
+	net.MustPublish("S", 1, 7)
+	net.Run()
+	poll()
+	if len(collected) != 1 {
+		t.Fatalf("after first pair: collected %v, want one answer", collected)
+	}
+	// A second R tuple re-triggers the same S.B=7 projection: DISTINCT
+	// filters it, so the poll sees nothing new and the cursor is stable.
+	net.MustPublish("R", 1, 11)
+	net.Run()
+	poll()
+	if len(collected) != 1 {
+		t.Fatalf("duplicate leaked through AnswersSince: %v", collected)
+	}
+	// A genuinely new projection arrives exactly once.
+	net.MustPublish("S", 1, 8)
+	net.Run()
+	poll()
+	poll() // an extra poll at the tip must return nothing
+	if len(collected) != 2 || collected[0] != "7" || collected[1] != "8" {
+		t.Fatalf("collected %v, want [7 8]", collected)
+	}
+	if cursor != sub.Count() {
+		t.Fatalf("cursor %d out of step with Count %d", cursor, sub.Count())
+	}
+	// Out-of-range cursors clamp instead of panicking.
+	if got := sub.AnswersSince(-3); len(got) != 2 {
+		t.Fatalf("negative cursor returned %d answers, want all 2", len(got))
+	}
+	if got := sub.AnswersSince(99); len(got) != 0 {
+		t.Fatalf("past-the-end cursor returned %d answers, want 0", len(got))
+	}
+}
+
+// TestRunForZeroAndNegativeDurations: RunFor must never move the clock
+// backwards or fire future work early; a zero duration only completes
+// work already due at the current instant.
+func TestRunForZeroAndNegativeDurations(t *testing.T) {
+	net := MustNetwork(Options{Nodes: 16, Seed: 4})
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	sub := net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+	net.Run()
+	before := net.Now()
+
+	net.MustPublish("R", 1, 1)
+	net.MustPublish("S", 1, 2)
+	// Deliveries take at least one hop delay (>= 1 tick), so neither a
+	// zero nor a negative advance may process them.
+	net.RunFor(0)
+	if net.Now() != before {
+		t.Fatalf("RunFor(0) moved the clock %d -> %d", before, net.Now())
+	}
+	net.RunFor(-25)
+	if net.Now() != before {
+		t.Fatalf("RunFor(-25) moved the clock %d -> %d", before, net.Now())
+	}
+	if n := sub.Count(); n != 0 {
+		t.Fatalf("non-positive RunFor processed future deliveries: %d answers", n)
+	}
+	// The work is still queued and completes normally.
+	net.Run()
+	if n := sub.Count(); n != 1 {
+		t.Fatalf("got %d answers after Run, want 1", n)
+	}
+}
+
+// TestLastNodeMembershipErrors: Crash on the last node must say it
+// cannot *crash* it — the shared helper used to report "remove" for
+// both operations — and RemoveNode keeps its own verb.
+func TestLastNodeMembershipErrors(t *testing.T) {
+	net := MustNetwork(Options{Nodes: 1, Seed: 1})
+	if err := net.Crash(0); err == nil {
+		t.Fatal("crashing the last node succeeded")
+	} else if !strings.Contains(err.Error(), "cannot crash the last node") {
+		t.Fatalf("crash error has wrong verb: %v", err)
+	}
+	if err := net.RemoveNode(0); err == nil {
+		t.Fatal("removing the last node succeeded")
+	} else if !strings.Contains(err.Error(), "cannot remove the last node") {
+		t.Fatalf("remove error has wrong verb: %v", err)
+	}
+	// Index validation is unchanged.
+	if err := net.Crash(5); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-range crash index: %v", err)
+	}
+}
+
+// TestWorkersOptionValidation pins the parallel-mode contract at the
+// public API: negative counts, a missing lookahead window and the
+// cross-shard oracle strategy are rejected; 0 and 1 mean the serial
+// engine and replay identically.
+func TestWorkersOptionValidation(t *testing.T) {
+	if _, err := NewNetwork(Options{Nodes: 8, Workers: -1}); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, Workers: 2, MaxHopDelay: 3}); err == nil {
+		t.Fatal("Workers 2 with MinHopDelay 0 accepted (no lookahead window)")
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, Workers: 2, Strategy: StrategyWorst}); err == nil {
+		t.Fatal("Workers 2 with StrategyWorst accepted")
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, Workers: 2}); err != nil {
+		t.Fatalf("defaulted hop delays (1,1) must satisfy the lookahead requirement: %v", err)
+	}
+	// Workers 0 and 1 are both the serial engine: identical digests.
+	base := Options{Nodes: 48, Seed: 42}
+	one := base
+	one.Workers = 1
+	st0, d0 := goldenWorkload(base)
+	st1, d1 := goldenWorkload(one)
+	if st0 != st1 || d0 != d1 {
+		t.Fatalf("Workers 1 diverged from serial: %+v %x vs %+v %x", st0, d0, st1, d1)
+	}
+}
