@@ -15,9 +15,10 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 64, "overlay size")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "event-engine worker threads (0/1 serial, >=2 deterministic parallel)")
 	flag.Parse()
 
-	net := rjoin.MustNetwork(rjoin.Options{Nodes: *nodes, Seed: *seed})
+	net := rjoin.MustNetwork(rjoin.Options{Nodes: *nodes, Seed: *seed, Workers: *workers})
 	for _, rel := range []string{"R", "S", "J", "M"} {
 		net.MustDefineRelation(rel, "A", "B", "C")
 	}

@@ -4,18 +4,24 @@
 //
 // Usage:
 //
-//	rjoin-experiments [-fig N] [-scale S] [-nodes N] [-queries Q] [-seed S]
+//	rjoin-experiments [-fig N] [-scale S] [-nodes N] [-queries Q] [-seed S] [-workers W] [-csv DIR]
 //
 // With no -fig, every figure runs in paper order. The default scale is
 // 0.25 (a quarter of the paper's query and tuple counts at the full
 // 1000-node overlay) so the whole suite completes on a laptop in
-// minutes; pass -scale 1 for the paper's exact workload sizes.
+// minutes; pass -scale 1 for the paper's exact workload sizes. With
+// -workers >= 2 experiments run on the deterministic parallel event
+// engine (runs needing StrategyWorst's cross-shard oracle stay serial).
+// With -csv, every table is additionally written to DIR as one CSV file
+// named after its title, plottable without scraping the text output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"rjoin/internal/experiments"
@@ -23,17 +29,27 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2-9, or churn); empty runs all")
+	fig := flag.String("fig", "", "figure to regenerate (2-9, churn or agg); empty runs all")
 	scale := flag.Float64("scale", 0.25, "workload scale in (0,1]: fraction of the paper's query/tuple counts")
 	nodes := flag.Int("nodes", 1000, "overlay size")
 	queries := flag.Int("queries", 20000, "continuous queries before scaling")
 	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	workers := flag.Int("workers", 0, "event-engine worker threads (0/1 serial, >=2 deterministic parallel)")
+	csvDir := flag.String("csv", "", "directory to additionally write each table to as CSV")
 	flag.Parse()
 
 	p := experiments.Default(*scale)
 	p.Nodes = *nodes
 	p.Queries = *queries
 	p.Seed = *seed
+	p.Workers = *workers
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rjoin-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	runners := map[string]func(experiments.Params) []*metrics.Table{
 		"2":     experiments.Fig2,
@@ -45,39 +61,80 @@ func main() {
 		"8":     experiments.Fig8,
 		"9":     experiments.Fig9,
 		"churn": experiments.FigChurn,
+		"agg":   experiments.FigAgg,
 	}
 
 	var figs []string
 	if *fig == "" {
 		// Figures 7 and 8 share one experiment run; the sentinel "7+8"
-		// computes both together. "churn" is this reproduction's own
-		// dynamic-membership extension.
-		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn"}
+		// computes both together. "churn" and "agg" are this
+		// reproduction's own extensions: dynamic membership and
+		// in-network aggregation.
+		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg"}
 	} else {
 		if _, ok := runners[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9 or churn)\n", *fig)
+			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn or agg)\n", *fig)
 			os.Exit(2)
 		}
 		figs = []string{*fig}
 	}
 
-	fmt.Printf("# RJoin experiments  nodes=%d queries=%d scale=%.2f seed=%d\n\n",
-		p.Nodes, p.Queries, p.Scale, p.Seed)
+	fmt.Printf("# RJoin experiments  nodes=%d queries=%d scale=%.2f seed=%d workers=%d\n\n",
+		p.Nodes, p.Queries, p.Scale, p.Seed, p.Workers)
 	for _, f := range figs {
 		start := time.Now()
 		if f == "7+8" {
 			f7, f8 := experiments.Fig7And8(p)
-			printTables(append(f7, f8...), start)
+			printTables(append(f7, f8...), start, *csvDir)
 			continue
 		}
-		printTables(runners[f](p), start)
+		printTables(runners[f](p), start, *csvDir)
 	}
 }
 
-func printTables(tabs []*metrics.Table, start time.Time) {
+func printTables(tabs []*metrics.Table, start time.Time, csvDir string) {
 	for _, t := range tabs {
 		t.WriteTo(os.Stdout)
 		fmt.Println()
+		if csvDir != "" {
+			if err := writeCSV(csvDir, t); err != nil {
+				fmt.Fprintf(os.Stderr, "rjoin-experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	fmt.Printf("(elapsed %.1fs)\n\n", time.Since(start).Seconds())
+}
+
+// writeCSV stores one table as <dir>/<slug-of-title>.csv.
+func writeCSV(dir string, t *metrics.Table) error {
+	f, err := os.Create(filepath.Join(dir, slug(t.Title)+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// slug reduces a table title to a file-name-safe form: lower case,
+// alphanumeric runs joined by dashes.
+func slug(title string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
 }

@@ -3,6 +3,7 @@ package rjoin
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"testing"
 )
 
@@ -113,6 +114,77 @@ func TestGoldenDeterminism(t *testing.T) {
 				i, st1, d1, golden[i].stats, golden[i].digest)
 		}
 	}
+
+	// Aggregation-enabled config: the digest over every subscription's
+	// final aggregate view (and a plain subscription's answer multiset)
+	// must be bit-identical across Workers ∈ {1, 2, 4, 8} and match the
+	// pinned baseline — the distributed fold, partial routing and
+	// quiescence flushing may not depend on scheduling interleave in any
+	// way that reaches final state.
+	const goldenAgg = uint64(0xdeb53ae175c3b7e3)
+	for _, w := range []int{1, 2, 4, 8} {
+		if d := goldenAggWorkload(Options{Nodes: 96, Seed: 42, Workers: w}); d != goldenAgg {
+			t.Fatalf("aggregation config, workers %d: digest %x diverged from golden %x", w, d, goldenAgg)
+		}
+	}
+}
+
+// goldenAggWorkload drives a fixed-seed aggregation workload — grouped,
+// global, tumbling- and sliding-windowed aggregate queries over every
+// function, plus a plain query riding along — and digests the final
+// aggregate views together with the plain query's answer multiset. The
+// digest is deliberately order-insensitive (views are canonical sorted
+// state, the answer stream is sorted before hashing): aggregation
+// exactness is a property of final state, not of delivery interleaving,
+// which is what lets one pinned value hold across every worker count.
+func goldenAggWorkload(opts Options) uint64 {
+	net := MustNetwork(opts)
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+
+	subs := []*Subscription{
+		net.MustSubscribe("select R.A, count(*), sum(S.B), min(S.B), max(S.B), avg(S.B), count(distinct S.B) from R,S where R.A=S.A group by R.A"),
+		net.MustSubscribe("select count(*), max(R.B) from R,S where R.A=S.A"),
+		net.MustSubscribe("select R.A, count(*), sum(S.B) from R,S where R.A=S.A group by R.A within 32 tuples tumbling"),
+		net.MustSubscribe("select R.A, count(*), max(S.B) from R,S where R.A=S.A group by R.A within 32 tuples"),
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A"),
+	}
+	skew := []int{0, 0, 0, 1, 1, 2, 3, 4}
+	for i := 0; i < 48; i++ {
+		net.MustPublish("R", skew[i%8], i)
+		net.MustPublish("S", skew[(i+1)%8], i%6)
+		if i%5 == 4 {
+			net.Run()
+		} else {
+			net.RunFor(2) // keep deliveries racing across barriers
+		}
+	}
+	net.Run()
+
+	h := fnv.New64a()
+	for _, s := range subs {
+		fmt.Fprintf(h, "[%s]", s.SQL)
+		for _, a := range s.AggregateRows() {
+			fmt.Fprintf(h, "e%d:", a.Epoch)
+			for _, v := range a.Row {
+				fmt.Fprintf(h, "%s,", v.String())
+			}
+			fmt.Fprint(h, ";")
+		}
+		var rows []string
+		for _, a := range s.Answers() {
+			row := ""
+			for _, v := range a.Row {
+				row += v.String() + ","
+			}
+			rows = append(rows, row)
+		}
+		sort.Strings(rows)
+		for _, r := range rows {
+			fmt.Fprintf(h, "%s;", r)
+		}
+	}
+	return h.Sum64()
 }
 
 // parallelConfigs returns the golden configurations adapted to

@@ -1,0 +1,146 @@
+package agg
+
+import (
+	"reflect"
+	"testing"
+
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+	"rjoin/internal/sqlparse"
+)
+
+func iv(v int64) relation.Value  { return relation.Int64(v) }
+func sv(s string) relation.Value { return relation.String64(s) }
+
+var testCat = func() *relation.Catalog {
+	cat, _ := relation.NewCatalog(
+		relation.MustSchema("R", "A", "B"),
+		relation.MustSchema("S", "A", "B"),
+	)
+	return cat
+}()
+
+func parse(t *testing.T, sql string) *query.Query {
+	t.Helper()
+	return sqlparse.MustParse(sql, testCat)
+}
+
+func TestSpecOf(t *testing.T) {
+	q := parse(t, "select R.A, count(*), sum(S.B), count(distinct S.B) from R,S where R.A=S.A group by R.A")
+	s := SpecOf(q)
+	if s == nil {
+		t.Fatal("aggregate query produced no spec")
+	}
+	if s.Width != 4 || !reflect.DeepEqual(s.GroupPos, []int{0}) {
+		t.Fatalf("bad spec: %+v", s)
+	}
+	if s.Fns[1] != query.AggCount || s.Fns[2] != query.AggSum || !s.Distinct[3] {
+		t.Fatalf("bad fns: %+v", s)
+	}
+	if SpecOf(parse(t, "select R.A from R,S where R.A=S.A")) != nil {
+		t.Fatal("plain query produced a spec")
+	}
+}
+
+// Folding rows one at a time must equal folding them through merged
+// partials split at every possible point — the property handover and
+// sliding-ring merging rely on.
+func TestPartialMergeAssociativity(t *testing.T) {
+	q := parse(t, "select R.A, count(*), sum(S.B), min(S.B), max(S.B), avg(S.B), count(distinct S.B) from R,S where R.A=S.A group by R.A")
+	s := SpecOf(q)
+	rows := [][]relation.Value{
+		{iv(1), iv(1), iv(5), iv(5), iv(5), iv(5), iv(5)},
+		{iv(1), iv(1), iv(2), iv(2), iv(2), iv(2), iv(2)},
+		{iv(1), iv(1), iv(9), iv(9), iv(9), iv(9), iv(9)},
+		{iv(1), iv(1), iv(2), iv(2), iv(2), iv(2), iv(2)},
+	}
+	group := []relation.Value{iv(1)}
+
+	whole := NewPartial(s)
+	for _, r := range rows {
+		whole.Add(s, r)
+	}
+	want := s.FinalizeRow(group, whole)
+
+	for split := 0; split <= len(rows); split++ {
+		a, b := NewPartial(s), NewPartial(s)
+		for _, r := range rows[:split] {
+			a.Add(s, r)
+		}
+		for _, r := range rows[split:] {
+			b.Add(s, r)
+		}
+		a.Merge(b)
+		if got := s.FinalizeRow(group, a); !reflect.DeepEqual(got, want) {
+			t.Fatalf("split %d: merged fold diverged: got %v want %v", split, got, want)
+		}
+	}
+
+	// count=4, sum=18, min=2, max=9, avg=4.5, distinct=3
+	exp := []relation.Value{iv(1), iv(4), iv(18), iv(2), iv(9), sv("4.5"), iv(3)}
+	if !reflect.DeepEqual(want, exp) {
+		t.Fatalf("final row wrong: got %v want %v", want, exp)
+	}
+}
+
+func TestGroupKeyInjective(t *testing.T) {
+	q := parse(t, "select R.A, R.B, count(*) from R,S where R.A=S.A group by R.A, R.B")
+	s := SpecOf(q)
+	a := s.GroupKey([]relation.Value{sv("x\x00y"), sv("z"), iv(1)})
+	b := s.GroupKey([]relation.Value{sv("x"), sv("\x00yz"), iv(1)})
+	if a == b {
+		t.Fatal("NUL-straddling groups collided")
+	}
+	c := s.GroupKey([]relation.Value{iv(12), sv("z"), iv(1)})
+	d := s.GroupKey([]relation.Value{sv("12"), sv("z"), iv(1)})
+	if c == d {
+		t.Fatal("int 12 and string \"12\" groups collided")
+	}
+}
+
+func TestValueOrder(t *testing.T) {
+	if !Less(iv(3), iv(5)) || Less(iv(5), iv(3)) {
+		t.Fatal("int order wrong")
+	}
+	if !Less(iv(99), sv("a")) {
+		t.Fatal("ints must order before strings")
+	}
+	if !Less(sv("a"), sv("b")) {
+		t.Fatal("string order wrong")
+	}
+}
+
+// Reference: tumbling epochs finalize independently; sliding view rows
+// merge the previous epoch's partial.
+func TestReferenceEpochs(t *testing.T) {
+	q := parse(t, "select R.A, max(S.B) from R,S where R.A=S.A group by R.A within 10 tuples tumbling")
+	rows := [][]relation.Value{
+		{iv(1), iv(5)},
+		{iv(1), iv(7)},
+		{iv(1), iv(3)},
+	}
+	clocks := []int64{2, 8, 15} // epochs 0, 0, 1
+	view := Reference(q, rows, clocks)
+	if len(view) != 2 {
+		t.Fatalf("tumbling view rows: got %d want 2", len(view))
+	}
+	if view[0].Epoch != 0 || !view[0].Row[1].Equal(iv(7)) {
+		t.Fatalf("epoch 0 row wrong: %+v", view[0])
+	}
+	if view[1].Epoch != 1 || !view[1].Row[1].Equal(iv(3)) {
+		t.Fatalf("epoch 1 row wrong: %+v", view[1])
+	}
+
+	qs := parse(t, "select R.A, max(S.B) from R,S where R.A=S.A group by R.A within 10 tuples")
+	slide := Reference(qs, rows, clocks)
+	// Sliding: epochs 0, 1 (merging 0) and 2 (merging 1).
+	if len(slide) != 3 {
+		t.Fatalf("sliding view rows: got %d want 3", len(slide))
+	}
+	if slide[1].Epoch != 1 || !slide[1].Row[1].Equal(iv(7)) {
+		t.Fatalf("sliding epoch 1 must merge epoch 0's max: %+v", slide[1])
+	}
+	if slide[2].Epoch != 2 || !slide[2].Row[1].Equal(iv(3)) {
+		t.Fatalf("sliding epoch 2 row wrong: %+v", slide[2])
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"sort"
+
+	"rjoin/internal/agg"
+	"rjoin/internal/id"
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+	"rjoin/internal/sim"
+)
+
+// This file implements the control plane of in-network continuous
+// aggregation (the data plane — specs, mergeable partials, epochs —
+// lives in internal/agg). A completed answer row of an aggregate query
+// is not shipped to the subscriber: the completion node hashes the
+// row's group key to a deterministic aggregator key on the DHT and
+// routes a partial there. The aggregator folds partials into
+// per-(group, epoch) state and emits finalized group-update rows to
+// the subscriber — at quiescence flushes, coalescing any number of
+// partials into one update per touched (group, epoch).
+
+// TagAgg is the traffic tag under which aggregation traffic is charged:
+// partials routed to aggregators and group updates sent to subscribers
+// (and, under SubscriberSideAgg, the raw rows shipped instead). The
+// aggregation experiment reports this share separately.
+const TagAgg = "agg"
+
+// aggKeyPrefix namespaces aggregator keys away from the Rel+Attr[+Value]
+// index keys; identifiers cannot contain NUL, so no relation or
+// attribute name can collide with it.
+const aggKeyPrefix = "\x00agg\x00"
+
+// aggKeyOf derives the aggregator key of one group of one query. Every
+// group of a query hashes to its own ring position, so aggregation load
+// spreads over the overlay instead of concentrating at the subscriber.
+func aggKeyOf(queryID, groupKey string) relation.Key {
+	return relation.KeyOf(aggKeyPrefix + queryID + "\x00" + groupKey)
+}
+
+// aggGroup is the aggregator-node state of one group of one aggregate
+// query: the ring of per-epoch mergeable partials plus the dirty set of
+// epochs whose view rows changed since the last flush. It is keyed
+// under its aggregator key in Proc.aggs, which makes it a first-class
+// citizen of membership handover: graceful leaves drain it to the
+// successor, runtime joins carve it out by arc, and crashes count it
+// as loss.
+type aggGroup struct {
+	qid    string
+	owner  id.ID
+	gkey   string           // canonical group key (agg.Spec.GroupKey)
+	group  []relation.Value // grouping values, in group-position order
+	epochs map[int64]*agg.Partial
+	dirty  map[int64]bool
+}
+
+// mergeInto folds g into dst (the handover-collision path: partials for
+// the same group arrived at the new owner before the handed-over state
+// did). Per-epoch merges are commutative and associative, so the final
+// state is independent of arrival interleaving. Every transferred
+// epoch is marked dirty on dst so the next flush re-emits its row.
+func (g *aggGroup) mergeInto(sliding bool, dst *aggGroup) {
+	for e, part := range g.epochs {
+		if cur, ok := dst.epochs[e]; ok {
+			cur.Merge(part)
+		} else {
+			dst.epochs[e] = part
+		}
+		dst.dirty[e] = true
+		if sliding {
+			dst.dirty[e+1] = true
+		}
+	}
+}
+
+// epochCount reports the stored (group, epoch) partials — the unit the
+// loss counters charge when aggregator state dies with a node.
+func (g *aggGroup) epochCount() int64 { return int64(len(g.epochs)) }
+
+// aggSpec returns the immutable aggregation spec of a query. Specs are
+// registered at submission (coordinator context) and never mutated, so
+// worker-context reads are safe without locking.
+func (e *Engine) aggSpec(queryID string) *agg.Spec { return e.aggSpecs[queryID] }
+
+// emitCompletion routes one completed answer row: plain queries ship it
+// directly to the owner (the pre-aggregation behaviour), aggregate
+// queries fold it into the aggregation pipeline. clock is the
+// completion clock — the maximum window-clock over the combined tuples
+// — which assigns the row to its epoch.
+func (p *Proc) emitCompletion(now sim.Time, q *query.Query, vals []relation.Value, clock int64) {
+	spec := p.eng.aggSpec(q.ID)
+	if spec == nil {
+		p.eng.net.SendDirect(p.node, id.ID(q.Owner), newAnswerMsg(q.ID, id.ID(q.Owner), vals))
+		return
+	}
+	epoch := spec.Window.EpochOf(clock)
+	if p.eng.Cfg.SubscriberSideAgg {
+		p.eng.net.WithTag(p.node, TagAgg, func() {
+			p.eng.net.SendDirect(p.node, id.ID(q.Owner), newAggRowMsg(q.ID, id.ID(q.Owner), epoch, vals))
+		})
+		return
+	}
+	key := aggKeyOf(q.ID, spec.GroupKey(vals))
+	msg := newAggPartialMsg(q.ID, key, id.ID(q.Owner), epoch, vals)
+	p.eng.net.WithTag(p.node, TagAgg, func() {
+		// One-hop fast path: the candidate table remembers which node a
+		// previous partial for this group was routed to (the same trick
+		// Section 7 plays for Eval messages); the ground-truth ownership
+		// check guards against stale addresses mid-churn.
+		if ent, ok := p.ct.fresh(key, now, p.eng.Cfg.CTValidity); ok {
+			if tgt := p.eng.ring.Node(ent.Addr); tgt != nil && p.stillOwns(tgt.ID(), key) {
+				p.eng.net.SendDirect(p.node, tgt.ID(), msg)
+				return
+			}
+		}
+		if owner := p.eng.net.Send(p.node, key.ID(), msg); owner != nil {
+			p.ct.merge(ricInfo{Key: key, Addr: owner.ID(), At: now})
+		}
+	})
+}
+
+// onAggPartial folds one partial into the aggregator state of its
+// group. Aggregation work is query processing, so it is charged to the
+// QPL; a group's first partial also charges one unit of storage load.
+func (p *Proc) onAggPartial(now sim.Time, m *aggPartialMsg) {
+	spec := p.eng.aggSpec(m.QueryID)
+	if spec == nil {
+		return // unknown query (cannot happen in-run; dropped defensively)
+	}
+	p.qpl.Add(p.node.ID(), 1)
+	p.ctr.AggPartials++
+	g, ok := p.aggs[m.Key]
+	if !ok {
+		g = &aggGroup{
+			qid:    m.QueryID,
+			owner:  m.Owner,
+			gkey:   spec.GroupKey(m.Row),
+			group:  spec.GroupValues(m.Row),
+			epochs: make(map[int64]*agg.Partial),
+			dirty:  make(map[int64]bool),
+		}
+		p.aggs[m.Key] = g
+		p.sl.Add(p.node.ID(), 1)
+	}
+	part, ok := g.epochs[m.Epoch]
+	if !ok {
+		part = agg.NewPartial(spec)
+		g.epochs[m.Epoch] = part
+	}
+	part.Add(spec, m.Row)
+	g.dirty[m.Epoch] = true
+	if spec.Sliding() {
+		// The next epoch's sliding view merges this epoch's partial, so
+		// its row changed too.
+		g.dirty[m.Epoch+1] = true
+	}
+}
+
+// viewKey addresses one row of a query's aggregate view.
+type viewKey struct {
+	group string
+	epoch int64
+}
+
+// viewEntry is the latest version of one view row.
+type viewEntry struct {
+	row []relation.Value
+	ver int64
+}
+
+// recordAggUpdate installs a group-update row into the owner-side
+// aggregate view, keeping the highest version per (group, epoch) so
+// reordered deliveries cannot regress the view. ctr is the acting
+// shard's counter slot.
+func (e *Engine) recordAggUpdate(m *aggUpdateMsg, ctr *Counters) {
+	e.answersMu.Lock()
+	defer e.answersMu.Unlock()
+	ctr.AggUpdates++
+	vw, ok := e.aggViews[m.QueryID]
+	if !ok {
+		vw = make(map[viewKey]viewEntry)
+		e.aggViews[m.QueryID] = vw
+	}
+	k := viewKey{group: m.Group, epoch: m.Epoch}
+	if cur, ok := vw[k]; ok && cur.ver > m.Ver {
+		return
+	}
+	vw[k] = viewEntry{row: m.Row, ver: m.Ver}
+}
+
+// localAggGroup is the subscriber-side fold state of one group when
+// in-network aggregation is disabled.
+type localAggGroup struct {
+	group  []relation.Value
+	epochs map[int64]*agg.Partial
+}
+
+// recordAggRow folds a raw answer row into the owner-held aggregate
+// state (the SubscriberSideAgg ablation) and refreshes the affected
+// view rows immediately — the subscriber pays one message per raw row,
+// which is exactly the load the aggregation figure measures against.
+func (e *Engine) recordAggRow(m *aggRowMsg, ctr *Counters) {
+	spec := e.aggSpec(m.QueryID)
+	if spec == nil {
+		return
+	}
+	e.answersMu.Lock()
+	defer e.answersMu.Unlock()
+	ctr.AggPartials++
+	groups, ok := e.aggLocal[m.QueryID]
+	if !ok {
+		groups = make(map[string]*localAggGroup)
+		e.aggLocal[m.QueryID] = groups
+	}
+	gk := spec.GroupKey(m.Row)
+	lg, ok := groups[gk]
+	if !ok {
+		lg = &localAggGroup{group: spec.GroupValues(m.Row), epochs: make(map[int64]*agg.Partial)}
+		groups[gk] = lg
+	}
+	part, ok := lg.epochs[m.Epoch]
+	if !ok {
+		part = agg.NewPartial(spec)
+		lg.epochs[m.Epoch] = part
+	}
+	part.Add(spec, m.Row)
+
+	vw, ok := e.aggViews[m.QueryID]
+	if !ok {
+		vw = make(map[viewKey]viewEntry)
+		e.aggViews[m.QueryID] = vw
+	}
+	refresh := func(epoch int64) {
+		parts := []*agg.Partial{lg.epochs[epoch]}
+		if spec.Sliding() {
+			parts = append(parts, lg.epochs[epoch-1])
+		}
+		if agg.MergedRows(parts...) == 0 {
+			return
+		}
+		vw[viewKey{group: gk, epoch: epoch}] = viewEntry{
+			row: spec.FinalizeRow(lg.group, parts...),
+			ver: agg.MergedRows(parts...),
+		}
+	}
+	refresh(m.Epoch)
+	if spec.Sliding() {
+		refresh(m.Epoch + 1)
+	}
+}
+
+// flushAggregates emits one group-update row per dirty (group, epoch)
+// across every aggregator node, in deterministic order (node, key,
+// epoch), and reports whether anything was emitted. It runs from
+// coordinator context between drains; Engine.Run loops until a drain
+// produces no new dirty state.
+func (e *Engine) flushAggregates() bool {
+	if len(e.aggSpecs) == 0 || e.Cfg.SubscriberSideAgg {
+		return false
+	}
+	// Enumerate only procs with dirty groups: the loop's final
+	// iteration (and every Run on a quiet engine) must not pay the
+	// per-proc key sort just to discover there is nothing to emit.
+	ids := make([]id.ID, 0, len(e.procs))
+	for nid, p := range e.procs {
+		for _, g := range p.aggs {
+			if len(g.dirty) > 0 {
+				ids = append(ids, nid)
+				break
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	emitted := false
+	for _, nid := range ids {
+		p := e.procs[nid]
+		for _, key := range sortedStateKeys(p.aggs) {
+			g := p.aggs[key]
+			if len(g.dirty) == 0 {
+				continue
+			}
+			spec := e.aggSpec(g.qid)
+			epochs := make([]int64, 0, len(g.dirty))
+			for ep := range g.dirty {
+				epochs = append(epochs, ep)
+			}
+			sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+			for _, ep := range epochs {
+				parts := []*agg.Partial{g.epochs[ep]}
+				if spec.Sliding() {
+					parts = append(parts, g.epochs[ep-1])
+				}
+				if agg.MergedRows(parts...) == 0 {
+					continue // dirty via a neighbour that has no data yet
+				}
+				msg := &aggUpdateMsg{
+					QueryID: g.qid,
+					Owner:   g.owner,
+					Group:   g.gkey,
+					Epoch:   ep,
+					Ver:     agg.MergedRows(parts...),
+					Row:     spec.FinalizeRow(g.group, parts...),
+				}
+				e.net.WithTag(p.node, TagAgg, func() {
+					e.net.SendDirect(p.node, g.owner, msg)
+				})
+				emitted = true
+			}
+			g.dirty = make(map[int64]bool)
+		}
+	}
+	return emitted
+}
+
+// AggRows returns the current aggregate view of a query: the latest
+// finalized row of every (group, epoch), sorted by group key then
+// epoch. Aggregate views are complete as of the last Run() quiescence
+// flush.
+func (e *Engine) AggRows(queryID string) []agg.ViewRow {
+	e.answersMu.Lock()
+	defer e.answersMu.Unlock()
+	vw := e.aggViews[queryID]
+	out := make([]agg.ViewRow, 0, len(vw))
+	for k, ent := range vw {
+		out = append(out, agg.ViewRow{Group: k.group, Epoch: k.epoch, Row: ent.row})
+	}
+	agg.SortViewRows(out)
+	return out
+}

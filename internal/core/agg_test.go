@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+
+	"rjoin/internal/agg"
+	"rjoin/internal/chord"
+	"rjoin/internal/refeval"
+	"rjoin/internal/relation"
+	"rjoin/internal/sqlparse"
+)
+
+// aggTestQueries spans the aggregation matrix: grouped and global,
+// every aggregate function, unwindowed, tumbling and sliding windows,
+// and a 3-way join feeding a grouped count. The windowed entries are
+// 2-way joins, where RJoin's operational window rules coincide with
+// refeval's span semantics, so the reference is exact.
+func aggTestQueries() []string {
+	return []string{
+		"select R.A, count(*), sum(S.B), min(S.B), max(S.B), avg(S.B), count(distinct S.B) from R,S where R.A=S.A group by R.A",
+		"select count(*), max(R.B) from R,S where R.A=S.A",
+		"select R.A, count(*), sum(S.B) from R,S where R.A=S.A group by R.A within 16 tuples tumbling",
+		"select R.A, count(*), max(S.B) from R,S where R.A=S.A group by R.A within 16 tuples",
+		"select R.A, count(*) from R,S,J where R.A=S.A and S.B=J.B group by R.A",
+		// No COUNT(*): every aggregate item is a substitutable column, so
+		// this guards the Rewrite path that must preserve Agg markers.
+		"select S.A, sum(R.B), avg(R.B) from R,S where R.A=S.A group by S.A",
+	}
+}
+
+// aggHolder returns the node holding the most aggregator groups, ties
+// broken by identifier.
+func aggHolder(eng *Engine) *chord.Node {
+	var best *chord.Node
+	bestCount := 0
+	for _, p := range eng.procs {
+		c := len(p.aggs)
+		if c > bestCount || (c == bestCount && c > 0 && best != nil && p.node.ID() < best.ID()) {
+			best, bestCount = p.node, c
+		}
+	}
+	return best
+}
+
+// runAggWorkload submits the aggregation test queries and drives a
+// mixed R/S/J stream; with churn enabled it gracefully removes first
+// the heaviest aggregator mid-stream (forcing an aggregation-state
+// handover) and then the heaviest rewritten-query holder. It returns
+// the published tuples and the query IDs in aggTestQueries order.
+func runAggWorkload(t *testing.T, eng *Engine, nodes []*chord.Node, churn bool) ([]*relation.Tuple, []string) {
+	t.Helper()
+	var qids []string
+	for i, sql := range aggTestQueries() {
+		qid, err := eng.SubmitQuery(nodes[i%len(nodes)], sqlparse.MustParse(sql, testCat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qids = append(qids, qid)
+	}
+	eng.Run()
+
+	var published []*relation.Tuple
+	pub := func(i int, tu *relation.Tuple) {
+		published = append(published, tu)
+		alive := eng.Ring().Nodes()
+		eng.PublishTuple(alive[i%len(alive)], tu)
+	}
+	for round := 0; round < 30; round++ {
+		pub(round, mkTuple("R", int64(round%4), int64(round%7), 0))
+		pub(round+1, mkTuple("S", int64(round%4), int64(round%5), 0))
+		if round%3 == 0 {
+			pub(round+2, mkTuple("J", 0, int64(round%5), 0))
+		}
+		if round%4 == 3 {
+			eng.Run()
+		} else {
+			eng.RunUntil(eng.Sim().Now() + 2) // leave deliveries in flight
+		}
+		if churn && (round == 11 || round == 21) {
+			victim := aggHolder(eng)
+			if round == 21 {
+				victim = rewriteHolder(eng)
+			}
+			if victim == nil {
+				t.Fatal("no churn victim with state; workload too weak")
+			}
+			if err := eng.LeaveNode(victim); err != nil {
+				t.Fatal(err)
+			}
+			eng.Ring().TickStabilize()
+		}
+	}
+	eng.Run()
+	return published, qids
+}
+
+// aggViewsMatch compares an engine's aggregate view for one query
+// against the reference fold of the full answer multiset.
+func aggViewsMatch(t *testing.T, label, sql string, eng *Engine, qid string, published []*relation.Tuple) {
+	t.Helper()
+	parsed := sqlparse.MustParse(sql, testCat)
+	refRows, clocks := refeval.EvaluateSpanClocked(parsed, published)
+	rows := make([][]relation.Value, len(refRows))
+	for i, r := range refRows {
+		rows[i] = r
+	}
+	want := agg.Reference(parsed, rows, clocks)
+	got := eng.AggRows(qid)
+	if len(want) == 0 {
+		t.Fatalf("%s: reference view for %q is empty; workload too weak", label, sql)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: view size diverged for %q: got %d rows, want %d", label, sql, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Group != want[i].Group || got[i].Epoch != want[i].Epoch {
+			t.Fatalf("%s: view row %d of %q addresses (%x, %d), want (%x, %d)",
+				label, i, sql, got[i].Group, got[i].Epoch, want[i].Group, want[i].Epoch)
+		}
+		for j := range want[i].Row {
+			if !got[i].Row[j].Equal(want[i].Row[j]) {
+				t.Fatalf("%s: view row %d of %q diverged at position %d: got %s, want %s",
+					label, i, sql, j, got[i].Row[j], want[i].Row[j])
+			}
+		}
+	}
+}
+
+// TestAggExactness is the aggregation subsystem's completeness
+// criterion: for every query shape the in-network aggregate view —
+// built from partials routed to per-group aggregator keys, folded
+// incrementally, and flushed as coalesced group updates — must equal
+// the reference aggregates computed centrally from the full answer
+// multiset (internal/refeval), on a static overlay and under
+// graceful-leave churn that forces aggregator-state handover
+// mid-stream.
+func TestAggExactness(t *testing.T) {
+	for _, churn := range []bool{false, true} {
+		label := "static"
+		if churn {
+			label = "graceful-leave"
+		}
+		eng, nodes := testNet(t, 48, 5, DefaultConfig(), churnNetCfg())
+		published, qids := runAggWorkload(t, eng, nodes, churn)
+		queries := aggTestQueries()
+		for i, qid := range qids {
+			aggViewsMatch(t, label, queries[i], eng, qid, published)
+		}
+		if eng.Counters.AggPartials == 0 || eng.Counters.AggUpdates == 0 {
+			t.Fatalf("%s: aggregation pipeline unused (partials %d, updates %d)",
+				label, eng.Counters.AggPartials, eng.Counters.AggUpdates)
+		}
+		if churn {
+			if eng.Counters.HandoverMessages == 0 {
+				t.Fatal("churn run performed no handover")
+			}
+			if eng.Counters.AggStateLost != 0 {
+				t.Fatalf("graceful leaves lost %d aggregation partials", eng.Counters.AggStateLost)
+			}
+		}
+	}
+}
+
+// Subscriber-side aggregation is the semantics oracle for the
+// distributed pipeline: the same workload folded entirely at the
+// subscriber must produce bit-identical views.
+func TestAggSubscriberSideEquivalence(t *testing.T) {
+	run := func(subscriberSide bool) (*Engine, []string) {
+		cfg := DefaultConfig()
+		cfg.SubscriberSideAgg = subscriberSide
+		eng, nodes := testNet(t, 48, 5, cfg, churnNetCfg())
+		_, qids := runAggWorkload(t, eng, nodes, false)
+		return eng, qids
+	}
+	inNet, qids := run(false)
+	subSide, qids2 := run(true)
+	for i, qid := range qids {
+		a, b := inNet.AggRows(qid), subSide.AggRows(qids2[i])
+		if len(a) != len(b) {
+			t.Fatalf("query %d: view sizes diverged: in-network %d, subscriber-side %d", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k].Group != b[k].Group || a[k].Epoch != b[k].Epoch {
+				t.Fatalf("query %d row %d: addresses diverged", i, k)
+			}
+			for j := range a[k].Row {
+				if !a[k].Row[j].Equal(b[k].Row[j]) {
+					t.Fatalf("query %d row %d position %d: %s vs %s", i, k, j, a[k].Row[j], b[k].Row[j])
+				}
+			}
+		}
+	}
+	if subSide.Counters.AggUpdates != 0 {
+		t.Fatal("subscriber-side mode emitted group updates")
+	}
+	if inNet.Counters.AggPartials != subSide.Counters.AggPartials {
+		t.Fatalf("modes folded different row counts: %d vs %d",
+			inNet.Counters.AggPartials, subSide.Counters.AggPartials)
+	}
+}
+
+// A crash that takes aggregator state down counts it as loss instead of
+// silently shrinking the view.
+func TestCrashCountsLostAggState(t *testing.T) {
+	eng, nodes := testNet(t, 48, 5, DefaultConfig(), churnNetCfg())
+	_, err := eng.SubmitQuery(nodes[0], sqlparse.MustParse(
+		"select R.A, count(*) from R,S where R.A=S.A group by R.A", testCat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	for i := 0; i < 12; i++ {
+		eng.PublishTuple(nodes[i%len(nodes)], mkTuple("R", int64(i%3), int64(i), 0))
+		eng.PublishTuple(nodes[(i+5)%len(nodes)], mkTuple("S", int64(i%3), int64(i%4), 0))
+	}
+	eng.Run()
+	victim := aggHolder(eng)
+	if victim == nil || len(eng.procs[victim.ID()].aggs) == 0 {
+		t.Fatal("no aggregator state accumulated")
+	}
+	if err := eng.CrashNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Counters.AggStateLost == 0 {
+		t.Fatal("crash dropped aggregator state without counting it")
+	}
+}
+
+// Regression: rewriting substitutes aggregate-argument columns into
+// constants; the substituted item must keep its Agg marker, or a query
+// with no COUNT(*) (whose constant item is never substituted) loses
+// IsAggregate mid-rewrite and leaks raw rows to the subscriber instead
+// of feeding the aggregation pipeline. Both trigger orders are covered:
+// the aggregate-argument relation arriving first and last.
+func TestAggWithoutCountStarStaysAggregate(t *testing.T) {
+	const sql = "select S.A, sum(R.B) from R,S where R.A=S.A group by S.A"
+	for _, rFirst := range []bool{true, false} {
+		eng, nodes := testNet(t, 32, 9, DefaultConfig(), churnNetCfg())
+		qid, err := eng.SubmitQuery(nodes[0], sqlparse.MustParse(sql, testCat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		r := mkTuple("R", 1, 5, 0)
+		s := mkTuple("S", 1, 2, 0)
+		first, second := r, s
+		if !rFirst {
+			first, second = s, r
+		}
+		eng.PublishTuple(nodes[1], first)
+		eng.Run()
+		eng.PublishTuple(nodes[2], second)
+		eng.Run()
+
+		if raw := eng.Answers(qid); len(raw) != 0 {
+			t.Fatalf("rFirst=%v: %d raw rows leaked to the subscriber", rFirst, len(raw))
+		}
+		view := eng.AggRows(qid)
+		if len(view) != 1 {
+			t.Fatalf("rFirst=%v: aggregate view has %d rows, want 1", rFirst, len(view))
+		}
+		row := view[0].Row
+		if !row[0].Equal(relation.Int64(1)) || !row[1].Equal(relation.Int64(5)) {
+			t.Fatalf("rFirst=%v: view row %v, want [1 5]", rFirst, row)
+		}
+	}
+}
+
+// Aggregate queries reject the combinations Validate rules out.
+func TestAggValidateRejections(t *testing.T) {
+	bad := []string{
+		"select R.A, count(*) from R,S where R.A=S.A",                       // bare column not grouped
+		"select count(*) from R,S where R.A=S.A group by R.A",               // group col missing from select
+		"select R.A from R,S where R.A=S.A group by R.A",                    // GROUP BY without aggregate
+		"select distinct R.A, count(*) from R,S where R.A=S.A group by R.A", // DISTINCT + aggregate
+		"select R.A, count(*) from R,S where R.A=S.A group by R.A once",     // one-time + aggregate
+		"select sum(*) from R,S where R.A=S.A",                              // * outside COUNT
+		"select sum(distinct R.A) from R,S where R.A=S.A",                   // DISTINCT outside COUNT
+	}
+	for _, sql := range bad {
+		if _, err := sqlparse.Parse(sql, testCat); err == nil {
+			t.Fatalf("%q parsed and validated; want rejection", sql)
+		}
+	}
+}

@@ -120,6 +120,14 @@ type Config struct {
 	// migration fires (default 4).
 	MigrationFactor float64
 
+	// SubscriberSideAgg disables in-network aggregation: completed
+	// answer rows of aggregate queries ship directly to the subscriber,
+	// which folds them into the aggregate view locally. The final view
+	// is identical to the in-network one — this is the ablation baseline
+	// the aggregation experiment compares message load against, and a
+	// cross-check for the distributed fold's exactness.
+	SubscriberSideAgg bool
+
 	// TupleGC drops stored value-level tuples that can no longer fall
 	// inside any window of size <= MaxWindowHint. It reduces memory
 	// only; the storage-load metric counts store events and is

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sync"
 
+	"rjoin/internal/agg"
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
 	"rjoin/internal/metrics"
@@ -55,6 +55,16 @@ type Counters struct {
 	QueriesMigrated      int64
 	RICReplies           int64
 
+	// In-network aggregation (see agg.go). AggPartials counts answer
+	// rows folded into aggregation state (at aggregator nodes, or at the
+	// subscriber under SubscriberSideAgg); AggUpdates counts finalized
+	// group-update rows delivered to subscribers; AggStateLost counts
+	// (group, epoch) partials dropped by crashes or unrecoverable
+	// departures.
+	AggPartials  int64
+	AggUpdates   int64
+	AggStateLost int64
+
 	// Churn bookkeeping (see handover.go).
 	HandoverMessages int64 // handover chunks shipped between nodes
 	HandoverEntries  int64 // state entries those chunks carried
@@ -90,6 +100,9 @@ func (c *Counters) add(o *Counters) {
 	c.RICRequests += o.RICRequests
 	c.QueriesMigrated += o.QueriesMigrated
 	c.RICReplies += o.RICReplies
+	c.AggPartials += o.AggPartials
+	c.AggUpdates += o.AggUpdates
+	c.AggStateLost += o.AggStateLost
 	c.HandoverMessages += o.HandoverMessages
 	c.HandoverEntries += o.HandoverEntries
 	c.MessagesRerouted += o.MessagesRerouted
@@ -116,10 +129,17 @@ type Engine struct {
 	net   *overlay.Network
 	procs map[id.ID]*Proc
 
-	answersMu  sync.Mutex // guards answers and seenRows (parallel owners)
+	answersMu  sync.Mutex // guards answers, seenRows and the aggregate views (parallel owners)
 	answers    map[string][]Answer
 	distinctQs map[string]bool
 	seenRows   map[string]map[string]bool // owner-side DISTINCT filter
+
+	// Aggregation registry and owner-side views. aggSpecs is written at
+	// submission (coordinator context) and immutable afterwards, so
+	// worker reads need no lock; the views are guarded by answersMu.
+	aggSpecs map[string]*agg.Spec
+	aggViews map[string]map[viewKey]viewEntry
+	aggLocal map[string]map[string]*localAggGroup // SubscriberSideAgg fold state
 
 	delta    int64
 	pubSeq   int64
@@ -157,6 +177,9 @@ func NewEngine(ring *chord.Ring, se *sim.Engine, net *overlay.Network, cfg Confi
 		answers:    make(map[string][]Answer),
 		distinctQs: make(map[string]bool),
 		seenRows:   make(map[string]map[string]bool),
+		aggSpecs:   make(map[string]*agg.Spec),
+		aggViews:   make(map[string]map[viewKey]viewEntry),
+		aggLocal:   make(map[string]map[string]*localAggGroup),
 	}
 	e.delta = cfg.Delta
 	if cfg.Delta == 0 {
@@ -255,6 +278,9 @@ func (e *Engine) SubmitQuery(owner *chord.Node, q *query.Query) (string, error) 
 	if q.Distinct {
 		e.distinctQs[qid] = true
 	}
+	if spec := agg.SpecOf(q); spec != nil {
+		e.aggSpecs[qid] = spec
+	}
 	// place may drop (and pool-Release) an unplaceable query, so the ID
 	// must be captured before it runs.
 	p.place(e.sim.Now(), q)
@@ -351,21 +377,18 @@ func (e *Engine) recordAnswer(now sim.Time, m *answerMsg, ctr *Counters) {
 	})
 }
 
-// rowKey canonicalizes a row for the DISTINCT filter. Each value is
-// tagged with its kind and length-prefixed (uvarint), so the encoding
-// is injective: no choice of values — strings containing NUL, strings
-// resembling the separator, or an integer rendering identically to a
-// string (Int64(12) vs String64("12")) — can make two distinct rows
-// collide, which a bare separator-joined rendering allowed (rows
-// differing only in where a NUL fell deduplicated against each other,
-// silently dropping a real answer).
+// rowKey canonicalizes a row for the DISTINCT filter using the shared
+// injective encoding (relation.AppendCanonical — kind tag plus
+// length-prefixed payload): no choice of values — strings containing
+// NUL, strings resembling a separator, or an integer rendering
+// identically to a string (Int64(12) vs String64("12")) — can make two
+// distinct rows collide, which a bare separator-joined rendering
+// allowed (rows differing only in where a NUL fell deduplicated
+// against each other, silently dropping a real answer).
 func rowKey(vals []relation.Value) string {
 	var b []byte
 	for _, v := range vals {
-		s := v.String()
-		b = append(b, byte(v.Kind))
-		b = binary.AppendUvarint(b, uint64(len(s)))
-		b = append(b, s...)
+		b = relation.AppendCanonical(b, v)
 	}
 	return string(b)
 }
@@ -419,10 +442,17 @@ func (e *Engine) Sync() {
 }
 
 // Run drains all scheduled work (message deliveries and their
-// cascades) to quiescence.
+// cascades) to quiescence, then flushes dirty aggregator state into
+// group-update emissions and drains again until the aggregate views are
+// complete. On an engine with no aggregate queries the flush loop exits
+// immediately and Run behaves exactly as before aggregation existed.
 func (e *Engine) Run() {
 	e.sim.Run()
 	e.Sync()
+	for e.flushAggregates() {
+		e.sim.Run()
+		e.Sync()
+	}
 }
 
 // RunUntil processes work up to the given virtual time.

@@ -99,9 +99,14 @@ func buildFullHandover(p *Proc, to id.ID) []*handoverMsg {
 		c := b.chunk()
 		c.Pending = append(c.Pending, handedPending{ReqID: reqID, PP: p.pending[reqID]})
 	}
+	for _, key := range sortedStateKeys(p.aggs) {
+		c := b.chunk()
+		c.Aggs = append(c.Aggs, handedAgg{Key: key, G: p.aggs[key]})
+	}
 	p.queries = make(map[relation.Key][]*storedQuery)
 	p.tuples = make(map[relation.Key][]*relation.Tuple)
 	p.altt = make(map[relation.Key][]alttEntry)
+	p.aggs = make(map[relation.Key]*aggGroup)
 	p.stats = make(map[relation.Key]*rateStat)
 	p.ct = newCandidateTable()
 	p.pending = make(map[int64]*pendingPlacement)
@@ -156,6 +161,14 @@ func buildArcHandover(e *Engine, sp *Proc, n *chord.Node) []*handoverMsg {
 		c := b.chunk()
 		c.Stats = append(c.Stats, handedStat{Key: key, S: *sp.stats[key]})
 		delete(sp.stats, key)
+	}
+	for _, key := range sortedStateKeys(sp.aggs) {
+		if !moved(key) {
+			continue
+		}
+		c := b.chunk()
+		c.Aggs = append(c.Aggs, handedAgg{Key: key, G: sp.aggs[key]})
+		delete(sp.aggs, key)
 	}
 	return b.msgs
 }
@@ -263,6 +276,25 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 	}
 	for _, h := range m.Pending {
 		p.pending[h.ReqID] = h.PP
+	}
+	for _, h := range m.Aggs {
+		if canForward && !p.ownsKey(h.Key) {
+			f := forward(h.Key)
+			f.Aggs = append(f.Aggs, h)
+			continue
+		}
+		if strayed(h.Key) {
+			p.ctr.AggStateLost += h.G.epochCount()
+			continue
+		}
+		if cur, ok := p.aggs[h.Key]; ok {
+			// Partials for this group reached the new owner before the
+			// handover landed: merge the transferred epochs in and mark
+			// them dirty so the next flush re-emits their rows.
+			h.G.mergeInto(p.eng.aggSpec(h.G.qid).Sliding(), cur)
+		} else {
+			p.aggs[h.Key] = h.G
+		}
 	}
 
 	for _, key := range fwdKeys {
@@ -387,6 +419,7 @@ func (e *Engine) CrashNode(n *chord.Node) error {
 		}
 	}
 	e.countLostTuples(p)
+	e.countLostAggState(p)
 
 	// Coordinator-context section: crash recovery sends originate from
 	// many different recovery homes, so the tag scopes to every lane.
@@ -451,6 +484,16 @@ func (e *Engine) countLostState(p *Proc) {
 		}
 	}
 	e.countLostTuples(p)
+	e.countLostAggState(p)
+}
+
+// countLostAggState charges every (group, epoch) aggregation partial
+// that dies with a node; the answers folded into it are the aggregate
+// view's loss.
+func (e *Engine) countLostAggState(p *Proc) {
+	for _, g := range p.aggs {
+		e.Counters.AggStateLost += g.epochCount()
+	}
 }
 
 func (e *Engine) countLostTuples(p *Proc) {

@@ -16,9 +16,11 @@ import (
 // Messages dropped by the overlay (dead or detached recipient) simply
 // fall to the garbage collector; only delivery recycles.
 var (
-	tupleMsgPool  = sync.Pool{New: func() interface{} { return new(tupleMsg) }}
-	evalMsgPool   = sync.Pool{New: func() interface{} { return new(evalMsg) }}
-	answerMsgPool = sync.Pool{New: func() interface{} { return new(answerMsg) }}
+	tupleMsgPool      = sync.Pool{New: func() interface{} { return new(tupleMsg) }}
+	evalMsgPool       = sync.Pool{New: func() interface{} { return new(evalMsg) }}
+	answerMsgPool     = sync.Pool{New: func() interface{} { return new(answerMsg) }}
+	aggPartialMsgPool = sync.Pool{New: func() interface{} { return new(aggPartialMsg) }}
+	aggRowMsgPool     = sync.Pool{New: func() interface{} { return new(aggRowMsg) }}
 )
 
 func newTupleMsg(t *relation.Tuple, key relation.Key, level query.Level, publisher id.ID) *tupleMsg {
@@ -84,6 +86,67 @@ type answerMsg struct {
 // current successor of the owner's ring position.
 func (m *answerMsg) RingKey() id.ID { return m.Owner }
 
+func newAggPartialMsg(queryID string, key relation.Key, owner id.ID, epoch int64, row []relation.Value) *aggPartialMsg {
+	m := aggPartialMsgPool.Get().(*aggPartialMsg)
+	*m = aggPartialMsg{QueryID: queryID, Key: key, Owner: owner, Epoch: epoch, Row: row}
+	return m
+}
+
+func newAggRowMsg(queryID string, owner id.ID, epoch int64, row []relation.Value) *aggRowMsg {
+	m := aggRowMsgPool.Get().(*aggRowMsg)
+	*m = aggRowMsg{QueryID: queryID, Owner: owner, Epoch: epoch, Row: row}
+	return m
+}
+
+// aggPartialMsg carries one completed answer row of an aggregate query
+// from its completion node to the aggregator responsible for the row's
+// group: the node owning Key = Hash(agg + queryID + groupKey). Owner
+// rides along so the aggregator knows where group updates go.
+type aggPartialMsg struct {
+	QueryID  string
+	Key      relation.Key
+	Owner    id.ID
+	Epoch    int64
+	Row      []relation.Value
+	Reroutes uint8
+}
+
+// RingKey implements overlay.Rekeyable: a partial in flight to a
+// departed aggregator re-routes to its group key's new owner.
+func (m *aggPartialMsg) RingKey() id.ID { return m.Key.ID() }
+
+// aggRowMsg is the subscriber-side-aggregation counterpart of
+// aggPartialMsg: the raw completed row ships directly to the query
+// owner, which folds it into the aggregate view locally.
+type aggRowMsg struct {
+	QueryID string
+	Owner   id.ID
+	Epoch   int64
+	Row     []relation.Value
+}
+
+// RingKey implements overlay.Rekeyable.
+func (m *aggRowMsg) RingKey() id.ID { return m.Owner }
+
+// aggUpdateMsg delivers one finalized aggregate view row — the latest
+// aggregates of one group in one epoch — from an aggregator node to the
+// query owner. Ver is the number of answer rows folded into the row,
+// which only grows for a given (group, epoch), so deliveries reordered
+// by random hop delays (or an aggregator handover) can never regress
+// the subscriber's view.
+type aggUpdateMsg struct {
+	QueryID string
+	Owner   id.ID
+	Group   string
+	Epoch   int64
+	Ver     int64
+	Row     []relation.Value
+}
+
+// RingKey implements overlay.Rekeyable: updates re-route to the current
+// successor of the owner's ring position.
+func (m *aggUpdateMsg) RingKey() id.ID { return m.Owner }
+
 // ricInfo is one candidate's report: the key it is responsible for, the
 // rate of incoming tuples it observes for that key, its address (so the
 // decision maker can reach it in one hop), and when the report was
@@ -148,6 +211,7 @@ type handoverMsg struct {
 	Stats   []handedStat
 	CT      []ricInfo
 	Pending []handedPending
+	Aggs    []handedAgg
 }
 
 // RingKey implements overlay.Rekeyable.
@@ -156,7 +220,7 @@ func (m *handoverMsg) RingKey() id.ID { return m.To }
 // entryCount returns how many state entries the chunk carries.
 func (m *handoverMsg) entryCount() int {
 	return len(m.Queries) + len(m.Tuples) + len(m.ALTT) +
-		len(m.Stats) + len(m.CT) + len(m.Pending)
+		len(m.Stats) + len(m.CT) + len(m.Pending) + len(m.Aggs)
 }
 
 type handedTuple struct {
@@ -177,4 +241,9 @@ type handedStat struct {
 type handedPending struct {
 	ReqID int64
 	PP    *pendingPlacement
+}
+
+type handedAgg struct {
+	Key relation.Key
+	G   *aggGroup
 }

@@ -20,6 +20,7 @@ type storedQuery struct {
 	q     *query.Query
 	key   relation.Key
 	level query.Level
+	agg   bool            // cached q.IsAggregate(), checked per trigger
 	seen  map[string]bool // trigger projections already used (DISTINCT)
 
 	// triggers counts how often this stored copy has been triggered;
@@ -120,6 +121,7 @@ type Proc struct {
 	queries map[relation.Key][]*storedQuery    // by index key, both levels
 	tuples  map[relation.Key][]*relation.Tuple // value-level tuple store
 	altt    map[relation.Key][]alttEntry       // attribute-level tuple table
+	aggs    map[relation.Key]*aggGroup         // aggregator state by group key
 
 	stats   map[relation.Key]*rateStat
 	ct      *candidateTable
@@ -133,6 +135,7 @@ func newProc(eng *Engine, node *chord.Node) *Proc {
 		queries: make(map[relation.Key][]*storedQuery),
 		tuples:  make(map[relation.Key][]*relation.Tuple),
 		altt:    make(map[relation.Key][]alttEntry),
+		aggs:    make(map[relation.Key]*aggGroup),
 		stats:   make(map[relation.Key]*rateStat),
 		ct:      newCandidateTable(),
 		pending: make(map[int64]*pendingPlacement),
@@ -191,6 +194,19 @@ func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 		p.eng.recordAnswer(now, m, p.ctr)
 		*m = answerMsg{}
 		answerMsgPool.Put(m)
+	case *aggPartialMsg:
+		if p.reroute(m.Key, &m.Reroutes, m) {
+			return
+		}
+		p.onAggPartial(now, m)
+		*m = aggPartialMsg{}
+		aggPartialMsgPool.Put(m)
+	case *aggRowMsg:
+		p.eng.recordAggRow(m, p.ctr)
+		*m = aggRowMsg{}
+		aggRowMsgPool.Put(m)
+	case *aggUpdateMsg:
+		p.eng.recordAggUpdate(m, p.ctr)
 	case *ricRequestMsg:
 		p.onRICRequest(now, m)
 	case *ricReplyMsg:
@@ -309,7 +325,7 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 		return
 	}
 	if len(sq.q.Relations) == 1 {
-		p.completeTrigger(sq, t)
+		p.completeTrigger(now, sq, t)
 		return
 	}
 	q2, ok := query.Rewrite(sq.q, t)
@@ -326,6 +342,9 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 		// window start.
 		q2.Start = sq.q.Start
 	}
+	if clock > q2.AggClock {
+		q2.AggClock = clock // completion clock: max over combined tuples
+	}
 	sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
 	p.dispatch(now, q2)
@@ -333,12 +352,14 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 
 // completeTrigger is the final-rewriting-step fast path shared by both
 // trigger sites: the query has one remaining relation, so substitution
-// completes it and the answer row is shipped directly to the owner
+// completes it and the answer row is shipped directly to the owner —
+// or, for aggregate queries, folded into the aggregation pipeline —
 // without materialising the child query. Window start bookkeeping is
-// skipped because a completed query never consults its window again.
-// The counters match what dispatch would have recorded for the
-// materialised child.
-func (p *Proc) completeTrigger(sq *storedQuery, t *relation.Tuple) {
+// skipped because a completed query never consults its window again;
+// only the completion clock (max window-clock over combined tuples) is
+// derived, for epoch assignment. The counters match what dispatch would
+// have recorded for the materialised child.
+func (p *Proc) completeTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	vals, ok := query.RewriteComplete(sq.q, t)
 	if !ok {
 		return
@@ -348,6 +369,14 @@ func (p *Proc) completeTrigger(sq *storedQuery, t *relation.Tuple) {
 	p.ctr.RewritesCreated++
 	if sq.q.Depth+1 >= 2 {
 		p.ctr.DeepRewrites++
+	}
+	if sq.agg {
+		clock := sq.q.Window.Clock(t)
+		if sq.q.AggClock > clock {
+			clock = sq.q.AggClock
+		}
+		p.emitCompletion(now, sq.q, vals, clock)
+		return
 	}
 	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, id.ID(sq.q.Owner), vals))
 }
@@ -405,7 +434,7 @@ func (p *Proc) onEval(now sim.Time, m *evalMsg) {
 	for _, info := range m.RIC {
 		p.ct.merge(info)
 	}
-	sq := &storedQuery{q: m.Q, key: m.Key, level: m.Level}
+	sq := &storedQuery{q: m.Q, key: m.Key, level: m.Level, agg: m.Q.IsAggregate()}
 	if m.Q.OneTime {
 		// One-time queries keep no standing state: all qualifying
 		// tuples were published before submission, so scanning the
@@ -454,7 +483,7 @@ func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 		return
 	}
 	if len(sq.q.Relations) == 1 {
-		p.completeTrigger(sq, t)
+		p.completeTrigger(now, sq, t)
 		return
 	}
 	q2, ok := query.Rewrite(sq.q, t)
@@ -468,6 +497,9 @@ func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 		if clock > q2.Start {
 			q2.Start = clock
 		}
+	}
+	if clock > q2.AggClock {
+		q2.AggClock = clock
 	}
 	sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
@@ -557,7 +589,11 @@ func (p *Proc) dispatch(now sim.Time, q2 *query.Query) {
 		p.ctr.DeepRewrites++
 	}
 	if q2.IsComplete() {
-		p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues()))
+		if q2.IsAggregate() {
+			p.emitCompletion(now, q2, q2.AnswerValues(), q2.AggClock)
+		} else {
+			p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues()))
+		}
 		query.Release(q2)
 		return
 	}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rjoin/internal/agg"
+	"rjoin/internal/core"
+	"rjoin/internal/metrics"
+	"rjoin/internal/workload"
+)
+
+// FigAgg is this reproduction's in-network aggregation figure: the
+// same GROUP BY workload runs once with in-network aggregation
+// (completed rows route to per-group aggregator keys on the DHT, which
+// coalesce them into group updates) and once with subscriber-side
+// aggregation (every raw row ships to the subscriber, which folds it
+// locally). Both runs end with bit-identical aggregate views — the
+// figure reports what each paid for them: total traffic, the
+// aggregation share, rows folded vs group updates emitted, and above
+// all the subscriber-bound message load, which in-network aggregation
+// compresses from one message per raw answer row to one per touched
+// (group, epoch).
+func FigAgg(p Params) []*metrics.Table {
+	queries := p.scaled(120)
+	tuples := p.scaled(2400)
+
+	// 2-way joins over a small value domain: a thick answer stream whose
+	// group structure (first selected attribute) is coarse enough that
+	// coalescing has something to coalesce — the regime aggregation
+	// workloads live in.
+	wcfg := workload.PaperConfig()
+	wcfg.JoinArity = 2
+	wcfg.Values = 20
+
+	type result struct {
+		name     string
+		stats    core.Counters
+		traffic  int64
+		aggTfc   int64
+		subBound int64 // messages the subscriber had to absorb
+		views    map[string][]agg.ViewRow
+	}
+	var results []result
+
+	for _, mode := range []struct {
+		name           string
+		subscriberSide bool
+	}{
+		{"in-network", false},
+		{"subscriber-side", true},
+	} {
+		cfg := core.DefaultConfig()
+		cfg.SubscriberSideAgg = mode.subscriberSide
+		r := newRun(p, cfg, wcfg)
+		var qids []string
+		for i := 0; i < queries; i++ {
+			qid, err := r.eng.SubmitQuery(r.node(), r.gen.GroupQuery())
+			if err != nil {
+				panic(err) // generator output is valid by construction
+			}
+			qids = append(qids, qid)
+		}
+		r.eng.Run()
+		for i := 0; i < tuples; i++ {
+			r.eng.PublishTuple(r.node(), r.gen.Tuple())
+			if i%32 == 31 {
+				r.eng.Run()
+			}
+		}
+		r.eng.Run()
+
+		views := make(map[string][]agg.ViewRow, len(qids))
+		for _, qid := range qids {
+			views[qid] = r.eng.AggRows(qid)
+		}
+		subBound := r.eng.Counters.AggUpdates
+		if mode.subscriberSide {
+			subBound = r.eng.Counters.AggPartials
+		}
+		results = append(results, result{
+			name:     mode.name,
+			stats:    r.eng.Counters,
+			traffic:  r.eng.Net().Traffic.Total(),
+			aggTfc:   r.eng.Net().TaggedTraffic(core.TagAgg).Total(),
+			subBound: subBound,
+			views:    views,
+		})
+	}
+
+	identical := viewsEqual(results[0].views, results[1].views)
+
+	load := &metrics.Table{
+		Title: "Fig A In-network vs subscriber-side aggregation message load",
+		Headers: []string{"mode", "rows folded", "group updates", "subscriber-bound msgs",
+			"agg traffic", "total traffic", "rewrites"},
+	}
+	for _, res := range results {
+		load.AddRow(res.name,
+			fmt.Sprintf("%d", res.stats.AggPartials),
+			fmt.Sprintf("%d", res.stats.AggUpdates),
+			fmt.Sprintf("%d", res.subBound),
+			fmt.Sprintf("%d", res.aggTfc),
+			fmt.Sprintf("%d", res.traffic),
+			fmt.Sprintf("%d", res.stats.RewritesCreated),
+		)
+	}
+	check := &metrics.Table{
+		Title:   "Fig A(b) Aggregate view equivalence",
+		Headers: []string{"queries", "view rows", "views identical"},
+	}
+	rows := 0
+	for _, v := range results[0].views {
+		rows += len(v)
+	}
+	check.AddRow(
+		fmt.Sprintf("%d", queries),
+		fmt.Sprintf("%d", rows),
+		fmt.Sprintf("%v", identical),
+	)
+	return []*metrics.Table{load, check}
+}
+
+// viewsEqual compares two per-query aggregate views row by row.
+func viewsEqual(a, b map[string][]agg.ViewRow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for qid, av := range a {
+		bv, ok := b[qid]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i].Group != bv[i].Group || av[i].Epoch != bv[i].Epoch {
+				return false
+			}
+			if len(av[i].Row) != len(bv[i].Row) {
+				return false
+			}
+			for j := range av[i].Row {
+				if !av[i].Row[j].Equal(bv[i].Row[j]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -15,6 +15,7 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
@@ -303,4 +304,20 @@ func (t *Table) String() string {
 	var b strings.Builder
 	t.WriteTo(&b)
 	return b.String()
+}
+
+// WriteCSV renders the table as RFC 4180 CSV — header row first, then
+// data rows — so regenerated figures are plottable without scraping the
+// aligned text tables. The title is not part of the CSV payload;
+// callers typically encode it in the file name.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"sort"
 	"strings"
 	"testing"
@@ -200,5 +201,31 @@ func TestRenameTransfersLoad(t *testing.T) {
 	l.Rename(42, 43)
 	if l.Get(2) != 8 || l.Total() != 8 {
 		t.Fatal("no-op renames changed state")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "ignored in CSV",
+		Headers: []string{"mode", "value"},
+	}
+	tab.AddRow("plain", "1")
+	tab.AddRow(`quoted,"cell"`, "2")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "mode,value\nplain,1\n\"quoted,\"\"cell\"\"\",2\n"
+	if got != want {
+		t.Fatalf("CSV rendering wrong:\ngot  %q\nwant %q", got, want)
+	}
+	r := csv.NewReader(strings.NewReader(got))
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[2][0] != `quoted,"cell"` {
+		t.Fatalf("CSV did not round-trip: %v", rows)
 	}
 }

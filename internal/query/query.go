@@ -24,18 +24,91 @@ type ColRef struct {
 // String renders the reference as Rel.Attr.
 func (c ColRef) String() string { return c.Rel + "." + c.Attr }
 
+// AggFunc identifies the aggregate function applied to a select item.
+// AggNone marks a plain (non-aggregate) item, so the zero value of
+// SelectItem keeps its pre-aggregation meaning.
+type AggFunc uint8
+
+const (
+	// AggNone marks a plain column or constant select item.
+	AggNone AggFunc = iota
+	// AggCount is COUNT(col) or COUNT(*) (Star set); with AggDistinct
+	// it is COUNT(DISTINCT col).
+	AggCount
+	// AggSum sums integer values (string values are ignored).
+	AggSum
+	// AggMin takes the minimum under the total value order (integers
+	// before strings, then by value).
+	AggMin
+	// AggMax takes the maximum under the same order.
+	AggMax
+	// AggAvg averages integer values; it finalizes to a decimal string.
+	AggAvg
+)
+
+// String renders the function name as it appears in SQL text.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return "none"
+	}
+}
+
 // SelectItem is one output column: either a column reference or, after
-// rewriting substituted it, a constant.
+// rewriting substituted it, a constant. An aggregate item (Agg !=
+// AggNone) travels through rewriting exactly like the plain item its
+// argument column would — the rewrite machinery substitutes the
+// argument's value — and only the aggregation layer interprets the Agg
+// marker when folding completed answer rows into per-group state.
+// COUNT(*) carries no argument: it is represented as the constant 1
+// with Star set, so a completed row holds 1 at its position.
 type SelectItem struct {
 	IsConst bool
 	Const   relation.Value
 	Col     ColRef
+
+	// Agg is the aggregate function applied to this position (AggNone
+	// for plain items). Star marks COUNT(*); AggDistinct marks
+	// COUNT(DISTINCT col).
+	Agg         AggFunc
+	Star        bool
+	AggDistinct bool
+}
+
+// sqlValue renders a constant as SQL text: strings are single-quoted
+// with ” escaping so that String() output re-parses to the same query
+// (Value.String is the raw key form and cannot be changed — it is
+// baked into index keys).
+func sqlValue(v relation.Value) string {
+	if v.Kind == relation.KindString {
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+	return v.String()
 }
 
 // String renders the item as it appears in SQL text.
 func (s SelectItem) String() string {
+	if s.Agg != AggNone {
+		arg := s.Col.String()
+		if s.Star {
+			arg = "*"
+		} else if s.AggDistinct {
+			arg = "distinct " + arg
+		}
+		return s.Agg.String() + "(" + arg + ")"
+	}
 	if s.IsConst {
-		return s.Const.String()
+		return sqlValue(s.Const)
 	}
 	return s.Col.String()
 }
@@ -56,8 +129,9 @@ type SelCond struct {
 	Val relation.Value
 }
 
-// String renders the conjunct in the paper's value-first style.
-func (s SelCond) String() string { return s.Val.String() + "=" + s.Col.String() }
+// String renders the conjunct in the paper's value-first style, with
+// string constants quoted as SQL so the rendering re-parses.
+func (s SelCond) String() string { return sqlValue(s.Val) + "=" + s.Col.String() }
 
 // WindowKind selects the window clock of Section 5.
 type WindowKind uint8
@@ -117,6 +191,16 @@ func epoch(clock, size int64) int64 {
 	return (clock - size + 1) / size
 }
 
+// EpochOf returns the window epoch a clock value falls in: clock/Size
+// (floor) for windowed queries, 0 for unwindowed ones. The aggregation
+// subsystem partitions each query's answer stream into these epochs.
+func (w WindowSpec) EpochOf(clock int64) int64 {
+	if !w.Enabled() {
+		return 0
+	}
+	return epoch(clock, w.Size)
+}
+
 // Query is a continuous multi-way equi-join, either an input query as
 // submitted or a rewritten query produced by substituting tuples. The
 // answer to the input query is the union of the answers of its
@@ -145,10 +229,21 @@ type Query struct {
 	Joins      []JoinCond
 	Selections []SelCond
 
+	// GroupBy lists the grouping columns of an aggregate query. Every
+	// GroupBy column must appear as a plain item of the select list (so
+	// the group's values ride in every answer row), and every plain
+	// column item must appear in GroupBy.
+	GroupBy []ColRef
+
 	Window WindowSpec
 	// Start is the window-start parameter of a rewritten query
 	// (meaningless while Depth == 0).
 	Start int64
+	// AggClock is the maximum window-clock value over the tuples this
+	// rewrite chain has combined — the completion clock that assigns a
+	// finished answer row to its aggregation epoch. Maintained alongside
+	// Start by the trigger sites; zero on input queries.
+	AggClock int64
 	// Depth counts how many rewriting steps produced this query; an
 	// input query has Depth 0.
 	Depth int
@@ -175,8 +270,21 @@ func (q *Query) Clone() *Query {
 	c.Relations = append([]string(nil), q.Relations...)
 	c.Joins = append([]JoinCond(nil), q.Joins...)
 	c.Selections = append([]SelCond(nil), q.Selections...)
+	c.GroupBy = append([]ColRef(nil), q.GroupBy...)
 	c.Exclude = append([]int64(nil), q.Exclude...)
 	return &c
+}
+
+// IsAggregate reports whether any select item carries an aggregate
+// function. Select lists are short, so the scan is cheap; hot paths
+// that trigger per tuple cache the result on the stored query.
+func (q *Query) IsAggregate() bool {
+	for i := range q.Select {
+		if q.Select[i].Agg != AggNone {
+			return true
+		}
+	}
+	return false
 }
 
 // HasRelation reports whether rel still appears in the FROM list.
@@ -316,7 +424,9 @@ func Rewrite(q *Query, t *relation.Tuple) (*Query, bool) {
 	out.Relations = rels
 
 	// Select columns of rel become constants; untouched lists stay
-	// shared with the parent.
+	// shared with the parent. Substitution sets only IsConst/Const, so
+	// an aggregate item keeps its Agg marker (the aggregation layer
+	// recognises the completed query by it) and the column it came from.
 	for i, s := range q.Select {
 		if !s.IsConst && s.Col.Rel == rel {
 			sel := make([]SelectItem, len(q.Select))
@@ -328,7 +438,8 @@ func Rewrite(q *Query, t *relation.Tuple) (*Query, bool) {
 						Release(out)
 						return nil, false
 					}
-					sel[k] = SelectItem{IsConst: true, Const: v}
+					sel[k].IsConst = true
+					sel[k].Const = v
 				}
 			}
 			out.Select = sel
@@ -635,6 +746,15 @@ func (q *Query) String() string {
 		b.WriteString(" where ")
 		b.WriteString(strings.Join(conj, " and "))
 	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" group by ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
 	if q.OneTime {
 		b.WriteString(" once")
 	}
@@ -686,6 +806,9 @@ func (q *Query) Validate(cat *relation.Catalog) error {
 			}
 		}
 	}
+	if err := q.validateAggregates(checkCol); err != nil {
+		return err
+	}
 	touched := make(map[string]bool)
 	for _, j := range q.Joins {
 		if err := checkCol(j.Left); err != nil {
@@ -716,6 +839,54 @@ func (q *Query) Validate(cat *relation.Catalog) error {
 	}
 	if q.OneTime && q.Window.Enabled() {
 		return fmt.Errorf("query %s: one-time queries cannot carry windows", q.ID)
+	}
+	return nil
+}
+
+// validateAggregates checks the grouping rules of an aggregate query:
+// GROUP BY requires at least one aggregate item, every plain column of
+// the select list must be a grouping column and vice versa (so group
+// identity is fully determined by an answer row), aggregates exclude
+// DISTINCT (set semantics on raw rows would change multiplicities under
+// the aggregates) and one-time snapshots (aggregation is a property of
+// the continuous answer stream).
+func (q *Query) validateAggregates(checkCol func(ColRef) error) error {
+	if !q.IsAggregate() {
+		if len(q.GroupBy) > 0 {
+			return fmt.Errorf("query %s: GROUP BY without an aggregate select item", q.ID)
+		}
+		return nil
+	}
+	if q.Distinct {
+		return fmt.Errorf("query %s: DISTINCT cannot combine with aggregate functions", q.ID)
+	}
+	if q.OneTime {
+		return fmt.Errorf("query %s: one-time queries cannot aggregate", q.ID)
+	}
+	grouped := make(map[ColRef]bool, len(q.GroupBy))
+	for _, c := range q.GroupBy {
+		if err := checkCol(c); err != nil {
+			return err
+		}
+		grouped[c] = true
+	}
+	selected := make(map[ColRef]bool)
+	for _, s := range q.Select {
+		if s.Agg != AggNone {
+			continue
+		}
+		if s.IsConst {
+			continue // constants are group-invariant
+		}
+		if !grouped[s.Col] {
+			return fmt.Errorf("query %s: select column %s is neither aggregated nor in GROUP BY", q.ID, s.Col)
+		}
+		selected[s.Col] = true
+	}
+	for _, c := range q.GroupBy {
+		if !selected[c] {
+			return fmt.Errorf("query %s: GROUP BY column %s missing from the select list", q.ID, c)
+		}
 	}
 	return nil
 }

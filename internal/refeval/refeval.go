@@ -47,24 +47,39 @@ const (
 // Evaluate returns the full answer bag of q over the given published
 // tuples, ignoring window restrictions.
 func Evaluate(q *query.Query, tuples []*relation.Tuple) []Row {
-	return evaluate(q, tuples, windowIgnore)
+	rows, _ := evaluate(q, tuples, windowIgnore, false)
+	return rows
 }
 
 // EvaluateSpan returns the answer bag under span window semantics: a
 // combination qualifies if max(clock)-min(clock)+1 <= window size (for
 // tumbling windows: all clocks share an epoch).
 func EvaluateSpan(q *query.Query, tuples []*relation.Tuple) []Row {
-	return evaluate(q, tuples, windowSpan)
+	rows, _ := evaluate(q, tuples, windowSpan, false)
+	return rows
 }
 
 // EvaluateAnchor returns the answer bag under anchor window semantics:
 // a combination qualifies if some member tuple is within one window of
 // every other member.
 func EvaluateAnchor(q *query.Query, tuples []*relation.Tuple) []Row {
-	return evaluate(q, tuples, windowAnchor)
+	rows, _ := evaluate(q, tuples, windowAnchor, false)
+	return rows
 }
 
-func evaluate(q *query.Query, tuples []*relation.Tuple, mode windowMode) []Row {
+// EvaluateSpanClocked returns the span-semantics answer bag together
+// with each row's completion clock — the maximum window-clock over the
+// combination's tuples, the value the aggregation subsystem assigns
+// epochs by. For unwindowed queries span semantics places no
+// restriction and the clock is the maximum publication time. For 2-way
+// joins span and anchor semantics coincide with RJoin's operational
+// window rules, which is what makes this the aggregation exactness
+// reference.
+func EvaluateSpanClocked(q *query.Query, tuples []*relation.Tuple) ([]Row, []int64) {
+	return evaluate(q, tuples, windowSpan, true)
+}
+
+func evaluate(q *query.Query, tuples []*relation.Tuple, mode windowMode, clocked bool) ([]Row, []int64) {
 	// Bucket usable tuples per relation.
 	byRel := make(map[string][]*relation.Tuple)
 	for _, t := range tuples {
@@ -79,6 +94,7 @@ func evaluate(q *query.Query, tuples []*relation.Tuple, mode windowMode) []Row {
 		byRel[t.Relation()] = append(byRel[t.Relation()], t)
 	}
 	var out []Row
+	var clocks []int64
 	combo := make(map[string]*relation.Tuple, len(q.Relations))
 	var rec func(i int)
 	rec = func(i int) {
@@ -87,6 +103,15 @@ func evaluate(q *query.Query, tuples []*relation.Tuple, mode windowMode) []Row {
 				return
 			}
 			out = append(out, materialize(q, combo))
+			if clocked {
+				var c int64
+				for _, t := range combo {
+					if cl := q.Window.Clock(t); cl > c {
+						c = cl
+					}
+				}
+				clocks = append(clocks, c)
+			}
 			return
 		}
 		rel := q.Relations[i]
@@ -100,7 +125,7 @@ func evaluate(q *query.Query, tuples []*relation.Tuple, mode windowMode) []Row {
 		}
 	}
 	rec(0)
-	return out
+	return out, clocks
 }
 
 // tupleOK checks every conjunct of q that is fully bound once t joins

@@ -6,6 +6,7 @@
 package relation
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -57,6 +58,19 @@ func ParseValue(tok string) Value {
 		return Int64(n)
 	}
 	return String64(tok)
+}
+
+// AppendCanonical appends an injective binary encoding of the value —
+// kind tag, uvarint length, payload — so concatenated encodings of
+// value sequences collide only for equal sequences. It is the one
+// encoding behind both the owner-side DISTINCT row filter and the
+// aggregation group keys; keep them on this helper so the injectivity
+// argument covers every user.
+func AppendCanonical(b []byte, v Value) []byte {
+	s := v.String()
+	b = append(b, byte(v.Kind))
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
 }
 
 // Schema describes one relation: its name and ordered attribute names.

@@ -4,13 +4,17 @@
 //	SELECT [DISTINCT] item, ...
 //	FROM Rel, ...
 //	[WHERE term = term AND ...]
+//	[GROUP BY Rel.Attr, ...]
 //	[WITHIN n TUPLES|TICKS [TUMBLING]]
 //
 // where an item or term is a column reference Rel.Attr, an integer, or
-// a single-quoted string. The WITHIN clause expresses the window
-// parameters of Section 5 (the paper introduces them as out-of-band
-// query parameters; surfacing them as syntax keeps examples runnable as
-// plain text).
+// a single-quoted string. A select item may also be an aggregate:
+// COUNT(*), COUNT(col), COUNT(DISTINCT col), SUM(col), MIN(col),
+// MAX(col) or AVG(col); aggregate queries feed the in-network
+// aggregation subsystem (internal/agg). The WITHIN clause expresses the
+// window parameters of Section 5 (the paper introduces them as
+// out-of-band query parameters; surfacing them as syntax keeps examples
+// runnable as plain text).
 package sqlparse
 
 import (
@@ -30,6 +34,8 @@ const (
 	tokDot
 	tokEquals
 	tokStar
+	tokLParen
+	tokRParen
 )
 
 type token struct {
@@ -70,6 +76,10 @@ func lex(src string) ([]token, error) {
 			l.emit(tokEquals, "=")
 		case c == '*':
 			l.emit(tokStar, "*")
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
 		case c == '\'':
 			if err := l.lexString(); err != nil {
 				return nil, err

@@ -47,6 +47,14 @@ type parser struct {
 
 func (p *parser) peek() token { return p.toks[p.i] }
 
+// peek2 returns the token after the next one (EOF when input ends).
+func (p *parser) peek2() token {
+	if p.i+1 >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+1]
+}
+
 func (p *parser) next() token {
 	t := p.toks[p.i]
 	if t.kind != tokEOF {
@@ -81,7 +89,17 @@ func (p *parser) expectKeyword(kw string) error {
 var reservedWords = map[string]bool{
 	"select": true, "distinct": true, "from": true, "where": true,
 	"and": true, "within": true, "tuples": true, "ticks": true,
-	"tumbling": true, "once": true,
+	"tumbling": true, "once": true, "group": true, "by": true,
+}
+
+// aggFuncs maps function names to their AggFunc; function names are not
+// reserved words — "count" only acts as one when followed by '('.
+var aggFuncs = map[string]query.AggFunc{
+	"count": query.AggCount,
+	"sum":   query.AggSum,
+	"min":   query.AggMin,
+	"max":   query.AggMax,
+	"avg":   query.AggAvg,
 }
 
 func (p *parser) expectIdent() (string, error) {
@@ -142,6 +160,23 @@ func (p *parser) parseQuery() (*query.Query, error) {
 		}
 	}
 
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
 	if p.keyword("once") {
 		q.OneTime = true
 	}
@@ -174,6 +209,9 @@ func (p *parser) parseSelectItem() (query.SelectItem, error) {
 		p.next()
 		return query.SelectItem{IsConst: true, Const: relation.String64(t.text)}, nil
 	case tokIdent:
+		if fn, ok := aggFuncs[strings.ToLower(t.text)]; ok && p.peek2().kind == tokLParen {
+			return p.parseAggregate(fn)
+		}
 		col, err := p.parseColRef()
 		if err != nil {
 			return query.SelectItem{}, err
@@ -182,6 +220,42 @@ func (p *parser) parseSelectItem() (query.SelectItem, error) {
 	default:
 		return query.SelectItem{}, p.errf("expected select item, found %s", t)
 	}
+}
+
+// parseAggregate parses fn(...) with the function-name token still
+// pending: COUNT(*), COUNT([DISTINCT] col), SUM/MIN/MAX/AVG(col).
+func (p *parser) parseAggregate(fn query.AggFunc) (query.SelectItem, error) {
+	p.next() // function name
+	p.next() // '('
+	item := query.SelectItem{Agg: fn}
+	switch {
+	case p.peek().kind == tokStar:
+		if fn != query.AggCount {
+			return query.SelectItem{}, p.errf("%s(*) is not supported (only COUNT(*))", fn)
+		}
+		p.next()
+		// COUNT(*) needs no argument; the constant 1 rides in the row.
+		item.IsConst = true
+		item.Const = relation.Int64(1)
+		item.Star = true
+	default:
+		if p.keyword("distinct") {
+			if fn != query.AggCount {
+				return query.SelectItem{}, p.errf("DISTINCT inside %s (only COUNT(DISTINCT col))", fn)
+			}
+			item.AggDistinct = true
+		}
+		col, err := p.parseColRef()
+		if err != nil {
+			return query.SelectItem{}, err
+		}
+		item.Col = col
+	}
+	if p.peek().kind != tokRParen {
+		return query.SelectItem{}, p.errf("expected ')' closing %s(, found %s", fn, p.peek())
+	}
+	p.next()
+	return item, nil
 }
 
 func (p *parser) parseColRef() (query.ColRef, error) {

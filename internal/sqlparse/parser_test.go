@@ -211,3 +211,90 @@ func TestLexerOffsetsInErrors(t *testing.T) {
 		t.Fatalf("error without offset: %v", err)
 	}
 }
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse(
+		"select R.A, count(*), count(S.B), count(distinct S.B), sum(S.B), min(S.B), max(S.B), avg(S.B) from R,S where R.A=S.A group by R.A",
+		testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsAggregate() {
+		t.Fatal("aggregate query not flagged")
+	}
+	want := []struct {
+		fn       query.AggFunc
+		star     bool
+		distinct bool
+	}{
+		{query.AggNone, false, false},
+		{query.AggCount, true, false},
+		{query.AggCount, false, false},
+		{query.AggCount, false, true},
+		{query.AggSum, false, false},
+		{query.AggMin, false, false},
+		{query.AggMax, false, false},
+		{query.AggAvg, false, false},
+	}
+	for i, w := range want {
+		it := q.Select[i]
+		if it.Agg != w.fn || it.Star != w.star || it.AggDistinct != w.distinct {
+			t.Fatalf("item %d: got fn=%v star=%v distinct=%v, want %+v", i, it.Agg, it.Star, it.AggDistinct, w)
+		}
+	}
+	if q.Select[1].Const.Int != 1 || !q.Select[1].IsConst {
+		t.Fatal("COUNT(*) must carry the constant 1")
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != (query.ColRef{Rel: "R", Attr: "A"}) {
+		t.Fatalf("group by %v", q.GroupBy)
+	}
+	rendered := q.String()
+	q2, err := Parse(rendered, testCatalog())
+	if err != nil {
+		t.Fatalf("rendered aggregate query does not re-parse: %q: %v", rendered, err)
+	}
+	if q2.String() != rendered {
+		t.Fatalf("aggregate rendering unstable: %q vs %q", rendered, q2.String())
+	}
+}
+
+func TestParseGroupByWithWindow(t *testing.T) {
+	q, err := Parse(
+		"select R.A, count(*) from R,S where R.A=S.A group by R.A within 32 tuples tumbling",
+		testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Window.Enabled() || !q.Window.Tumbling || q.Window.Size != 32 {
+		t.Fatalf("window %+v", q.Window)
+	}
+}
+
+// Aggregate function names are not reserved: a relation or attribute
+// may be called count/sum/... as long as no '(' follows.
+func TestAggFuncNamesNotReserved(t *testing.T) {
+	cat, _ := relation.NewCatalog(relation.MustSchema("count", "sum"))
+	q, err := Parse("select count.sum from count where count.sum=3", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IsAggregate() {
+		t.Fatal("plain column misparsed as aggregate")
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	for _, sql := range []string{
+		"select count(* from R",
+		"select count() from R",
+		"select count(R.A from R",
+		"select avg(*) from R",
+		"select min(distinct R.A) from R",
+		"select R.A from R group by R",
+		"select R.A from R group R.A",
+	} {
+		if _, err := Parse(sql, nil); err == nil {
+			t.Fatalf("%q parsed; want error", sql)
+		}
+	}
+}

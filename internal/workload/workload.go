@@ -175,3 +175,22 @@ func (g *Generator) WindowQuery(w query.WindowSpec) *query.Query {
 	q.Window = w
 	return q
 }
+
+// GroupQuery draws one aggregate chain-join query: the same join shape
+// as Query, grouped by the first relation's selected attribute and
+// aggregating the last relation's with COUNT(*), SUM and MAX. It draws
+// exactly Query's random numbers, so generator streams stay aligned
+// across plain and aggregate workloads.
+func (g *Generator) GroupQuery() *query.Query {
+	q := g.Query()
+	group := q.Select[0].Col
+	arg := q.Select[1].Col
+	q.Select = []query.SelectItem{
+		{Col: group},
+		{IsConst: true, Const: relation.Int64(1), Agg: query.AggCount, Star: true},
+		{Col: arg, Agg: query.AggSum},
+		{Col: arg, Agg: query.AggMax},
+	}
+	q.GroupBy = []query.ColRef{group}
+	return q
+}

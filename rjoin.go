@@ -93,6 +93,11 @@ type Options struct {
 	// keys that turn hot relocate themselves to colder candidates,
 	// carrying an exclusion set so no answer is duplicated.
 	EnableMigration bool
+	// SubscriberSideAgg disables in-network aggregation for GROUP BY /
+	// aggregate queries: raw answer rows ship to the subscriber, which
+	// folds them locally. The aggregate view is identical either way;
+	// this is the ablation baseline of the aggregation experiment.
+	SubscriberSideAgg bool
 	// BatchWindow buffers each node's outgoing keyed messages for up
 	// to this many ticks and flushes them as one grouped multiSend
 	// (the batch-routing future work of Section 10). Zero disables.
@@ -172,6 +177,15 @@ type Stats struct {
 	Answers int64
 	// RewritesCreated counts rewriting steps performed.
 	RewritesCreated int64
+	// AggPartials counts answer rows folded into aggregation state (at
+	// aggregator nodes, or at the subscriber with SubscriberSideAgg);
+	// AggUpdates counts finalized group-update rows delivered to
+	// subscribers; AggStateLost counts (group, epoch) partials dropped
+	// by crashes or unrecoverable departures. All zero without
+	// aggregate queries.
+	AggPartials  int64
+	AggUpdates   int64
+	AggStateLost int64
 	// MaxNodeQPL and ParticipatingNodes describe the QPL distribution.
 	MaxNodeQPL         int64
 	ParticipatingNodes int
@@ -297,6 +311,7 @@ func NewNetwork(opts Options) (*Network, error) {
 	cfg.PiggybackRIC = !opts.DisablePiggyback
 	cfg.AllowAttrRewrites = opts.AllowAttrRewrites
 	cfg.EnableMigration = opts.EnableMigration
+	cfg.SubscriberSideAgg = opts.SubscriberSideAgg
 	cfg.AttrReplicas = opts.AttrReplicas
 	eng := core.NewEngine(ring, se, nw, cfg)
 	mgr := churn.New(eng, churn.Config{
@@ -495,6 +510,9 @@ func (n *Network) Stats() Stats {
 		StorageLoad:         n.eng.SL.Total(),
 		Answers:             n.eng.Counters.AnswersDelivered,
 		RewritesCreated:     n.eng.Counters.RewritesCreated,
+		AggPartials:         n.eng.Counters.AggPartials,
+		AggUpdates:          n.eng.Counters.AggUpdates,
+		AggStateLost:        n.eng.Counters.AggStateLost,
 		MaxNodeQPL:          n.eng.QPL.Max(),
 		ParticipatingNodes:  n.eng.QPL.Participants(),
 		Joins:               n.mgr.Stats.Joins,
@@ -548,3 +566,31 @@ func (s *Subscription) AnswersSince(cursor int) []Answer {
 // Count returns the number of answers delivered so far, without
 // converting or allocating anything.
 func (s *Subscription) Count() int { return len(s.net.eng.Answers(s.ID)) }
+
+// AggregateRow is one row of an aggregate query's view: the latest
+// finalized aggregates of one group in one window epoch. Row has the
+// query's select-list shape — grouping columns carry the group's
+// values, aggregate positions the aggregates. Epoch is 0 for
+// unwindowed queries and clock/windowSize otherwise.
+type AggregateRow struct {
+	// Query is the subscription's query ID.
+	Query string
+	// Epoch is the window epoch this row aggregates.
+	Epoch int64
+	// Row holds the select-list values.
+	Row []Value
+}
+
+// AggregateRows returns the current aggregate view of a GROUP BY /
+// aggregate subscription, sorted canonically (by group, then epoch).
+// The view is complete as of the last Run() — aggregator nodes flush
+// their dirty group state when the network reaches quiescence. It is
+// empty for non-aggregate subscriptions.
+func (s *Subscription) AggregateRows() []AggregateRow {
+	view := s.net.eng.AggRows(s.ID)
+	out := make([]AggregateRow, len(view))
+	for i, v := range view {
+		out[i] = AggregateRow{Query: s.ID, Epoch: v.Epoch, Row: v.Row}
+	}
+	return out
+}
