@@ -329,6 +329,28 @@ func BenchmarkPublishTuple(b *testing.B) {
 	}
 }
 
+// BenchmarkPublishTupleReplicated is BenchmarkPublishTuple with durable
+// state replication at factor 2: every state mutation the publish
+// cascade performs additionally batches into replica-update messages
+// for the owner's successor. Comparing ns/op and allocs/op against the
+// unreplicated benchmark quantifies the durability overhead on the hot
+// path (see CHANGES.md for the A/B numbers).
+func BenchmarkPublishTupleReplicated(b *testing.B) {
+	net := MustNetwork(Options{Nodes: 128, Seed: 11, ReplicationFactor: 2})
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	for i := 0; i < 100; i++ {
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+	}
+	net.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.MustPublish("R", i%50, i)
+		net.Run()
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator throughput: events
 // processed per second on a mixed workload.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2-9, churn or agg); empty runs all")
+	fig := flag.String("fig", "", "figure to regenerate (2-9, churn, agg or recovery); empty runs all")
 	scale := flag.Float64("scale", 0.25, "workload scale in (0,1]: fraction of the paper's query/tuple counts")
 	nodes := flag.Int("nodes", 1000, "overlay size")
 	queries := flag.Int("queries", 20000, "continuous queries before scaling")
@@ -52,28 +52,29 @@ func main() {
 	}
 
 	runners := map[string]func(experiments.Params) []*metrics.Table{
-		"2":     experiments.Fig2,
-		"3":     experiments.Fig3,
-		"4":     experiments.Fig4,
-		"5":     experiments.Fig5,
-		"6":     experiments.Fig6,
-		"7":     experiments.Fig7,
-		"8":     experiments.Fig8,
-		"9":     experiments.Fig9,
-		"churn": experiments.FigChurn,
-		"agg":   experiments.FigAgg,
+		"2":        experiments.Fig2,
+		"3":        experiments.Fig3,
+		"4":        experiments.Fig4,
+		"5":        experiments.Fig5,
+		"6":        experiments.Fig6,
+		"7":        experiments.Fig7,
+		"8":        experiments.Fig8,
+		"9":        experiments.Fig9,
+		"churn":    experiments.FigChurn,
+		"agg":      experiments.FigAgg,
+		"recovery": experiments.FigRecovery,
 	}
 
 	var figs []string
 	if *fig == "" {
 		// Figures 7 and 8 share one experiment run; the sentinel "7+8"
-		// computes both together. "churn" and "agg" are this
-		// reproduction's own extensions: dynamic membership and
-		// in-network aggregation.
-		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg"}
+		// computes both together. "churn", "agg" and "recovery" are
+		// this reproduction's own extensions: dynamic membership,
+		// in-network aggregation and durable state replication.
+		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery"}
 	} else {
 		if _, ok := runners[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn or agg)\n", *fig)
+			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg or recovery)\n", *fig)
 			os.Exit(2)
 		}
 		figs = []string{*fig}

@@ -241,3 +241,129 @@ func TestGoldenDeterminismParallel(t *testing.T) {
 		}
 	}
 }
+
+// replicatedGoldenOpts is the crash-heavy replicated configuration the
+// golden suite pins: unit hop delays (so serial and parallel runs share
+// one event timeline), spontaneous churn tilted towards crashes, and
+// ReplicationFactor 2 so every crash promotes instead of losing state.
+func replicatedGoldenOpts(workers int) Options {
+	return Options{
+		Nodes: 96, Seed: 42, ReplicationFactor: 2, Workers: workers,
+		Churn: ChurnOptions{
+			JoinRate: 10, CrashRate: 30, Interval: 8, StabilizeInterval: 16, MinNodes: 48,
+		},
+	}
+}
+
+// goldenReplWorkload drives the mixed golden workload under the
+// crash-heavy replicated configuration and digests the final state
+// order-insensitively: per subscription, the sorted multiset of
+// (time, row) answer strings, plus the stats fields replication
+// guarantees — the loss counters (which must stay zero) and the
+// replication machinery's own counts. Intra-tick delivery order is the
+// only thing that differs between the serial engine and the parallel
+// barrier schedule here (unit delays, RIC placement: no random draws),
+// so the digest is pinned once across Workers ∈ {1, 2, 4, 8}.
+func goldenReplWorkload(opts Options) (Stats, uint64) {
+	net := MustNetwork(opts)
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	net.MustDefineRelation("T", "A", "B")
+
+	subs := []*Subscription{
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A"),
+		net.MustSubscribe("select R.B, T.B from R,S,T where R.A=S.A and S.B=T.B"),
+		net.MustSubscribe("select distinct S.B from R,S where R.A=S.A"),
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A within 40 tuples"),
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A within 64 ticks tumbling"),
+		net.MustSubscribe("select R.A, count(*), sum(S.B) from R,S where R.A=S.A group by R.A"),
+	}
+	skew := []int{0, 0, 0, 1, 1, 2, 3, 4}
+	for i := 0; i < 40; i++ {
+		net.MustPublish("R", skew[i%8], i)
+		net.MustPublish("S", skew[(i+1)%8], i%6)
+		if i%3 == 0 {
+			net.MustPublish("T", skew[i%8], (i+2)%6)
+		}
+		net.Run()
+	}
+	for i := 0; i < 30; i++ {
+		net.MustPublish("R", i%5, i)
+		net.MustPublish("S", i%5, i%4)
+	}
+	subs = append(subs, net.MustSubscribe("select R.A, S.B from R,S where R.B=S.B"))
+	net.RunFor(10)
+	for i := 0; i < 20; i++ {
+		net.MustPublish("T", i%5, i%4)
+	}
+	net.Run()
+
+	st := net.Stats()
+	h := fnv.New64a()
+	for _, s := range subs {
+		fmt.Fprintf(h, "[%s]", s.SQL)
+		var rows []string
+		for _, a := range s.Answers() {
+			row := fmt.Sprintf("%d:", a.At)
+			for _, v := range a.Row {
+				row += v.String() + ","
+			}
+			rows = append(rows, row)
+		}
+		sort.Strings(rows)
+		for _, r := range rows {
+			fmt.Fprintf(h, "%s;", r)
+		}
+		for _, a := range s.AggregateRows() {
+			fmt.Fprintf(h, "e%d:", a.Epoch)
+			for _, v := range a.Row {
+				fmt.Fprintf(h, "%s,", v.String())
+			}
+			fmt.Fprint(h, ";")
+		}
+	}
+	fmt.Fprintf(h, "|crashes=%d lost=%d/%d/%d/%d repl=%d/%d/%d/%d",
+		st.Crashes, st.QueriesLost, st.RewritesLost, st.TuplesLost, st.AggStateLost,
+		st.ReplUpdates, st.ReplOps, st.ReplSyncs, st.ReplPromotions)
+	return st, h.Sum64()
+}
+
+// TestGoldenDeterminismReplicated pins the crash-heavy replicated
+// configuration: the digest and stats must be bit-identical across the
+// serial engine and every parallel worker count, every crash must
+// promote rather than lose state (the durability acceptance criterion:
+// RewritesLost == TuplesLost == AggStateLost == 0 with crashes > 0),
+// and the whole history must replay identically run over run.
+func TestGoldenDeterminismReplicated(t *testing.T) {
+	// Golden value captured when durable replication was introduced
+	// (and recaptured when pending placement walks joined the mirrored
+	// state, then again when submission-time walks gained their own
+	// coordinator-context flush).
+	const goldenDigest = uint64(0xbe639da08b22928a)
+	var pinned Stats
+	for wi, w := range []int{1, 2, 4, 8} {
+		st, d := goldenReplWorkload(replicatedGoldenOpts(w))
+		if st.Crashes == 0 {
+			t.Fatal("replicated golden drove no crashes; churn config too weak")
+		}
+		if st.RewritesLost != 0 || st.TuplesLost != 0 || st.AggStateLost != 0 {
+			t.Fatalf("workers %d: replicated crashes lost state: rewrites %d, tuples %d, agg %d",
+				w, st.RewritesLost, st.TuplesLost, st.AggStateLost)
+		}
+		if st.ReplPromotions == 0 || st.ReplicationMessages == 0 {
+			t.Fatalf("workers %d: replication machinery unused (promotions %d, messages %d)",
+				w, st.ReplPromotions, st.ReplicationMessages)
+		}
+		if wi == 0 {
+			pinned = st
+			if d != goldenDigest {
+				t.Fatalf("replicated golden drifted: digest %#x, want %#x (stats %+v)", d, goldenDigest, st)
+			}
+			continue
+		}
+		if st != pinned || d != goldenDigest {
+			t.Fatalf("workers %d: replicated golden depends on worker count:\ngot  %+v digest %#x\nwant %+v digest %#x",
+				w, st, d, pinned, goldenDigest)
+		}
+	}
+}

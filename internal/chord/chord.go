@@ -54,6 +54,43 @@ func (n *Node) Successor() *Node {
 // Predecessor returns the node's current predecessor, or nil if unknown.
 func (n *Node) Predecessor() *Node { return n.pred }
 
+// SuccessorList returns up to k distinct alive successors of n in ring
+// order, excluding n itself — the replica-group membership of every key
+// n is responsible for. The walk follows each hop's own protocol links
+// (Successor skips entries known dead), so the list self-repairs
+// through the same stabilization rounds that repair routing: after a
+// failure, one Stabilize pass per surviving hop restores it. Rings
+// smaller than k+1 nodes yield every other member; a singleton ring
+// yields an empty list.
+func (r *Ring) SuccessorList(n *Node, k int) []*Node {
+	if n == nil || k <= 0 {
+		return nil
+	}
+	out := make([]*Node, 0, k)
+	cur := n
+	// Each hop advances at least one ring position, so k + Size() steps
+	// suffice even when dead entries are skipped along the way.
+	for steps := 0; len(out) < k && steps < k+len(r.byID); steps++ {
+		next := cur.Successor()
+		if next == n || next == cur {
+			break // wrapped around, or no live successor known
+		}
+		dup := false
+		for _, s := range out {
+			if s == next {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			break // the walk is cycling through a sub-ring
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out
+}
+
 // String implements fmt.Stringer.
 func (n *Node) String() string { return fmt.Sprintf("node(%s)", n.id) }
 

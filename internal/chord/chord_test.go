@@ -416,3 +416,99 @@ func ExampleRing_Owner() {
 	// true
 	// true
 }
+
+// TestSuccessorListBasic: in a converged ring, SuccessorList(n, k)
+// returns the k next alive nodes in identifier order, n excluded.
+func TestSuccessorListBasic(t *testing.T) {
+	r := buildRing(t, 16, 5)
+	nodes := r.Nodes()
+	for i, n := range nodes {
+		got := r.SuccessorList(n, 3)
+		if len(got) != 3 {
+			t.Fatalf("node %d: successor list length %d, want 3", i, len(got))
+		}
+		for j, s := range got {
+			want := nodes[(i+1+j)%len(nodes)]
+			if s != want {
+				t.Fatalf("node %d: successor %d is %s, want %s", i, j, s, want)
+			}
+		}
+	}
+}
+
+// TestSuccessorListSmallRings: a singleton yields an empty list, a
+// two-node ring yields exactly the other node, and both are stable when
+// k exceeds the ring size.
+func TestSuccessorListSmallRings(t *testing.T) {
+	r := NewRing()
+	a, _ := r.Join(100)
+	if got := r.SuccessorList(a, 4); len(got) != 0 {
+		t.Fatalf("singleton successor list %v, want empty", got)
+	}
+	b, _ := r.Join(200)
+	r.StabilizeAll()
+	if got := r.SuccessorList(a, 4); len(got) != 1 || got[0] != b {
+		t.Fatalf("two-node list of a: %v, want [b]", got)
+	}
+	if got := r.SuccessorList(b, 4); len(got) != 1 || got[0] != a {
+		t.Fatalf("two-node list of b: %v, want [a]", got)
+	}
+	if got := r.SuccessorList(a, 0); got != nil {
+		t.Fatalf("k=0 list %v, want nil", got)
+	}
+}
+
+// TestSuccessorListLargerThanRing: k larger than the ring returns every
+// other member exactly once, in ring order.
+func TestSuccessorListLargerThanRing(t *testing.T) {
+	r := buildRing(t, 5, 9)
+	nodes := r.Nodes()
+	for i, n := range nodes {
+		got := r.SuccessorList(n, 64)
+		if len(got) != len(nodes)-1 {
+			t.Fatalf("node %d: list length %d, want %d", i, len(got), len(nodes)-1)
+		}
+		seen := map[*Node]bool{n: true}
+		for j, s := range got {
+			if seen[s] {
+				t.Fatalf("node %d: duplicate entry %s at position %d", i, s, j)
+			}
+			seen[s] = true
+			if want := nodes[(i+1+j)%len(nodes)]; s != want {
+				t.Fatalf("node %d: position %d is %s, want %s", i, j, s, want)
+			}
+		}
+	}
+}
+
+// TestSuccessorListRepairsAfterFail: failing a node leaves it out of
+// every successor list after one stabilization round, and the node that
+// followed it moves up one position.
+func TestSuccessorListRepairsAfterFail(t *testing.T) {
+	r := buildRing(t, 12, 13)
+	nodes := append([]*Node(nil), r.Nodes()...)
+	victim := nodes[4]
+	r.Fail(victim)
+	// Immediately after the failure the walk already skips the dead
+	// node: Successor() consults liveness.
+	for _, n := range r.Nodes() {
+		for _, s := range r.SuccessorList(n, 4) {
+			if s == victim {
+				t.Fatalf("dead node %s still in successor list of %s before stabilize", victim, n)
+			}
+		}
+	}
+	r.StabilizeAll()
+	alive := r.Nodes()
+	for i, n := range alive {
+		got := r.SuccessorList(n, 3)
+		if len(got) != 3 {
+			t.Fatalf("node %s: repaired list length %d, want 3", n, len(got))
+		}
+		for j, s := range got {
+			if want := alive[(i+1+j)%len(alive)]; s != want {
+				t.Fatalf("node %s: repaired position %d is %s, want %s", n, j, s, want)
+			}
+		}
+	}
+}

@@ -17,6 +17,16 @@
 // reaching quiescence, it simply happens whenever foreground traffic
 // (or an explicit RunUntil) advances the virtual clock.
 //
+// What a crash costs depends on the engine's replication setting: with
+// core.Config.ReplicationFactor < 2 the dead node's keyed state is
+// counted as loss (the model experiments.FigChurn measures), while
+// with factor k >= 2 every crash this manager injects promotes the
+// surviving replica instead and loses nothing (experiments.FigRecovery
+// measures that trade). The manager itself is agnostic — membership
+// policy here, durability policy in internal/core/replicate.go — and
+// every engine path it calls (JoinNode, LeaveNode, CrashNode) ends in
+// the replica-group repair pass when replication is on.
+//
 // Background events are also what makes churn safe — and deterministic
 // — under the parallel engine: the simulator executes shard-less
 // events serially between worker sub-rounds, so every membership

@@ -114,7 +114,7 @@ func (p *Proc) emitCompletion(now sim.Time, q *query.Query, vals []relation.Valu
 			}
 		}
 		if owner := p.eng.net.Send(p.node, key.ID(), msg); owner != nil {
-			p.ct.merge(ricInfo{Key: key, Addr: owner.ID(), At: now})
+			p.ctMerge(ricInfo{Key: key, Addr: owner.ID(), At: now})
 		}
 	})
 }
@@ -154,6 +154,7 @@ func (p *Proc) onAggPartial(now sim.Time, m *aggPartialMsg) {
 		// its row changed too.
 		g.dirty[m.Epoch+1] = true
 	}
+	p.replAggFold(m.Key, m.QueryID, m.Owner, m.Epoch, m.Row)
 }
 
 // viewKey addresses one row of a query's aggregate view.

@@ -98,7 +98,29 @@ type Config struct {
 	// robin on its publication sequence), so every (query, tuple) pair
 	// still meets exactly once and both completeness and bag semantics
 	// are unchanged. Values < 2 disable replication.
+	//
+	// AttrReplicas is load spreading, not durability: the copies are
+	// key aliases on different nodes, each holding a distinct slice of
+	// the stream. Durability — surviving a node crash with state
+	// intact — is ReplicationFactor's job.
 	AttrReplicas int
+
+	// ReplicationFactor k mirrors every keyed state entry — stored
+	// queries with their DISTINCT projection memory, value-level
+	// tuples, ALTT and candidate-table entries, aggregator group
+	// partials — on the owner plus its k−1 ring successors, the key's
+	// successor-list replica group. Mutations batch per handler and fan
+	// out as replica-update messages (overlay.TagRepl); on a crash the
+	// surviving replica the ring now routes to promotes its mirror, so
+	// single-node crashes lose no keyed state (RewritesLost, TuplesLost
+	// and AggStateLost stay zero) and the factor is restored by
+	// re-replication. Values < 2 disable replication and keep the
+	// counted-loss crash model.
+	//
+	// ReplicationFactor is durability, not load spreading: replicas are
+	// passive mirrors that serve no traffic until promoted. To spread a
+	// hot attribute-level key over several nodes, use AttrReplicas.
+	ReplicationFactor int
 
 	// EnableMigration turns on the future-work extension the paper
 	// sketches in Section 10: on-line adaptation of the distributed

@@ -1,0 +1,616 @@
+package core
+
+import (
+	"testing"
+
+	"rjoin/internal/refeval"
+	"rjoin/internal/relation"
+	"rjoin/internal/sqlparse"
+)
+
+// replCfg is the engine configuration the durability tests run under:
+// paper defaults plus successor-list replication at the given factor.
+func replCfg(k int) Config {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = k
+	return cfg
+}
+
+// TestCrashPromotionExactlyOnce is the replication layer's completeness
+// criterion, the crash analogue of TestGracefulLeaveExactlyOnce: with
+// ReplicationFactor 2, the node holding the most rewritten state
+// crashes mid-stream (tuples in flight), the surviving replica promotes
+// its mirror, and the delivered answer bag still equals the reference
+// exactly — nothing lost to the crash, nothing duplicated by the
+// promotion.
+func TestCrashPromotionExactlyOnce(t *testing.T) {
+	eng, nodes := testNet(t, 48, 3, replCfg(2), churnNetCfg())
+	q := "select R.B, S.B from R,S where R.A=S.A"
+	qid, err := eng.SubmitQuery(nodes[0], sqlparse.MustParse(q, testCat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	var published []*relation.Tuple
+	pub := func(i int, tu *relation.Tuple) {
+		published = append(published, tu)
+		alive := eng.Ring().Nodes()
+		eng.PublishTuple(alive[i%len(alive)], tu)
+	}
+	for i := 0; i < 12; i++ {
+		pub(i, mkTuple("R", int64(i%4), int64(i), 0))
+	}
+	eng.Run()
+
+	victim := rewriteHolder(eng)
+	if victim == nil {
+		t.Fatal("no node holds rewritten state; workload too weak")
+	}
+	for i := 0; i < 12; i++ {
+		pub(i, mkTuple("S", int64(i%4), int64(100+i), 0))
+	}
+	eng.RunUntil(eng.Sim().Now() + 1) // deliveries mid-flight
+	if err := eng.CrashNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		eng.Ring().TickStabilize()
+	}
+	eng.Run()
+	for i := 0; i < 8; i++ {
+		pub(i, mkTuple("S", int64(i%4), int64(200+i), 0))
+		pub(i+1, mkTuple("R", int64(i%4), int64(300+i), 0))
+	}
+	eng.Run()
+
+	want := expectedBag(t, q, published)
+	got := answerBag(eng, qid)
+	if len(want) == 0 {
+		t.Fatal("reference produced no answers; workload too weak")
+	}
+	if !bagsEqual(got, want) {
+		t.Fatalf("answers across a crash with replication diverged:\ngot  %d rows\nwant %d rows", len(got), len(want))
+	}
+	if eng.Counters.ReplPromotions == 0 || eng.Counters.ReplEntriesPromoted == 0 {
+		t.Fatalf("crash promoted nothing (promotions %d, entries %d): victim held no mirror",
+			eng.Counters.ReplPromotions, eng.Counters.ReplEntriesPromoted)
+	}
+	if eng.Counters.RewritesLost != 0 || eng.Counters.TuplesLost != 0 || eng.Counters.QueriesLost != 0 {
+		t.Fatalf("replicated crash counted loss: %d rewrites, %d tuples, %d queries",
+			eng.Counters.RewritesLost, eng.Counters.TuplesLost, eng.Counters.QueriesLost)
+	}
+}
+
+// TestRepeatedCrashesStayComplete drives a stream while a third of the
+// ring crashes one node at a time: each crash promotes, re-replication
+// restores the factor before the next one, and the final bag is exact
+// with zero counted loss. Factor 3 matters here beyond redundancy — a
+// crashed node then has several surviving replicas, and promotion must
+// pick the one the ring actually routes the dead arc to (its first
+// successor), not an arbitrary group member.
+func TestRepeatedCrashesStayComplete(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		eng, nodes := testNet(t, 36, 7, replCfg(k), churnNetCfg())
+		q := "select R.B, S.C from R,S where R.A=S.A and R.C=S.C"
+		qid, err := eng.SubmitQuery(nodes[5], sqlparse.MustParse(q, testCat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+
+		var published []*relation.Tuple
+		for round := 0; round < 12; round++ {
+			r := mkTuple("R", int64(round%3), int64(round), int64(round%2))
+			s := mkTuple("S", int64(round%3), int64(50+round), int64(round%2))
+			published = append(published, r, s)
+			alive := eng.Ring().Nodes()
+			eng.PublishTuple(alive[round%len(alive)], r)
+			eng.PublishTuple(alive[(round+1)%len(alive)], s)
+			eng.RunUntil(eng.Sim().Now() + 2)
+			alive = eng.Ring().Nodes()
+			if len(alive) > 24 {
+				if err := eng.CrashNode(alive[(round*5)%len(alive)]); err != nil {
+					t.Fatal(err)
+				}
+				eng.Ring().TickStabilize()
+			}
+			eng.Run()
+		}
+		eng.Run()
+
+		want := expectedBag(t, q, published)
+		got := answerBag(eng, qid)
+		if len(want) == 0 {
+			t.Fatal("reference produced no answers")
+		}
+		if !bagsEqual(got, want) {
+			t.Fatalf("k=%d: answers diverged after repeated crashes: got %d rows, want %d", k, len(got), len(want))
+		}
+		if eng.Counters.RewritesLost != 0 || eng.Counters.TuplesLost != 0 || eng.Counters.QueriesLost != 0 {
+			t.Fatalf("k=%d: replicated crashes counted loss: %d rewrites, %d tuples, %d queries",
+				k, eng.Counters.RewritesLost, eng.Counters.TuplesLost, eng.Counters.QueriesLost)
+		}
+		if eng.Counters.ReplSyncs == 0 {
+			t.Fatal("repeated crashes opened no repair snapshot streams")
+		}
+	}
+}
+
+// TestCrashPromotionDistinct guards the mirrored DISTINCT projection
+// memory: the holder of a DISTINCT query's state crashes after
+// consuming projections; if promotion resurrected the query without its
+// memory, the post-crash stream would re-trigger consumed projections
+// and deliver duplicate rows.
+func TestCrashPromotionDistinct(t *testing.T) {
+	eng, nodes := testNet(t, 48, 3, replCfg(2), churnNetCfg())
+	q := "select distinct S.B from R,S where R.A=S.A"
+	qid, err := eng.SubmitQuery(nodes[0], sqlparse.MustParse(q, testCat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	var published []*relation.Tuple
+	pub := func(i int, tu *relation.Tuple) {
+		published = append(published, tu)
+		alive := eng.Ring().Nodes()
+		eng.PublishTuple(alive[i%len(alive)], tu)
+	}
+	// A small value domain so the same projections recur across waves.
+	for i := 0; i < 10; i++ {
+		pub(i, mkTuple("R", int64(i%3), int64(i), 0))
+		pub(i+1, mkTuple("S", int64(i%3), int64(i%4), 0))
+	}
+	eng.Run()
+
+	victim := rewriteHolder(eng)
+	if victim == nil {
+		t.Fatal("no rewritten state to crash")
+	}
+	if err := eng.CrashNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		eng.Ring().TickStabilize()
+	}
+	eng.Run()
+	// Replays of the same join values: consumed projections must stay
+	// consumed across the promotion.
+	for i := 0; i < 10; i++ {
+		pub(i, mkTuple("S", int64(i%3), int64(i%4), 0))
+		pub(i+1, mkTuple("R", int64(i%3), int64(100+i), 0))
+	}
+	eng.Run()
+
+	parsed := sqlparse.MustParse(q, testCat)
+	var want []string
+	for _, r := range refeval.Distinct(refeval.Evaluate(parsed, published)) {
+		want = append(want, r.Key())
+	}
+	got := answerBag(eng, qid)
+	if len(want) == 0 {
+		t.Fatal("reference produced no answers")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("DISTINCT across crash: got %d rows, want %d (duplicates or loss)", len(got), len(want))
+	}
+}
+
+// TestCrashPromotionAggState: the heaviest aggregator node crashes
+// mid-stream under replication; its per-(group, epoch) partials promote
+// instead of counting into AggStateLost, and the final views equal the
+// centralized reference fold.
+func TestCrashPromotionAggState(t *testing.T) {
+	eng, nodes := testNet(t, 48, 5, replCfg(2), churnNetCfg())
+	var qids []string
+	queries := aggTestQueries()
+	for i, sql := range queries {
+		qid, err := eng.SubmitQuery(nodes[i%len(nodes)], sqlparse.MustParse(sql, testCat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qids = append(qids, qid)
+	}
+	eng.Run()
+
+	var published []*relation.Tuple
+	pub := func(i int, tu *relation.Tuple) {
+		published = append(published, tu)
+		alive := eng.Ring().Nodes()
+		eng.PublishTuple(alive[i%len(alive)], tu)
+	}
+	for round := 0; round < 30; round++ {
+		pub(round, mkTuple("R", int64(round%4), int64(round%7), 0))
+		pub(round+1, mkTuple("S", int64(round%4), int64(round%5), 0))
+		if round%3 == 0 {
+			pub(round+2, mkTuple("J", 0, int64(round%5), 0))
+		}
+		if round%4 == 3 {
+			eng.Run()
+		} else {
+			eng.RunUntil(eng.Sim().Now() + 2)
+		}
+		if round == 11 || round == 21 {
+			victim := aggHolder(eng)
+			if round == 21 {
+				victim = rewriteHolder(eng)
+			}
+			if victim == nil {
+				t.Fatal("no crash victim with state; workload too weak")
+			}
+			if err := eng.CrashNode(victim); err != nil {
+				t.Fatal(err)
+			}
+			eng.Ring().TickStabilize()
+		}
+	}
+	eng.Run()
+
+	for i, qid := range qids {
+		aggViewsMatch(t, "replicated-crash", queries[i], eng, qid, published)
+	}
+	if eng.Counters.AggStateLost != 0 {
+		t.Fatalf("replicated crashes lost %d aggregation partials", eng.Counters.AggStateLost)
+	}
+	if eng.Counters.ReplPromotions == 0 {
+		t.Fatal("crashes promoted no mirror")
+	}
+}
+
+// TestLeaveWithReplicationInFlight: a graceful leave while replica
+// update batches are in flight. The leave drains the victim's state to
+// its successor, in-flight batches addressed to the departed replica
+// bounce to the ring position's new owner and are discarded by the
+// stream versioning, and the repair snapshots supersede them — every
+// reference answer is still delivered exactly once.
+func TestLeaveWithReplicationInFlight(t *testing.T) {
+	eng, nodes := testNet(t, 48, 3, replCfg(2), churnNetCfg())
+	q := "select R.B, S.B from R,S where R.A=S.A"
+	qid, err := eng.SubmitQuery(nodes[0], sqlparse.MustParse(q, testCat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	var published []*relation.Tuple
+	pub := func(i int, tu *relation.Tuple) {
+		published = append(published, tu)
+		alive := eng.Ring().Nodes()
+		eng.PublishTuple(alive[i%len(alive)], tu)
+	}
+	for i := 0; i < 12; i++ {
+		pub(i, mkTuple("R", int64(i%4), int64(i), 0))
+	}
+	eng.Run()
+
+	victim := rewriteHolder(eng)
+	if victim == nil {
+		t.Fatal("no node holds rewritten state")
+	}
+	// Replica-group targets of the victim: removing one mid-stream
+	// leaves its inbound update batches undeliverable.
+	targets := eng.procs[victim.ID()].repl.links.Targets()
+	if len(targets) == 0 {
+		t.Fatal("victim has no replica targets")
+	}
+	replica := eng.Ring().Node(targets[0])
+	if replica == nil {
+		t.Fatal("victim's replica target not alive")
+	}
+
+	for i := 0; i < 12; i++ {
+		pub(i, mkTuple("S", int64(i%4), int64(100+i), 0))
+	}
+	eng.RunUntil(eng.Sim().Now() + 1) // tuple deliveries and their update batches mid-flight
+	if err := eng.LeaveNode(replica); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(eng.Sim().Now() + 1)
+	if err := eng.LeaveNode(eng.Ring().Owner(victim.ID())); err != nil { // the primary itself
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		eng.Ring().TickStabilize()
+	}
+	eng.Run()
+	for i := 0; i < 8; i++ {
+		pub(i, mkTuple("S", int64(i%4), int64(200+i), 0))
+		pub(i+1, mkTuple("R", int64(i%4), int64(300+i), 0))
+	}
+	eng.Run()
+
+	want := expectedBag(t, q, published)
+	got := answerBag(eng, qid)
+	if len(want) == 0 {
+		t.Fatal("reference produced no answers")
+	}
+	if !bagsEqual(got, want) {
+		t.Fatalf("answers diverged across leaves with updates in flight: got %d rows, want %d", len(got), len(want))
+	}
+	if eng.Counters.RewritesLost != 0 || eng.Counters.TuplesLost != 0 {
+		t.Fatalf("graceful leaves under replication counted loss: %d rewrites, %d tuples",
+			eng.Counters.RewritesLost, eng.Counters.TuplesLost)
+	}
+}
+
+// mirrorsTrackLiveState asserts the replication invariant at
+// quiescence: for every node, every replica target holds a mirror equal
+// to the node's live keyed state — same stored queries (by replication
+// identity, with equal DISTINCT memory), same tuples, same unexpired
+// ALTT entries, same aggregation row counts, same candidate table.
+func mirrorsTrackLiveState(t *testing.T, eng *Engine) {
+	t.Helper()
+	now := eng.Sim().Now()
+	checked := 0
+	for _, n := range eng.Ring().Nodes() {
+		p := eng.procs[n.ID()]
+		for _, tgt := range p.repl.links.Targets() {
+			tp := eng.procs[tgt]
+			if tp == nil {
+				t.Fatalf("node %s lists dead target %s", n.ID(), tgt)
+			}
+			ib := tp.replInboxes[n.ID()]
+			var mr *replMirror
+			if ib != nil {
+				mr = ib.mirror
+			} else {
+				mr = newReplMirror() // stream never opened: state must be empty
+			}
+			checked++
+
+			for key, list := range p.queries {
+				if len(mr.queries[key]) != len(list) {
+					t.Fatalf("node %s → %s: key %s mirrors %d queries, live %d",
+						n.ID(), tgt, key, len(mr.queries[key]), len(list))
+				}
+				for _, sq := range list {
+					mq := mr.bySq[sq.replID]
+					if mq == nil || mq.q != sq.q {
+						t.Fatalf("node %s → %s: stored query %d not mirrored", n.ID(), tgt, sq.replID)
+					}
+					if len(mq.seen) != len(sq.seen) {
+						t.Fatalf("node %s → %s: query %d DISTINCT memory diverged: mirror %d, live %d",
+							n.ID(), tgt, sq.replID, len(mq.seen), len(sq.seen))
+					}
+					for proj := range sq.seen {
+						if !mq.seen[proj] {
+							t.Fatalf("node %s → %s: query %d missing mirrored projection", n.ID(), tgt, sq.replID)
+						}
+					}
+				}
+			}
+			for key, list := range p.tuples {
+				if len(mr.tuples[key]) != len(list) {
+					t.Fatalf("node %s → %s: key %s mirrors %d tuples, live %d",
+						n.ID(), tgt, key, len(mr.tuples[key]), len(list))
+				}
+				for i, tu := range list {
+					if mr.tuples[key][i] != tu {
+						t.Fatalf("node %s → %s: tuple %d of key %s diverged", n.ID(), tgt, i, key)
+					}
+				}
+			}
+			unexpired := func(list []alttEntry) int {
+				c := 0
+				for _, e := range list {
+					if e.expireAt >= now {
+						c++
+					}
+				}
+				return c
+			}
+			for key, list := range p.altt {
+				if live := unexpired(list); unexpired(mr.altt[key]) != live {
+					t.Fatalf("node %s → %s: key %s mirrors %d live ALTT entries, want %d",
+						n.ID(), tgt, key, unexpired(mr.altt[key]), live)
+				}
+			}
+			for key, g := range p.aggs {
+				mg := mr.aggs[key]
+				if mg == nil || len(mg.epochs) != len(g.epochs) {
+					t.Fatalf("node %s → %s: agg group %s not mirrored", n.ID(), tgt, key)
+				}
+				for ep, part := range g.epochs {
+					if mg.epochs[ep] == nil || mg.epochs[ep].Rows() != part.Rows() {
+						t.Fatalf("node %s → %s: agg group %s epoch %d diverged", n.ID(), tgt, key, ep)
+					}
+				}
+			}
+			if len(mr.ct) != p.ct.size() {
+				t.Fatalf("node %s → %s: candidate table mirrors %d entries, live %d",
+					n.ID(), tgt, len(mr.ct), p.ct.size())
+			}
+			if len(mr.pending) != len(p.pending) {
+				t.Fatalf("node %s → %s: mirrors %d pending walks, live %d",
+					n.ID(), tgt, len(mr.pending), len(p.pending))
+			}
+			for reqID, pp := range p.pending {
+				if mr.pending[reqID] != pp.q {
+					t.Fatalf("node %s → %s: pending walk %d not mirrored", n.ID(), tgt, reqID)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no replica links to check")
+	}
+}
+
+// TestMirrorsTrackLiveState drives a mixed workload — including an
+// aggregate and a DISTINCT query, tuple GC, runtime joins, leaves and
+// crashes — and asserts at quiescence that every mirror is exactly the
+// primary's keyed state: the invariant promotion's zero-loss guarantee
+// rests on. GC matters here: collected tuples must leave the mirror
+// too (opRemoveTuple), or mirrors grow unboundedly relative to their
+// primaries.
+func TestMirrorsTrackLiveState(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		cfg := replCfg(k)
+		cfg.TupleGC = true
+		cfg.MaxWindowHint = 8
+		eng, nodes := testNet(t, 32, 19, cfg, churnNetCfg())
+		for _, sql := range []string{
+			"select R.B, S.B from R,S where R.A=S.A",
+			"select distinct S.B from R,S where R.A=S.A",
+			"select R.A, count(*) from R,S where R.A=S.A group by R.A",
+		} {
+			if _, err := eng.SubmitQuery(nodes[1], sqlparse.MustParse(sql, testCat)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		for i := 0; i < 80; i++ {
+			alive := eng.Ring().Nodes()
+			eng.PublishTuple(alive[i%len(alive)], mkTuple("R", int64(i%2), int64(i), 0))
+			eng.PublishTuple(alive[(i+3)%len(alive)], mkTuple("S", int64(i%2), int64(i%5), 0))
+			eng.RunUntil(eng.Sim().Now() + 2)
+			switch i {
+			case 20:
+				if _, err := eng.JoinNode(eng.Ring().Nodes()[0].ID() + 1); err != nil {
+					t.Fatal(err)
+				}
+			case 40:
+				alive := eng.Ring().Nodes()
+				if err := eng.LeaveNode(alive[len(alive)/2]); err != nil {
+					t.Fatal(err)
+				}
+			case 60:
+				alive := eng.Ring().Nodes()
+				if err := eng.CrashNode(alive[len(alive)/3]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			eng.Ring().TickStabilize()
+			eng.Run()
+		}
+		eng.Run()
+		mirrorsTrackLiveState(t, eng)
+		if eng.Counters.ReplUpdates == 0 || eng.Counters.ReplOps == 0 {
+			t.Fatalf("k=%d: replication shipped nothing", k)
+		}
+		if eng.Counters.TuplesCollected == 0 {
+			t.Fatalf("k=%d: tuple GC never fired; the GC-mirroring path went unexercised", k)
+		}
+	}
+}
+
+// TestPromoteeCrashCountsMirrorLoss: the promotee itself crashes in the
+// same tick, before the scheduled promotion fires. The mirror died with
+// it — the promotion must surface that as counted loss rather than
+// silently dropping the dead node's state while the loss counters read
+// zero (the accounting hole a replicated run must never have).
+func TestPromoteeCrashCountsMirrorLoss(t *testing.T) {
+	eng, nodes := testNet(t, 48, 13, replCfg(2), churnNetCfg())
+	if _, err := eng.SubmitQuery(nodes[1], sqlparse.MustParse(
+		"select R.B, S.B from R,S where R.A=S.A", testCat)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	for i := 0; i < 16; i++ {
+		eng.PublishTuple(nodes[i%len(nodes)], mkTuple("R", int64(i%4), int64(i), 0))
+	}
+	eng.Run()
+	victim := rewriteHolder(eng)
+	if victim == nil {
+		t.Fatal("no rewritten state to crash")
+	}
+	if err := eng.CrashNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Same tick, before the promotion event runs: the promotee goes
+	// down too.
+	promotee := eng.Ring().Owner(victim.ID())
+	if promotee == nil {
+		t.Fatal("no promotee")
+	}
+	if err := eng.CrashNode(promotee); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	lost := eng.Counters.RewritesLost + eng.Counters.TuplesLost + eng.Counters.QueriesLost
+	if lost == 0 {
+		t.Fatal("double crash silently dropped the first victim's mirror: loss counters all zero")
+	}
+}
+
+// TestCrashDuringPlacementWalk: the submitting node crashes while the
+// input query's RIC placement walk is still in flight — before any
+// handler ran on it. The walk's mirror op must be flushed at
+// submission (coordinator context has no trailing handler flush), so
+// promotion restarts the walk and the stream stays exact.
+func TestCrashDuringPlacementWalk(t *testing.T) {
+	eng, nodes := testNet(t, 48, 21, replCfg(2), churnNetCfg())
+	q := "select R.B, S.B from R,S where R.A=S.A"
+	qid, err := eng.SubmitQuery(nodes[0], sqlparse.MustParse(q, testCat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Run: the walk is pending at nodes[0] when it crashes.
+	if len(eng.procs[nodes[0].ID()].pending) == 0 {
+		t.Fatal("submission left no pending walk; placement completed synchronously")
+	}
+	if err := eng.CrashNode(nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		eng.Ring().TickStabilize()
+	}
+	eng.Run()
+
+	var published []*relation.Tuple
+	for i := 0; i < 10; i++ {
+		r := mkTuple("R", int64(i%3), int64(i), 0)
+		s := mkTuple("S", int64(i%3), int64(40+i), 0)
+		published = append(published, r, s)
+		alive := eng.Ring().Nodes()
+		eng.PublishTuple(alive[i%len(alive)], r)
+		eng.PublishTuple(alive[(i+3)%len(alive)], s)
+		eng.Run()
+	}
+
+	want := expectedBag(t, q, published)
+	got := answerBag(eng, qid)
+	if len(want) == 0 {
+		t.Fatal("reference produced no answers")
+	}
+	if !bagsEqual(got, want) {
+		t.Fatalf("crash during the placement walk lost the query: got %d rows, want %d", len(got), len(want))
+	}
+	if eng.Counters.QueriesLost != 0 {
+		t.Fatalf("replicated crash counted %d queries lost", eng.Counters.QueriesLost)
+	}
+}
+
+// TestMoveNodeKeepsMirrorsConsistent: identifier movement re-homes
+// stored keys wholesale; the forced resync must rebuild every mirror
+// exactly, with moved queries re-numbered into their destination's
+// replication-identity namespace (colliding sqIDs would corrupt the
+// mirror's index and promote the wrong DISTINCT memory later).
+func TestMoveNodeKeepsMirrorsConsistent(t *testing.T) {
+	eng, nodes := testNet(t, 32, 23, replCfg(2), churnNetCfg())
+	for _, sql := range []string{
+		"select R.B, S.B from R,S where R.A=S.A",
+		"select distinct S.B from R,S where R.A=S.A",
+	} {
+		if _, err := eng.SubmitQuery(nodes[1], sqlparse.MustParse(sql, testCat)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	for i := 0; i < 16; i++ {
+		eng.PublishTuple(nodes[i%len(nodes)], mkTuple("R", int64(i%3), int64(i), 0))
+		eng.PublishTuple(nodes[(i+5)%len(nodes)], mkTuple("S", int64(i%3), int64(i%4), 0))
+		eng.Run()
+	}
+	// Move the heaviest rewrite holder to the far side of the ring.
+	victim := rewriteHolder(eng)
+	if victim == nil {
+		t.Fatal("no rewritten state stored")
+	}
+	if _, err := eng.MoveNode(victim, victim.ID()+1<<60); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	mirrorsTrackLiveState(t, eng)
+}

@@ -73,6 +73,14 @@ type Counters struct {
 	QueriesLost      int64 // input-query state dropped with no recovery possible
 	RewritesLost     int64 // rewritten-query state dropped by crashes
 	TuplesLost       int64 // stored tuples and ALTT entries dropped by crashes
+
+	// Replication bookkeeping (see replicate.go).
+	ReplUpdates         int64 // replica-update messages shipped (batches × targets)
+	ReplOps             int64 // state operations those messages carried
+	ReplStale           int64 // batches dropped as replays, reorder remnants or misdirections
+	ReplSyncs           int64 // full-snapshot streams opened by group repair
+	ReplPromotions      int64 // crashed nodes whose mirror a replica promoted
+	ReplEntriesPromoted int64 // state entries re-indexed by those promotions
 }
 
 // add accumulates every count of o into c — the barrier merge of the
@@ -110,6 +118,12 @@ func (c *Counters) add(o *Counters) {
 	c.QueriesLost += o.QueriesLost
 	c.RewritesLost += o.RewritesLost
 	c.TuplesLost += o.TuplesLost
+	c.ReplUpdates += o.ReplUpdates
+	c.ReplOps += o.ReplOps
+	c.ReplStale += o.ReplStale
+	c.ReplSyncs += o.ReplSyncs
+	c.ReplPromotions += o.ReplPromotions
+	c.ReplEntriesPromoted += o.ReplEntriesPromoted
 }
 
 // Engine runs RJoin over an overlay: it owns one Proc per DHT node,
@@ -199,6 +213,10 @@ func NewEngine(ring *chord.Ring, se *sim.Engine, net *overlay.Network, cfg Confi
 	for _, n := range ring.Nodes() {
 		e.NodeJoined(n)
 	}
+	// Establish the initial replica groups. Streams open lazily with
+	// their first update batch — no state exists yet — so a fresh engine
+	// pays no replication traffic until something mutates.
+	e.replRepair()
 	return e
 }
 
@@ -284,6 +302,11 @@ func (e *Engine) SubmitQuery(owner *chord.Node, q *query.Query) (string, error) 
 	// place may drop (and pool-Release) an unplaceable query, so the ID
 	// must be captured before it runs.
 	p.place(e.sim.Now(), q)
+	// Submission runs in coordinator context, outside any handler, so
+	// the placement walk it may have mirrored (opAddPending) must flush
+	// here — otherwise a crash of the submitting node before its next
+	// handled message would lose the walk without any mirror knowing.
+	p.replFlush()
 	return qid, nil
 }
 

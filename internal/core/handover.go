@@ -117,11 +117,20 @@ func buildFullHandover(p *Proc, to id.ID) []*handoverMsg {
 // belong to the freshly joined node n (ground truth after the join) and
 // returns it as handover messages addressed to n. Candidate-table
 // entries and pending placements stay: they are bound to sp itself, not
-// to the keys it stores.
+// to the keys it stores. Every moved key is dropped from sp's replica
+// mirrors (it is no longer sp's to guarantee; n re-replicates it on
+// arrival), keeping groups consistent as ownership moves.
 func buildArcHandover(e *Engine, sp *Proc, n *chord.Node) []*handoverMsg {
 	moved := func(key relation.Key) bool {
 		o := e.ring.Owner(key.ID())
 		return o != nil && o.ID() == n.ID()
+	}
+	dropped := make(map[relation.Key]bool)
+	drop := func(key relation.Key) {
+		if !dropped[key] {
+			dropped[key] = true
+			sp.replDropKey(key)
+		}
 	}
 	b := &handoverBuilder{from: sp.node.ID(), to: n.ID()}
 	for _, key := range sortedStateKeys(sp.queries) {
@@ -133,6 +142,7 @@ func buildArcHandover(e *Engine, sp *Proc, n *chord.Node) []*handoverMsg {
 			c.Queries = append(c.Queries, sq)
 		}
 		delete(sp.queries, key)
+		drop(key)
 	}
 	for _, key := range sortedStateKeys(sp.tuples) {
 		if !moved(key) {
@@ -143,6 +153,7 @@ func buildArcHandover(e *Engine, sp *Proc, n *chord.Node) []*handoverMsg {
 			c.Tuples = append(c.Tuples, handedTuple{Key: key, T: t})
 		}
 		delete(sp.tuples, key)
+		drop(key)
 	}
 	for _, key := range sortedStateKeys(sp.altt) {
 		if !moved(key) {
@@ -153,6 +164,7 @@ func buildArcHandover(e *Engine, sp *Proc, n *chord.Node) []*handoverMsg {
 			c.ALTT = append(c.ALTT, handedALTT{Key: key, E: en})
 		}
 		delete(sp.altt, key)
+		drop(key)
 	}
 	for _, key := range sortedStateKeys(sp.stats) {
 		if !moved(key) {
@@ -169,7 +181,9 @@ func buildArcHandover(e *Engine, sp *Proc, n *chord.Node) []*handoverMsg {
 		c := b.chunk()
 		c.Aggs = append(c.Aggs, handedAgg{Key: key, G: sp.aggs[key]})
 		delete(sp.aggs, key)
+		drop(key)
 	}
+	sp.replFlush()
 	return b.msgs
 }
 
@@ -230,6 +244,7 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 			continue
 		}
 		p.queries[sq.key] = append(p.queries[sq.key], sq)
+		p.replQueryAdd(sq) // handed-over state re-replicates at its new home
 	}
 	for _, h := range m.Tuples {
 		if canForward && !p.ownsKey(h.Key) {
@@ -242,6 +257,7 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 			continue
 		}
 		p.tuples[h.Key] = append(p.tuples[h.Key], h.T)
+		p.replTupleAdd(h.Key, h.T)
 	}
 	for _, h := range m.ALTT {
 		if canForward && !p.ownsKey(h.Key) {
@@ -254,6 +270,7 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 			continue
 		}
 		p.insertALTT(h.Key, h.E)
+		p.replALTTAdd(h.Key, h.E)
 	}
 	for _, h := range m.Stats {
 		if canForward && !p.ownsKey(h.Key) {
@@ -272,10 +289,11 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 		}
 	}
 	for _, info := range m.CT {
-		p.ct.merge(info)
+		p.ctMerge(info)
 	}
 	for _, h := range m.Pending {
 		p.pending[h.ReqID] = h.PP
+		p.replPendingAdd(h.ReqID, h.PP.q)
 	}
 	for _, h := range m.Aggs {
 		if canForward && !p.ownsKey(h.Key) {
@@ -287,6 +305,9 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 			p.ctr.AggStateLost += h.G.epochCount()
 			continue
 		}
+		// Mirror the transferred delta before merging: mergeInto moves
+		// the partial pointers into the destination group.
+		p.replAggMerge(h.Key, h.G)
 		if cur, ok := p.aggs[h.Key]; ok {
 			// Partials for this group reached the new owner before the
 			// handover landed: merge the transferred epochs in and mark
@@ -330,6 +351,9 @@ func (p *Proc) insertALTT(key relation.Key, e alttEntry) {
 // state elsewhere converges through periodic stabilization; until then,
 // stale deliveries heal through the ownership re-route path.
 func (e *Engine) JoinNode(nid id.ID) (*chord.Node, error) {
+	// Clear any mirrors an earlier incarnation of this identifier left
+	// behind, so its dead streams cannot shadow the new node's.
+	e.replForgetOrigin(nid)
 	n, err := e.ring.Join(nid)
 	if err != nil {
 		return nil, err
@@ -341,6 +365,9 @@ func (e *Engine) JoinNode(nid id.ID) (*chord.Node, error) {
 			e.sendHandover(succ, n.ID(), buildArcHandover(e, sp, n))
 		}
 	}
+	// The join shifts the successor lists of the new node's
+	// predecessors: re-form the affected replica groups.
+	e.replRepair()
 	return n, nil
 }
 
@@ -365,19 +392,41 @@ func (e *Engine) LeaveNode(n *chord.Node) error {
 	} else {
 		e.countLostState(p)
 	}
+	// The departed node's mirrors are obsolete: its state lives on at
+	// the successor (which re-replicates it as its own on arrival), or
+	// is already counted lost. Update batches still in flight to a
+	// dropped mirror are discarded by the stream versioning.
+	if p.repl != nil {
+		p.repl.outbox = nil
+		for _, t := range p.repl.links.Targets() {
+			e.replDropMirror(n.ID(), t)
+		}
+	}
 	e.ring.Leave(n)
 	e.NodeLeft(n)
+	e.replRepair()
 	return nil
 }
 
-// CrashNode removes a node abruptly: its stored state is gone, the ring
-// repairs through stabilization, and the engine recovers what can be
-// recovered — every input (Depth 0) continuous query the dead node was
-// storing or placing is re-indexed from its owner's side, preserving
-// its identity and insertion time so the stream picks up where the
-// crash cut it. Rewritten queries and stored tuples are lost and
-// counted; answers they would have produced are the crash's answer
-// loss.
+// CrashNode removes a node abruptly. Without replication its stored
+// state is gone: the engine re-indexes every input (Depth 0) continuous
+// query the dead node was storing or placing from its owner's side
+// (preserving identity and insertion time so the stream picks up where
+// the crash cut it), while rewritten queries, stored tuples and
+// aggregator partials are lost and counted — answers they would have
+// produced are the crash's answer loss.
+//
+// With ReplicationFactor >= 2 and a surviving replica, nothing is
+// lost: the first live member of the dead node's replica group — the
+// node the ring now routes its keys to — promotes its mirror,
+// re-indexing the state at its exact keys and re-replicating it.
+// Promotion is scheduled rather than inline so replica updates the dead
+// node flushed before crashing (strictly earlier event sequence
+// numbers) land in the mirror first; every message bounced off the
+// dead node re-routes with a later sequence and finds the promoted
+// state. In-flight placement walks are mirrored too (rewrites included
+// — without the mirror they exist only at the walk's origin) and
+// restart at the promotee.
 func (e *Engine) CrashNode(n *chord.Node) error {
 	p, ok := e.procs[n.ID()]
 	if !ok {
@@ -386,40 +435,83 @@ func (e *Engine) CrashNode(n *chord.Node) error {
 	e.ring.Fail(n)
 	e.NodeLeft(n)
 
+	// Mirrors the dead node held for other origins died with it: a
+	// promotion already scheduled against one of them must count loss
+	// instead of resurrecting state through its stale pointer.
+	for _, ib := range p.replInboxes {
+		ib.dead = true
+	}
+
 	now := e.sim.Now()
+	promotee, replicated := e.replPromotee(p)
+
 	// Lost placements of input queries, deterministically ordered.
+	// Under promotion the stored queries survive in the mirror, so only
+	// the pending placement walks need engine-side recovery.
 	type lostPlacement struct {
 		q     *query.Query
 		key   relation.Key
 		level query.Level
 	}
 	var lost []lostPlacement
-	for _, key := range sortedStateKeys(p.queries) {
-		for _, sq := range p.queries[key] {
+	if !replicated {
+		for _, key := range sortedStateKeys(p.queries) {
+			for _, sq := range p.queries[key] {
+				switch {
+				case sq.q.Depth == 0 && !sq.q.OneTime:
+					lost = append(lost, lostPlacement{q: sq.q, key: sq.key, level: sq.level})
+				case sq.q.Depth == 0:
+					e.Counters.QueriesLost++
+				default:
+					e.Counters.RewritesLost++
+				}
+			}
+		}
+	}
+	// In-flight placement walks. Under promotion the mirror carries
+	// them — every walk restarts at the promotee, rewrites included —
+	// so the engine-side pass only runs for the unreplicated model.
+	var rePlace []*query.Query
+	if !replicated {
+		for _, reqID := range sortedReqIDs(p.pending) {
+			pp := p.pending[reqID]
 			switch {
-			case sq.q.Depth == 0 && !sq.q.OneTime:
-				lost = append(lost, lostPlacement{q: sq.q, key: sq.key, level: sq.level})
-			case sq.q.Depth == 0:
+			case pp.q.Depth == 0 && !pp.q.OneTime:
+				rePlace = append(rePlace, pp.q)
+			case pp.q.Depth == 0:
 				e.Counters.QueriesLost++
 			default:
 				e.Counters.RewritesLost++
 			}
 		}
 	}
-	var rePlace []*query.Query
-	for _, reqID := range sortedReqIDs(p.pending) {
-		pp := p.pending[reqID]
-		switch {
-		case pp.q.Depth == 0 && !pp.q.OneTime:
-			rePlace = append(rePlace, pp.q)
-		case pp.q.Depth == 0:
-			e.Counters.QueriesLost++
-		default:
-			e.Counters.RewritesLost++
+	if replicated {
+		// Surviving replicas other than the promotee hold mirrors of the
+		// dead node that will never be promoted; discard them. The
+		// promotee's mirror stays (referenced by the scheduled
+		// promotion, which consumes it even if the promotee departs
+		// before the event fires — or counts it as loss if it cannot).
+		var promoIb *replInbox
+		if pp, ok := e.procs[promotee]; ok {
+			promoIb = pp.replInboxes[n.ID()]
+		}
+		for _, t := range p.repl.links.Targets() {
+			if t != promotee {
+				e.replDropMirror(n.ID(), t)
+			}
+		}
+		e.schedulePromotion(n.ID(), promotee, promoIb)
+	} else {
+		// No promotion possible: count the loss and discard every
+		// mirror of the dead origin so nothing lingers unconsumed.
+		e.countLostTuples(p)
+		e.countLostAggState(p)
+		if p.repl != nil {
+			for _, t := range p.repl.links.Targets() {
+				e.replDropMirror(n.ID(), t)
+			}
 		}
 	}
-	e.countLostTuples(p)
-	e.countLostAggState(p)
 
 	// Coordinator-context section: crash recovery sends originate from
 	// many different recovery homes, so the tag scopes to every lane.
@@ -451,8 +543,12 @@ func (e *Engine) CrashNode(n *chord.Node) error {
 			}
 			e.Counters.QueriesRecovered++
 			hp.place(now, q.Clone())
+			hp.replFlush() // coordinator context: ship the walk's mirror op now
 		}
 	})
+	// Every group the dead node belonged to lost a member: re-form them
+	// (origins stream fresh snapshots to their new k−1th successors).
+	e.replRepair()
 	return nil
 }
 

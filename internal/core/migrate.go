@@ -35,6 +35,7 @@ func (e *Engine) MoveNode(n *chord.Node, newID id.ID) (*chord.Node, error) {
 	e.QPL.Rename(n.ID(), nn.ID())
 	e.SL.Rename(n.ID(), nn.ID())
 	e.net.RenameNode(n.ID(), nn.ID())
+	e.replForgetOrigin(n.ID()) // mirrors of the vacated identifier are dead
 	e.RehomeKeys()
 	return nn, nil
 }
@@ -59,6 +60,12 @@ func (e *Engine) RehomeKeys() int {
 			if dst == nil || dst == p {
 				continue
 			}
+			// Replication identities are per-proc namespaces: a moved
+			// query must be re-numbered at its destination, or the
+			// resync snapshot would emit colliding sqIDs.
+			for _, sq := range list {
+				sq.replID = 0
+			}
 			dst.queries[key] = append(dst.queries[key], list...)
 			delete(p.queries, key)
 			moved += len(list)
@@ -82,6 +89,10 @@ func (e *Engine) RehomeKeys() int {
 			moved += len(list)
 		}
 	}
+	// Identifier movement redistributes keys wholesale; incremental
+	// drop/add mirroring cannot track it, so replication rebuilds every
+	// stream from a fresh snapshot.
+	e.replResyncAll()
 	return moved
 }
 

@@ -9,6 +9,7 @@ import (
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
+	"rjoin/internal/replication"
 	"rjoin/internal/sim"
 )
 
@@ -29,6 +30,12 @@ type storedQuery struct {
 	// future work) and are maintained only when migration is enabled.
 	triggers int
 	combined []int64
+
+	// replID is the identity replica-update streams reference this
+	// stored copy by (see replicate.go); zero when replication is off.
+	// It is local to the node currently storing the query: handover
+	// re-assigns it at the new home.
+	replID int64
 }
 
 // allowTrigger implements the DISTINCT rule: a tuple may trigger the
@@ -41,15 +48,19 @@ func (sq *storedQuery) allowTrigger(t *relation.Tuple) bool {
 	return !sq.seen[sq.q.TriggerProjection(t)]
 }
 
-// markTrigger records a successful trigger's projection.
-func (sq *storedQuery) markTrigger(t *relation.Tuple) {
+// markTrigger records a successful trigger's projection and returns it
+// ("" for non-DISTINCT queries), so the replication hook can mirror the
+// consumed projection without rendering it a second time.
+func (sq *storedQuery) markTrigger(t *relation.Tuple) string {
 	if !sq.q.Distinct {
-		return
+		return ""
 	}
+	proj := sq.q.TriggerProjection(t)
 	if sq.seen == nil {
 		sq.seen = make(map[string]bool)
 	}
-	sq.seen[sq.q.TriggerProjection(t)] = true
+	sq.seen[proj] = true
+	return proj
 }
 
 // noteCombine records a successful combination for the migration
@@ -126,6 +137,13 @@ type Proc struct {
 	stats   map[relation.Key]*rateStat
 	ct      *candidateTable
 	pending map[int64]*pendingPlacement
+
+	// Replication state (see replicate.go): repl is the origin side
+	// (targets, streams, the per-handler op batch), nil when
+	// Config.ReplicationFactor < 2; replInboxes holds the mirrors this
+	// node maintains as a replica, keyed by origin.
+	repl        *procRepl
+	replInboxes map[id.ID]*replInbox
 }
 
 func newProc(eng *Engine, node *chord.Node) *Proc {
@@ -139,6 +157,10 @@ func newProc(eng *Engine, node *chord.Node) *Proc {
 		stats:   make(map[relation.Key]*rateStat),
 		ct:      newCandidateTable(),
 		pending: make(map[int64]*pendingPlacement),
+	}
+	if eng.Cfg.ReplicationFactor >= 2 {
+		p.repl = &procRepl{links: replication.NewLinks()}
+		p.replInboxes = make(map[id.ID]*replInbox)
 	}
 	if eng.par {
 		p.shard = sim.ShardOfID(uint64(node.ID()))
@@ -173,7 +195,10 @@ func (p *Proc) nextReqID() int64 {
 // everything they retain. Keyed messages that arrive at a node that no
 // longer owns their key (stale routing state mid-churn) are re-routed
 // before any processing, and are not recycled on that path: they are
-// still in flight.
+// still in flight. Handlers that mutate keyed state leave replication
+// operations in the outbox; the trailing replFlush ships them as one
+// batch per replica target, so a mirror is never more than one handler
+// behind its primary.
 func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 	switch m := msg.(type) {
 	case *tupleMsg:
@@ -213,7 +238,10 @@ func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 		p.onRICReply(now, m)
 	case *handoverMsg:
 		p.onHandover(now, m)
+	case *replUpdateMsg:
+		p.onReplUpdate(now, m)
 	}
+	p.replFlush()
 }
 
 // maxReroutes bounds ownership-correction forwarding so a message
@@ -287,10 +315,12 @@ func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 			// window when triggered is deleted.
 			if sq.q.Depth > 0 && sq.q.Window.Enabled() && !sq.q.Window.Valid(sq.q.Start, clock) {
 				p.ctr.QueriesExpired++
+				p.replQueryRemove(sq)
 				continue
 			}
 			p.tryTrigger(now, sq, m.T)
 			if p.eng.Cfg.EnableMigration && p.maybeMigrate(now, sq) {
+				p.replQueryRemove(sq)
 				continue // relocated to a colder candidate
 			}
 			kept = append(kept, sq)
@@ -305,8 +335,10 @@ func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 	if m.Level == query.ValueLevel {
 		p.storeTuple(now, m.Key, m.T)
 	} else if p.eng.delta >= 0 {
-		p.altt[m.Key] = append(p.altt[m.Key], alttEntry{t: m.T, expireAt: now + sim.Time(p.eng.delta)})
+		e := alttEntry{t: m.T, expireAt: now + sim.Time(p.eng.delta)}
+		p.altt[m.Key] = append(p.altt[m.Key], e)
 		p.ctr.ALTTStored++
+		p.replALTTAdd(m.Key, e)
 	}
 }
 
@@ -345,8 +377,9 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	if clock > q2.AggClock {
 		q2.AggClock = clock // completion clock: max over combined tuples
 	}
-	sq.markTrigger(t)
+	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
+	p.replTrigger(sq, t, proj)
 	p.dispatch(now, q2)
 }
 
@@ -364,8 +397,9 @@ func (p *Proc) completeTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple)
 	if !ok {
 		return
 	}
-	sq.markTrigger(t)
+	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
+	p.replTrigger(sq, t, proj)
 	p.ctr.RewritesCreated++
 	if sq.q.Depth+1 >= 2 {
 		p.ctr.DeepRewrites++
@@ -387,6 +421,7 @@ func (p *Proc) storeTuple(now sim.Time, key relation.Key, t *relation.Tuple) {
 	p.tuples[key] = append(p.tuples[key], t)
 	p.sl.Add(p.node.ID(), 1)
 	p.ctr.TuplesStored++
+	p.replTupleAdd(key, t)
 
 	cfg := p.eng.Cfg
 	if cfg.TupleGC && cfg.MaxWindowHint > 0 && len(p.tuples[key])%32 == 0 {
@@ -396,6 +431,7 @@ func (p *Proc) storeTuple(now sim.Time, key relation.Key, t *relation.Tuple) {
 			// Conservative: drop only when out of reach on both clocks.
 			if seqNow-old.PubSeq > cfg.MaxWindowHint && timeNow-old.PubTime > cfg.MaxWindowHint {
 				p.ctr.TuplesCollected++
+				p.replTupleRemove(key, old.PubSeq)
 				continue
 			}
 			kept = append(kept, old)
@@ -432,7 +468,7 @@ func (p *Proc) alttScan(key relation.Key, now sim.Time) []alttEntry {
 // covers rewritten queries placed at attribute level per Section 6).
 func (p *Proc) onEval(now sim.Time, m *evalMsg) {
 	for _, info := range m.RIC {
-		p.ct.merge(info)
+		p.ctMerge(info)
 	}
 	sq := &storedQuery{q: m.Q, key: m.Key, level: m.Level, agg: m.Q.IsAggregate()}
 	if m.Q.OneTime {
@@ -444,6 +480,7 @@ func (p *Proc) onEval(now sim.Time, m *evalMsg) {
 		}
 	} else {
 		p.queries[m.Key] = append(p.queries[m.Key], sq)
+		p.replQueryAdd(sq)
 		if m.Q.Depth > 0 {
 			p.qpl.Add(p.node.ID(), 1)
 			p.sl.Add(p.node.ID(), 1)
@@ -501,8 +538,9 @@ func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	if clock > q2.AggClock {
 		q2.AggClock = clock
 	}
-	sq.markTrigger(t)
+	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
+	p.replTrigger(sq, t, proj)
 	p.dispatch(now, q2)
 }
 
@@ -680,6 +718,7 @@ func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
 	})
 	reqID := p.nextReqID()
 	p.pending[reqID] = &pendingPlacement{q: q, cands: cands, known: known}
+	p.replPendingAdd(reqID, q)
 	p.ctr.RICRequests++
 	req := &ricRequestMsg{Origin: p.node.ID(), ReqID: reqID, Pending: unknown}
 	p.eng.net.WithTag(p.node, TagRIC, func() {
@@ -716,9 +755,10 @@ func (p *Proc) onRICReply(now sim.Time, m *ricReplyMsg) {
 		return
 	}
 	delete(p.pending, m.ReqID)
+	p.replPendingRemove(m.ReqID)
 	p.ctr.RICReplies++
 	for _, info := range m.Got {
-		p.ct.merge(info)
+		p.ctMerge(info)
 		pp.known = append(pp.known, info)
 	}
 	p.decide(pp.q, pp.cands, pp.known)

@@ -481,19 +481,21 @@ func Fig9(p Params) []*metrics.Table {
 }
 
 // All runs every figure and returns the tables keyed by figure id, in
-// paper order. The churn figure ("churn") is this reproduction's own
-// extension: the paper measures a stable overlay only.
+// paper order. The churn ("churn") and recovery ("recovery") figures
+// are this reproduction's own extensions: the paper measures a stable
+// overlay only.
 func All(p Params) map[string][]*metrics.Table {
 	f7, f8 := Fig7And8(p)
 	return map[string][]*metrics.Table{
-		"2":     Fig2(p),
-		"3":     Fig3(p),
-		"4":     Fig4(p),
-		"5":     Fig5(p),
-		"6":     Fig6(p),
-		"7":     f7,
-		"8":     f8,
-		"9":     Fig9(p),
-		"churn": FigChurn(p),
+		"2":        Fig2(p),
+		"3":        Fig3(p),
+		"4":        Fig4(p),
+		"5":        Fig5(p),
+		"6":        Fig6(p),
+		"7":        f7,
+		"8":        f8,
+		"9":        Fig9(p),
+		"churn":    FigChurn(p),
+		"recovery": FigRecovery(p),
 	}
 }

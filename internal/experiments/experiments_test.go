@@ -154,6 +154,53 @@ func TestFigChurnShapes(t *testing.T) {
 	}
 }
 
+// TestFigRecoveryShapes is the durability acceptance criterion: under
+// the crash-heavy trace, the unreplicated run (k=1) loses answers while
+// every replicated factor (k >= 2) reports completeness recall 1.0 with
+// RewritesLost == TuplesLost == AggStateLost == 0 — and pays a visible,
+// factor-proportional replication overhead for it.
+func TestFigRecoveryShapes(t *testing.T) {
+	p := tiny()
+	tabs := FigRecovery(p)
+	if len(tabs) != 2 {
+		t.Fatalf("FigRecovery returned %d tables", len(tabs))
+	}
+	dur, over := tableWrap{tabs[0].Rows}, tableWrap{tabs[1].Rows}
+	// Row order: static ref, k=1, k=2, k=3.
+	if cell(dur, 0, 1) != 0 {
+		t.Fatal("static reference crashed nodes")
+	}
+	if cell(dur, 1, 1) == 0 {
+		t.Fatal("crash trace performed no crashes")
+	}
+	if cell(dur, 1, 2) >= 1 || cell(dur, 1, 3) == 0 {
+		t.Fatalf("k=1 should lose answers under crashes: recall %v, lost %v",
+			cell(dur, 1, 2), cell(dur, 1, 3))
+	}
+	for _, row := range []int{2, 3} {
+		if r := cell(dur, row, 2); r != 1 {
+			t.Errorf("row %d: replicated recall %v, want 1.0", row, r)
+		}
+		if lost, dup := cell(dur, row, 3), cell(dur, row, 4); lost != 0 || dup != 0 {
+			t.Errorf("row %d: lost=%v duplicated=%v, want exactly-once", row, lost, dup)
+		}
+		for col := 5; col <= 8; col++ { // queries/rewrites/tuples/agg lost
+			if v := cell(dur, row, col); v != 0 {
+				t.Errorf("row %d col %d: counted loss %v under replication", row, col, v)
+			}
+		}
+		if cell(dur, row, 9) == 0 {
+			t.Errorf("row %d: crashes promoted no mirrors", row)
+		}
+	}
+	if cell(over, 1, 1) != 0 {
+		t.Fatal("k=1 paid replication traffic")
+	}
+	if k2, k3 := cell(over, 2, 1), cell(over, 3, 1); k2 == 0 || k3 <= k2 {
+		t.Fatalf("replication overhead not factor-proportional: k=2 %v, k=3 %v", k2, k3)
+	}
+}
+
 func TestAllRunsEveryFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("All() runs every experiment")
@@ -161,7 +208,7 @@ func TestAllRunsEveryFigure(t *testing.T) {
 	p := tiny()
 	p.Queries = 500
 	all := All(p)
-	for _, figID := range []string{"2", "3", "4", "5", "6", "7", "8", "9", "churn"} {
+	for _, figID := range []string{"2", "3", "4", "5", "6", "7", "8", "9", "churn", "recovery"} {
 		tabs, ok := all[figID]
 		if !ok || len(tabs) == 0 {
 			t.Fatalf("figure %s missing", figID)

@@ -597,6 +597,31 @@ func (nw *Network) Transfer(from *chord.Node, to id.ID, msg Message) bool {
 // a clean departure into message loss.
 func (nw *Network) FlushNode(from *chord.Node) { nw.flush(nw.actorFor(from), from) }
 
+// TagRepl is the traffic tag replica-update fan-out is charged under,
+// so the recovery experiment can report the durability overhead as its
+// own share of total traffic, like "ric" does for placement polling.
+const TagRepl = "repl"
+
+// ReplicateTo fans one batch of state mutations out to a replica group:
+// mk builds the per-target copy (each recipient needs its own message —
+// streams are versioned per link), and every copy is delivered as a
+// direct, instantaneous transfer charged under TagRepl. Delivery is
+// Transfer-like by design: a primary-backup protocol acknowledges a
+// mutation only once its backups hold it, which the simulation models
+// as the mirror being current before any ≥ one-hop message can observe
+// the effects of the mutation. The copies are on the wire — one charged
+// message per target — they just cannot be overtaken.
+func (nw *Network) ReplicateTo(from *chord.Node, targets []id.ID, mk func(target id.ID) Message) {
+	if len(targets) == 0 {
+		return
+	}
+	nw.WithTag(from, TagRepl, func() {
+		for _, t := range targets {
+			nw.Transfer(from, t, mk(t))
+		}
+	})
+}
+
 // MultiSend delivers msgs[j] to Successor(keys[j]) for every j. With
 // grouping disabled each delivery is an independent O(log N) lookup
 // (cost h*O(log N) as in Section 2); with grouping enabled deliveries

@@ -132,3 +132,68 @@ func TestOneTimeQueryPublicAPI(t *testing.T) {
 		t.Fatalf("one-time query answered future tuples: %d", sub.Count())
 	}
 }
+
+// TestReplicationFactorValidated: NewNetwork rejects a negative factor
+// and a factor above the node count (a key cannot have more replicas
+// than there are nodes); valid factors — including the degenerate 0/1
+// that disable replication — still construct.
+func TestReplicationFactorValidated(t *testing.T) {
+	if _, err := NewNetwork(Options{Nodes: 8, ReplicationFactor: -1}); err == nil {
+		t.Fatal("negative ReplicationFactor accepted")
+	} else if !strings.Contains(err.Error(), "negative ReplicationFactor") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if _, err := NewNetwork(Options{Nodes: 8, ReplicationFactor: 9}); err == nil {
+		t.Fatal("ReplicationFactor above node count accepted")
+	} else if !strings.Contains(err.Error(), "exceeds node count") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	for _, k := range []int{0, 1, 2, 8} {
+		if _, err := NewNetwork(Options{Nodes: 8, ReplicationFactor: k}); err != nil {
+			t.Fatalf("valid ReplicationFactor %d rejected: %v", k, err)
+		}
+	}
+}
+
+// TestReplicatedCrashKeepsStream: the public-API shape of the
+// durability guarantee — with ReplicationFactor 2, crashing nodes
+// mid-stream loses no rewritten state, tuples or aggregation partials,
+// and the loss counters prove it.
+func TestReplicatedCrashKeepsStream(t *testing.T) {
+	run := func(k int) Stats {
+		net := MustNetwork(Options{Nodes: 48, Seed: 9, ReplicationFactor: k})
+		net.MustDefineRelation("R", "A", "B")
+		net.MustDefineRelation("S", "A", "B")
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+		for i := 0; i < 20; i++ {
+			net.MustPublish("R", i%5, i)
+			net.MustPublish("S", i%5, i%4)
+			net.RunFor(2)
+			if i%6 == 5 {
+				if err := net.Crash(i % net.Nodes()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			net.Run()
+		}
+		net.Run()
+		return net.Stats()
+	}
+	plain := run(0)
+	if plain.RewritesLost+plain.TuplesLost == 0 {
+		t.Fatal("unreplicated crashes lost nothing; workload too weak to prove the contrast")
+	}
+	repl := run(2)
+	if repl.RewritesLost != 0 || repl.TuplesLost != 0 || repl.AggStateLost != 0 {
+		t.Fatalf("replicated crashes lost state: %d rewrites, %d tuples, %d agg partials",
+			repl.RewritesLost, repl.TuplesLost, repl.AggStateLost)
+	}
+	if repl.ReplPromotions == 0 || repl.ReplicationMessages == 0 {
+		t.Fatalf("replication machinery unused: promotions %d, messages %d",
+			repl.ReplPromotions, repl.ReplicationMessages)
+	}
+	if repl.Answers < plain.Answers {
+		t.Fatalf("replicated run delivered fewer answers (%d) than the lossy one (%d)",
+			repl.Answers, plain.Answers)
+	}
+}

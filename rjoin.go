@@ -103,8 +103,24 @@ type Options struct {
 	// (the batch-routing future work of Section 10). Zero disables.
 	BatchWindow int64
 	// AttrReplicas spreads attribute-level keys over this many replica
-	// keys (the [18] hotspot remedy); values < 2 disable replication.
+	// keys (the [18] hotspot remedy); values < 2 disable it. This is
+	// load spreading, not durability: each replica key holds a distinct
+	// slice of the tuple stream, and a crash still loses that slice.
+	// For crash tolerance use ReplicationFactor.
 	AttrReplicas int
+	// ReplicationFactor k keeps every keyed state entry — stored
+	// queries with their DISTINCT memory, indexed tuples, ALTT and
+	// candidate-table entries, aggregation partials — on k nodes: the
+	// owner plus its k−1 ring successors. Single-node crashes then lose
+	// nothing: the surviving replica the ring routes to promotes its
+	// mirror (Stats.RewritesLost/TuplesLost/AggStateLost stay zero) and
+	// the factor is restored by re-replication. Mutations fan out as
+	// batched replica-update messages counted in Stats.ReplicationMessages.
+	// Values < 2 (the default) disable replication and keep the
+	// counted-loss crash model. Must not exceed Nodes. This is
+	// durability, not load spreading — replicas serve no traffic until
+	// promoted; to spread a hot attribute key, use AttrReplicas.
+	ReplicationFactor int
 	// Workers selects the execution mode of the event engine. 0 or 1
 	// (the default) runs the serial engine, bit-identical to previous
 	// releases. N >= 2 executes same-timestamp events in parallel on N
@@ -208,6 +224,21 @@ type Stats struct {
 	QueriesLost      int64
 	RewritesLost     int64
 	TuplesLost       int64
+
+	// Durable-state replication accounting (Options.ReplicationFactor).
+	// ReplicationMessages is the share of Messages spent mirroring
+	// state to replica groups; ReplUpdates/ReplOps count the update
+	// batches shipped and the state operations they carried; ReplSyncs
+	// counts full-snapshot streams opened by group repair after
+	// membership changes; ReplPromotions/ReplEntriesPromoted count
+	// crashed nodes whose mirror a surviving replica promoted and the
+	// state entries recovered that way. All zero with replication off.
+	ReplicationMessages int64
+	ReplUpdates         int64
+	ReplOps             int64
+	ReplSyncs           int64
+	ReplPromotions      int64
+	ReplEntriesPromoted int64
 }
 
 // Network is a simulated RJoin deployment: a Chord overlay with an
@@ -269,6 +300,13 @@ func NewNetwork(opts Options) (*Network, error) {
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("rjoin: negative worker count %d", opts.Workers)
 	}
+	if opts.ReplicationFactor < 0 {
+		return nil, fmt.Errorf("rjoin: negative ReplicationFactor %d", opts.ReplicationFactor)
+	}
+	if opts.ReplicationFactor > opts.Nodes {
+		return nil, fmt.Errorf("rjoin: ReplicationFactor %d exceeds node count %d (a key cannot have more replicas than nodes)",
+			opts.ReplicationFactor, opts.Nodes)
+	}
 	if opts.Workers > 1 {
 		if opts.MinHopDelay < 1 {
 			return nil, fmt.Errorf("rjoin: Workers %d requires MinHopDelay >= 1 (the parallel lookahead window)", opts.Workers)
@@ -313,6 +351,7 @@ func NewNetwork(opts Options) (*Network, error) {
 	cfg.EnableMigration = opts.EnableMigration
 	cfg.SubscriberSideAgg = opts.SubscriberSideAgg
 	cfg.AttrReplicas = opts.AttrReplicas
+	cfg.ReplicationFactor = opts.ReplicationFactor
 	eng := core.NewEngine(ring, se, nw, cfg)
 	mgr := churn.New(eng, churn.Config{
 		Rates:          churnRates,
@@ -526,6 +565,12 @@ func (n *Network) Stats() Stats {
 		QueriesLost:         n.eng.Counters.QueriesLost,
 		RewritesLost:        n.eng.Counters.RewritesLost,
 		TuplesLost:          n.eng.Counters.TuplesLost,
+		ReplicationMessages: n.eng.Net().TaggedTraffic(overlay.TagRepl).Total(),
+		ReplUpdates:         n.eng.Counters.ReplUpdates,
+		ReplOps:             n.eng.Counters.ReplOps,
+		ReplSyncs:           n.eng.Counters.ReplSyncs,
+		ReplPromotions:      n.eng.Counters.ReplPromotions,
+		ReplEntriesPromoted: n.eng.Counters.ReplEntriesPromoted,
 	}
 }
 
