@@ -1,0 +1,201 @@
+// Command rjoin-bench runs the repository's hot-path benchmarks as a
+// standalone harness and writes machine-readable baselines: one
+// BENCH_<area>.json per area with the median ns/op and allocs/op over
+// repeated runs, so performance trajectories live in version-controlled
+// artifacts instead of CHANGES.md prose.
+//
+// Usage:
+//
+//	rjoin-bench [-out DIR] [-runs N]
+//
+// Areas:
+//
+//	publish — the Procedure 1 publish cascade on a loaded network,
+//	          plain and with durable replication at factor 2
+//	          (BENCH_publish.json)
+//	engine  — raw event-engine throughput on a mixed workload, the
+//	          serial engine and Workers ∈ {2, 4, 8}
+//	          (BENCH_engine.json)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"rjoin"
+)
+
+// result is one benchmark's aggregated measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	MedianNsOp  float64 `json:"median_ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// area is one BENCH_<name>.json file.
+type area struct {
+	Area       string   `json:"area"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", ".", "directory to write BENCH_<area>.json files into")
+	runs := flag.Int("runs", 5, "benchmark repetitions; the median ns/op is reported")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "rjoin-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	areas := []struct {
+		name    string
+		benches []namedBench
+	}{
+		{"publish", []namedBench{
+			{"PublishTuple", publishBench(0)},
+			{"PublishTupleReplicated", publishBench(2)},
+		}},
+		{"engine", []namedBench{
+			{"EngineThroughput", engineBench(0)},
+			{"EngineThroughputWorkers2", engineBench(2)},
+			{"EngineThroughputWorkers4", engineBench(4)},
+			{"EngineThroughputWorkers8", engineBench(8)},
+		}},
+	}
+	for _, a := range areas {
+		doc := area{
+			Area:       a.name,
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		}
+		for _, nb := range a.benches {
+			doc.Benchmarks = append(doc.Benchmarks, measure(nb, *runs))
+		}
+		path := filepath.Join(*out, "BENCH_"+a.name+".json")
+		if err := writeJSON(path, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "rjoin-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+		for _, b := range doc.Benchmarks {
+			fmt.Printf("  %-26s %12.0f ns/op  %6d allocs/op  %8d B/op\n",
+				b.Name, b.MedianNsOp, b.AllocsPerOp, b.BytesPerOp)
+		}
+	}
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// measure runs one benchmark `runs` times and reports the median ns/op
+// run's measurements (median resists the warmup and scheduling noise a
+// mean would average in).
+func measure(nb namedBench, runs int) result {
+	type sample struct {
+		ns     float64
+		allocs int64
+		bytes  int64
+		n      int
+	}
+	samples := make([]sample, 0, runs)
+	for i := 0; i < runs; i++ {
+		r := testing.Benchmark(nb.fn)
+		samples = append(samples, sample{
+			ns:     float64(r.NsPerOp()),
+			allocs: r.AllocsPerOp(),
+			bytes:  r.AllocedBytesPerOp(),
+			n:      r.N,
+		})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].ns < samples[j].ns })
+	med := samples[len(samples)/2]
+	return result{
+		Name:        nb.name,
+		Runs:        runs,
+		MedianNsOp:  med.ns,
+		AllocsPerOp: med.allocs,
+		BytesPerOp:  med.bytes,
+		Iterations:  med.n,
+	}
+}
+
+// publishBench mirrors BenchmarkPublishTuple: the end-to-end cost of
+// one published tuple plus all triggered processing on a network
+// carrying 100 identical continuous queries, optionally with durable
+// replication.
+func publishBench(replication int) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := rjoin.MustNetwork(rjoin.Options{Nodes: 128, Seed: 11, ReplicationFactor: replication})
+		net.MustDefineRelation("R", "A", "B")
+		net.MustDefineRelation("S", "A", "B")
+		for i := 0; i < 100; i++ {
+			net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+		}
+		net.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.MustPublish("R", i%50, i)
+			net.Run()
+		}
+	}
+}
+
+// engineBench mirrors BenchmarkEngineThroughput(Workers): bursts of
+// publications drain together so every virtual tick has real width for
+// the parallel engine's sub-rounds; workers 0 is the serial engine.
+func engineBench(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := rjoin.MustNetwork(rjoin.Options{Nodes: 256, Seed: 13, Workers: workers})
+		net.MustDefineRelation("R", "A", "B")
+		net.MustDefineRelation("S", "A", "B")
+		for i := 0; i < 100; i++ {
+			net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+		}
+		net.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 16; j++ {
+				net.MustPublish("R", (i*16+j)%10, i)
+				net.MustPublish("S", (i*16+j)%10, i)
+			}
+			net.Run()
+		}
+	}
+}
+
+func writeJSON(path string, doc area) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

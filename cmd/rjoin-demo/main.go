@@ -3,22 +3,56 @@
 // submitted, four tuples arrive, the query is recursively rewritten and
 // re-indexed across nodes, and the answer (S.B=6, M.A=9) reaches the
 // submitting node.
+//
+// With -fig lossy it instead runs the unreliable-network figure (the
+// same experiment rjoin-experiments -fig lossy regenerates, at demo
+// scale): recall, duplication and retransmit overhead swept over
+// per-transmission drop rates, with a partition/heal cycle riding
+// along. With -lossy, the Figure 1 walkthrough itself runs on an
+// unreliable overlay — a 20% drop rate masked by the reliable channels
+// — and reports the fault counters next to the usual stats.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"rjoin"
+	"rjoin/internal/experiments"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 64, "overlay size")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "event-engine worker threads (0/1 serial, >=2 deterministic parallel)")
+	lossy := flag.Bool("lossy", false, "run the Figure 1 scenario on an unreliable overlay (20% drop, duplication, spikes)")
+	fig := flag.String("fig", "", `figure to run instead of the demo (only "lossy")`)
 	flag.Parse()
 
-	net := rjoin.MustNetwork(rjoin.Options{Nodes: *nodes, Seed: *seed, Workers: *workers})
+	if *fig != "" {
+		if *fig != "lossy" {
+			fmt.Fprintf(os.Stderr, "rjoin-demo: unknown figure %q (only \"lossy\"; use rjoin-experiments for the rest)\n", *fig)
+			os.Exit(2)
+		}
+		p := experiments.Default(0.15)
+		p.Nodes = *nodes * 2 // demo-sized overlay, but big enough for a meaningful split
+		p.Queries = 200
+		p.Seed = *seed
+		p.Workers = *workers
+		for _, t := range experiments.FigLossy(p) {
+			t.WriteTo(os.Stdout)
+			fmt.Println()
+		}
+		return
+	}
+
+	opts := rjoin.Options{Nodes: *nodes, Seed: *seed, Workers: *workers}
+	if *lossy {
+		opts.ReplicationFactor = 2
+		opts.Faults = &rjoin.FaultOptions{DropProb: 0.20, DupProb: 0.05, SpikeProb: 0.05, SpikeMax: 4}
+	}
+	net := rjoin.MustNetwork(opts)
 	for _, rel := range []string{"R", "S", "J", "M"} {
 		net.MustDefineRelation(rel, "A", "B", "C")
 	}
@@ -55,6 +89,10 @@ func main() {
 	fmt.Printf("\nNetwork stats: %d messages (%d for RIC), %d rewrites, QPL=%d, SL=%d over %d nodes\n",
 		st.Messages, st.RICMessages, st.RewritesCreated,
 		st.QueryProcessingLoad, st.StorageLoad, net.Nodes())
+	if *lossy {
+		fmt.Printf("Unreliable network: %d dropped, %d duplicated, masked by %d retransmits and %d acks (%d abandoned)\n",
+			st.Dropped, st.Duplicated, st.Retransmits, st.AckMessages, st.Abandoned)
+	}
 }
 
 func report(net *rjoin.Network, sub *rjoin.Subscription) {

@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2-9, churn, agg or recovery); empty runs all")
+	fig := flag.String("fig", "", "figure to regenerate (2-9, churn, agg, recovery or lossy); empty runs all")
 	scale := flag.Float64("scale", 0.25, "workload scale in (0,1]: fraction of the paper's query/tuple counts")
 	nodes := flag.Int("nodes", 1000, "overlay size")
 	queries := flag.Int("queries", 20000, "continuous queries before scaling")
@@ -63,18 +63,20 @@ func main() {
 		"churn":    experiments.FigChurn,
 		"agg":      experiments.FigAgg,
 		"recovery": experiments.FigRecovery,
+		"lossy":    experiments.FigLossy,
 	}
 
 	var figs []string
 	if *fig == "" {
 		// Figures 7 and 8 share one experiment run; the sentinel "7+8"
-		// computes both together. "churn", "agg" and "recovery" are
-		// this reproduction's own extensions: dynamic membership,
-		// in-network aggregation and durable state replication.
-		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery"}
+		// computes both together. "churn", "agg", "recovery" and
+		// "lossy" are this reproduction's own extensions: dynamic
+		// membership, in-network aggregation, durable state replication
+		// and reliable delivery over an unreliable network.
+		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery", "lossy"}
 	} else {
 		if _, ok := runners[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg or recovery)\n", *fig)
+			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg, recovery or lossy)\n", *fig)
 			os.Exit(2)
 		}
 		figs = []string{*fig}

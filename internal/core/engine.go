@@ -159,6 +159,7 @@ type Engine struct {
 	pubSeq   int64
 	queryCnt int64
 	reqCnt   int64
+	lossy    bool // unreliable network: senders retain messages, no pooling
 
 	// Parallel-mode accumulators: while workers run, every hot-path
 	// count goes to the acting node's shard slot and merges into the
@@ -199,6 +200,7 @@ func NewEngine(ring *chord.Ring, se *sim.Engine, net *overlay.Network, cfg Confi
 	if cfg.Delta == 0 {
 		e.delta = net.MaxDelta()
 	}
+	e.lossy = net.Lossy()
 	if se.Workers() > 0 {
 		e.par = true
 		e.shardCtr = make([]Counters, sim.Shards)
@@ -469,12 +471,25 @@ func (e *Engine) Sync() {
 // group-update emissions and drains again until the aggregate views are
 // complete. On an engine with no aggregate queries the flush loop exits
 // immediately and Run behaves exactly as before aggregation existed.
+//
+// In unreliable-network mode quiescence can be reached while messages
+// are still unacknowledged (their retransmit timers are background
+// events, so they never keep Run alive by themselves); the drain loop
+// then advances the clock to the earliest outstanding retransmit
+// deadline and drains the retransmission's cascade, repeating until
+// every channel is acknowledged. Escalation ladders are bounded, so the
+// loop terminates on any plan whose partitions end.
 func (e *Engine) Run() {
-	e.sim.Run()
-	e.Sync()
-	for e.flushAggregates() {
+	for {
 		e.sim.Run()
 		e.Sync()
+		if t, ok := e.net.NextRetransmit(); ok {
+			e.sim.RunUntil(t)
+			continue
+		}
+		if !e.flushAggregates() {
+			break
+		}
 	}
 }
 

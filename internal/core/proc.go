@@ -9,7 +9,7 @@ import (
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
-	"rjoin/internal/replication"
+	"rjoin/internal/reliable"
 	"rjoin/internal/sim"
 )
 
@@ -159,7 +159,7 @@ func newProc(eng *Engine, node *chord.Node) *Proc {
 		pending: make(map[int64]*pendingPlacement),
 	}
 	if eng.Cfg.ReplicationFactor >= 2 {
-		p.repl = &procRepl{links: replication.NewLinks()}
+		p.repl = &procRepl{links: reliable.NewLinks()}
 		p.replInboxes = make(map[id.ID]*replInbox)
 	}
 	if eng.par {
@@ -200,36 +200,50 @@ func (p *Proc) nextReqID() int64 {
 // batch per replica target, so a mirror is never more than one handler
 // behind its primary.
 func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
+	// In unreliable-network mode the sender retains every message for
+	// possible retransmission, so consumed structs must not be recycled
+	// into the pools — a reused struct would corrupt a retained copy.
+	recycle := !p.eng.lossy
 	switch m := msg.(type) {
 	case *tupleMsg:
 		if p.reroute(m.Key, &m.Reroutes, m) {
 			return
 		}
 		p.onTuple(now, m)
-		*m = tupleMsg{}
-		tupleMsgPool.Put(m)
+		if recycle {
+			*m = tupleMsg{}
+			tupleMsgPool.Put(m)
+		}
 	case *evalMsg:
 		if p.reroute(m.Key, &m.Reroutes, m) {
 			return
 		}
 		p.onEval(now, m)
-		*m = evalMsg{}
-		evalMsgPool.Put(m)
+		if recycle {
+			*m = evalMsg{}
+			evalMsgPool.Put(m)
+		}
 	case *answerMsg:
 		p.eng.recordAnswer(now, m, p.ctr)
-		*m = answerMsg{}
-		answerMsgPool.Put(m)
+		if recycle {
+			*m = answerMsg{}
+			answerMsgPool.Put(m)
+		}
 	case *aggPartialMsg:
 		if p.reroute(m.Key, &m.Reroutes, m) {
 			return
 		}
 		p.onAggPartial(now, m)
-		*m = aggPartialMsg{}
-		aggPartialMsgPool.Put(m)
+		if recycle {
+			*m = aggPartialMsg{}
+			aggPartialMsgPool.Put(m)
+		}
 	case *aggRowMsg:
 		p.eng.recordAggRow(m, p.ctr)
-		*m = aggRowMsg{}
-		aggRowMsgPool.Put(m)
+		if recycle {
+			*m = aggRowMsg{}
+			aggRowMsgPool.Put(m)
+		}
 	case *aggUpdateMsg:
 		p.eng.recordAggUpdate(m, p.ctr)
 	case *ricRequestMsg:
@@ -730,6 +744,15 @@ func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
 // for every pending key this node is responsible for, then forward the
 // walk or return the collected reports to the origin.
 func (p *Proc) onRICRequest(now sim.Time, m *ricRequestMsg) {
+	// On an unreliable network the upstream sender retains its copy for
+	// retransmission, so this step must not mutate the received struct:
+	// operate on a fresh walk message with its own slice headers.
+	if p.eng.lossy {
+		fwd := &ricRequestMsg{Origin: m.Origin, ReqID: m.ReqID}
+		fwd.Pending = append(fwd.Pending, m.Pending...)
+		fwd.Got = append(fwd.Got, m.Got...)
+		m = fwd
+	}
 	// The message was addressed to Hash(Pending[0]), so this node owns
 	// at least that key; it may own later pending keys too.
 	reported := false

@@ -9,7 +9,7 @@ import (
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
-	"rjoin/internal/replication"
+	"rjoin/internal/reliable"
 	"rjoin/internal/sim"
 )
 
@@ -97,7 +97,7 @@ type replOp struct {
 
 // replUpdateMsg carries one batch of mirrored mutations from an origin
 // to one replica target. Gen/First version the batch within the
-// (origin, target) stream — see internal/replication for the
+// (origin, target) stream — see internal/reliable for the
 // idempotency rules. Reset marks the head of a stream (always the batch
 // starting at sequence 1): the receiver discards any previous mirror of
 // this origin before applying.
@@ -118,7 +118,7 @@ func (m *replUpdateMsg) RingKey() id.ID { return m.To }
 
 // procRepl is the origin-side replication state of one processor.
 type procRepl struct {
-	links  *replication.Links
+	links  *reliable.Links
 	outbox []replOp
 	sqCtr  int64 // stored-query identities for remove/trigger ops
 }
@@ -129,7 +129,7 @@ type procRepl struct {
 // could consume it — the contents died with the holder and must be
 // counted as loss, not resurrected through a stale pointer.
 type replInbox struct {
-	in     *replication.Inbox
+	in     *reliable.Inbox
 	mirror *replMirror
 	dead   bool
 }
@@ -392,7 +392,7 @@ func (p *Proc) onReplUpdate(now sim.Time, m *replUpdateMsg) {
 	}
 	ib, ok := p.replInboxes[m.From]
 	if !ok {
-		ib = &replInbox{in: replication.NewInbox(), mirror: newReplMirror()}
+		ib = &replInbox{in: reliable.NewInbox(), mirror: newReplMirror()}
 		p.replInboxes[m.From] = ib
 	}
 	pre := ib.in.Stale

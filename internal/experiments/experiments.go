@@ -497,5 +497,6 @@ func All(p Params) map[string][]*metrics.Table {
 		"9":        Fig9(p),
 		"churn":    FigChurn(p),
 		"recovery": FigRecovery(p),
+		"lossy":    FigLossy(p),
 	}
 }

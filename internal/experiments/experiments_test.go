@@ -201,6 +201,49 @@ func TestFigRecoveryShapes(t *testing.T) {
 	}
 }
 
+// TestFigLossyShapes is the unreliable-network acceptance criterion:
+// at every swept drop rate — including 10% with a partition/heal cycle
+// riding along — the answer multiset matches the faults-off reference
+// exactly (recall 1.0, zero duplicates, zero abandoned messages), the
+// injected-fault counters grow with the rate, and the retransmit/ack
+// overhead is visible only on the faulty rows.
+func TestFigLossyShapes(t *testing.T) {
+	p := tiny()
+	tabs := FigLossy(p)
+	if len(tabs) != 2 {
+		t.Fatalf("FigLossy returned %d tables", len(tabs))
+	}
+	exact, over := tableWrap{tabs[0].Rows}, tableWrap{tabs[1].Rows}
+	// Row order: faults off, then drop rates 0%, 5%, 10%, 20%.
+	if len(tabs[0].Rows) != 1+len(lossyRates) {
+		t.Fatalf("exactness table has %d rows", len(tabs[0].Rows))
+	}
+	if cell(exact, 0, 4) != 0 || cell(over, 0, 1) != 0 || cell(over, 0, 2) != 0 {
+		t.Fatal("faults-off reference paid fault or transport counters")
+	}
+	for row := 1; row <= len(lossyRates); row++ {
+		if r := cell(exact, row, 1); r != 1 {
+			t.Errorf("row %d: recall %v under loss, want 1.0", row, r)
+		}
+		if dup := cell(exact, row, 2); dup != 0 {
+			t.Errorf("row %d: %v duplicated answers leaked through dedup", row, dup)
+		}
+		if cell(exact, row, 4) == 0 {
+			t.Errorf("row %d: partition window dropped nothing", row)
+		}
+		if ab := cell(exact, row, 6); ab != 0 {
+			t.Errorf("row %d: %v messages abandoned", row, ab)
+		}
+		if cell(over, row, 1) == 0 || cell(over, row, 2) == 0 {
+			t.Errorf("row %d: reliable channels idle under loss", row)
+		}
+	}
+	// The drop counter grows with the swept rate: 20% >> 5%.
+	if lo, hi := cell(exact, 2, 4), cell(exact, 4, 4); hi <= lo {
+		t.Fatalf("dropped count not increasing with rate: 5%% %v, 20%% %v", lo, hi)
+	}
+}
+
 func TestAllRunsEveryFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("All() runs every experiment")
@@ -208,7 +251,7 @@ func TestAllRunsEveryFigure(t *testing.T) {
 	p := tiny()
 	p.Queries = 500
 	all := All(p)
-	for _, figID := range []string{"2", "3", "4", "5", "6", "7", "8", "9", "churn", "recovery"} {
+	for _, figID := range []string{"2", "3", "4", "5", "6", "7", "8", "9", "churn", "recovery", "lossy"} {
 		tabs, ok := all[figID]
 		if !ok || len(tabs) == 0 {
 			t.Fatalf("figure %s missing", figID)

@@ -1,0 +1,580 @@
+// Unreliable-network mode: deterministic fault injection and the
+// end-to-end reliable delivery machinery that masks it.
+//
+// With Config.Faults set, every routed or direct send (Send, MultiSend,
+// SendDirect, batched flushes — everything except the instantaneous
+// Transfer/ReplicateTo handoffs and node-local deliveries) runs over a
+// per-(source, destination) sequence-numbered channel. The transmission
+// of each sequence number is subject to the fault plan: a Bernoulli drop
+// draw, a duplication draw, a delay-spike draw, and scheduled link
+// partitions between node sets. All draws come from a dedicated
+// per-node counter-based stream (salt faultSalt), so enabling faults
+// perturbs neither the hop-delay nor the placement draw sequences, and a
+// faulty run replays bit-identically for a given seed and worker count.
+//
+// Masking is classic ARQ. The receiver suppresses duplicate sequence
+// numbers with a reliable.Dedup filter and acknowledges cumulatively —
+// a coalesced ack message per (receiver, sender) pair after AckDelay
+// ticks, plus a piggybacked watermark on every reverse-direction
+// envelope. The sender retains each message until acknowledged and
+// retransmits on a timer with exponential backoff and jitter.
+//
+// Everything except a first transmission is a background event: acks,
+// retransmit timers and retransmitted copies all execute as the clock
+// passes them but never stall quiescence detection or extend a drain.
+// This is what keeps the all-zero plan bit-identical to a faults-off
+// run — the application schedule quiesces at exactly the same instant,
+// with the transport's bookkeeping tail left pending on the heap. The
+// core engine's drain loop makes lost payloads terminal anyway: when
+// foreground work runs dry it asks NextRetransmit for the earliest
+// deadline of an entry the receiver has *not* seen (an entry that is
+// merely unacknowledged needs no clock driving; its ack is already
+// scheduled) and advances the clock there, repeating until every
+// payload is delivered or abandoned. A sender whose ladder is exhausted
+// presumes the peer dead and escalates into the bounce path: the
+// message is re-routed to the current owner of its ring key on a fresh
+// channel. If ground truth says the original peer still owns the key
+// (the acks were lost, not the peer), the ladder resets on the same
+// channel instead — the receiver-side dedup keeps masking the
+// duplicates — for at most relMaxLadders rounds, after which the
+// message is abandoned so a black-holed peer cannot spin the
+// simulation forever.
+//
+// Shard discipline (parallel engine): a channel's sender-side state is
+// touched only at send time, at ack arrival, and by retransmit timers —
+// all events bound to the sender's shard. Receiver-side state is
+// touched only at envelope delivery and ack emission — both bound to
+// the receiver's shard. Fault counters ride the per-shard lanes and
+// fold at Sync like all overlay accounting.
+package overlay
+
+import (
+	"fmt"
+
+	"rjoin/internal/chord"
+	"rjoin/internal/id"
+	"rjoin/internal/reliable"
+	"rjoin/internal/sim"
+)
+
+// faultSalt keys the per-node fault-injection streams; distinct from the
+// hop-delay (0x0e7a) and placement (0x91ac) salts so enabling faults
+// cannot perturb either draw sequence.
+const faultSalt = 0xfa17
+
+// relMaxLadders bounds how many times an exhausted retransmit ladder may
+// reset against a peer that ground truth still says owns the key. It is
+// a termination guard, not a tuning knob: at any drop rate the plan can
+// express, losing every transmission and every ack of that many ladders
+// is beyond astronomically unlikely, but a deliberately black-holed
+// receiver (alive, detached handler) must not keep the drain loop alive
+// forever.
+const relMaxLadders = 8
+
+// Partition is one scheduled link partition: while the virtual clock is
+// in [Start, End), every transmission between a node in Side and a node
+// outside it is dropped — payload envelopes, retransmissions and acks
+// alike. Ring membership and ground-truth lookups are unaffected: the
+// partition models transport loss, not failure detection.
+type Partition struct {
+	Start, End sim.Time
+	Side       map[id.ID]bool
+}
+
+// Faults is the fault-injection plan. All probabilities are per
+// transmission (retransmissions draw afresh) and must lie in [0, 1].
+// The zero plan (all rates zero, no partitions) injects nothing but
+// still runs every send through the reliable channel machinery; the
+// delivered schedule, traffic metric and answer stream are then
+// identical to a faults-off run.
+type Faults struct {
+	// DropProb is the probability a transmission is lost.
+	DropProb float64
+	// DupProb is the probability a transmission is duplicated (one
+	// extra copy, suppressed by receiver-side dedup).
+	DupProb float64
+	// SpikeProb is the probability a transmission's delay is inflated
+	// by a uniform draw from [0, SpikeMax] extra ticks.
+	SpikeProb float64
+	SpikeMax  int64
+	// Partitions are scheduled link outages; see Partition. More can be
+	// added after construction with Network.AddPartition.
+	Partitions []Partition
+	// RTO is the base retransmit timeout in ticks; 0 derives a bound
+	// from the delay model (one round trip at maximum delay plus the
+	// ack-coalescing window). Retry k waits RTO<<k plus jitter.
+	RTO int64
+	// MaxRetries is the length of one backoff ladder; 0 means 6.
+	MaxRetries int
+	// AckDelay is the ack-coalescing window in ticks; 0 means 2.
+	AckDelay int64
+}
+
+// validate rejects plans NewNetwork must not accept.
+func (f *Faults) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"DropProb", f.DropProb}, {"DupProb", f.DupProb}, {"SpikeProb", f.SpikeProb}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("overlay: Faults.%s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if f.SpikeMax < 0 {
+		return fmt.Errorf("overlay: negative Faults.SpikeMax %d", f.SpikeMax)
+	}
+	if f.RTO < 0 || f.AckDelay < 0 || f.MaxRetries < 0 {
+		return fmt.Errorf("overlay: negative Faults timer parameter (RTO %d, AckDelay %d, MaxRetries %d)",
+			f.RTO, f.AckDelay, f.MaxRetries)
+	}
+	for i, p := range f.Partitions {
+		if p.End < p.Start {
+			return fmt.Errorf("overlay: Faults.Partitions[%d] window [%d, %d) ends before it starts",
+				i, p.Start, p.End)
+		}
+	}
+	return nil
+}
+
+// relState is the network's reliable-channel state: per-node channel
+// registries plus the resolved timer parameters.
+type relState struct {
+	nodes      map[id.ID]*relNode
+	rto        int64
+	maxRetries int
+	ackDelay   int64
+}
+
+// relNode is one node's channel state: its private fault stream, its
+// sender-side channels by destination, and its receiver-side channels
+// by source. The nodes map is only mutated from coordinator context
+// (Attach); each relNode's interior is touched only by its own shard.
+type relNode struct {
+	rng *sim.RNG
+	tx  map[id.ID]*txChan
+	rx  map[id.ID]*rxChan
+}
+
+// txChan is the sender side of one (src → dst) channel.
+type txChan struct {
+	dst     *chord.Node
+	next    uint64 // last assigned sequence number
+	unacked map[uint64]*txEntry
+}
+
+// txEntry is one retained, not-yet-acknowledged message.
+type txEntry struct {
+	seq      uint64
+	msg      Message
+	retries  int      // position on the current backoff ladder
+	ladders  int      // exhausted ladders reset against a live same-owner peer
+	deadline sim.Time // when the armed retransmit timer fires
+}
+
+// rxChan is the receiver side of one (src → dst) channel.
+type rxChan struct {
+	src          *chord.Node
+	dedup        reliable.Dedup
+	ackScheduled bool
+}
+
+// relEnv is the wire envelope of one reliable transmission. The ack
+// field piggybacks the sender's receive watermark for the reverse
+// channel, so steady bidirectional traffic self-acknowledges.
+type relEnv struct {
+	src *chord.Node
+	seq uint64
+	ack uint64
+	msg Message
+}
+
+// relAck is a standalone cumulative acknowledgment.
+type relAck struct {
+	from *chord.Node // the acknowledging receiver
+	cum  uint64
+}
+
+// relTimer identifies the channel entry a retransmit timer guards.
+type relTimer struct {
+	src *chord.Node
+	dst id.ID
+	seq uint64
+}
+
+// initFaults resolves the plan's timer parameters and allocates the
+// channel registry. Called from NewNetwork when cfg.Faults != nil.
+func (nw *Network) initFaults() {
+	f := nw.cfg.Faults
+	rto := f.RTO
+	if rto == 0 {
+		ackDelay := f.AckDelay
+		if ackDelay == 0 {
+			ackDelay = 2
+		}
+		// One full round trip at worst-case delay — outbound hop with a
+		// spike, the coalescing window, the ack hop — plus slack.
+		rto = 2*(nw.cfg.MaxHopDelay+f.SpikeMax) + ackDelay + 2
+	}
+	maxRetries := f.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 6
+	}
+	ackDelay := f.AckDelay
+	if ackDelay == 0 {
+		ackDelay = 2
+	}
+	nw.rel = &relState{
+		nodes:      make(map[id.ID]*relNode),
+		rto:        rto,
+		maxRetries: maxRetries,
+		ackDelay:   ackDelay,
+	}
+}
+
+// AddPartition schedules an additional link partition after
+// construction — harnesses that only learn node identifiers once the
+// ring is built use this. Coordinator context only.
+func (nw *Network) AddPartition(p Partition) error {
+	if nw.cfg.Faults == nil {
+		return fmt.Errorf("overlay: AddPartition on a network without Faults")
+	}
+	if p.End < p.Start {
+		return fmt.Errorf("overlay: partition window [%d, %d) ends before it starts", p.Start, p.End)
+	}
+	nw.cfg.Faults.Partitions = append(nw.cfg.Faults.Partitions, p)
+	return nil
+}
+
+// partitioned reports whether a transmission between x and y is blocked
+// by an active partition window at time now.
+func (nw *Network) partitioned(x, y id.ID, now sim.Time) bool {
+	for i := range nw.cfg.Faults.Partitions {
+		p := &nw.cfg.Faults.Partitions[i]
+		if now >= p.Start && now < p.End && p.Side[x] != p.Side[y] {
+			return true
+		}
+	}
+	return false
+}
+
+// relNodeFor returns a node's channel state, creating it on first use.
+// Creation happens from Attach (coordinator context); later calls only
+// read the map.
+func (nw *Network) relNodeFor(n id.ID) *relNode {
+	rn, ok := nw.rel.nodes[n]
+	if !ok {
+		rn = &relNode{
+			rng: sim.NewRNG(nw.Engine.Seed(), uint64(n), faultSalt),
+			tx:  make(map[id.ID]*txChan),
+			rx:  make(map[id.ID]*rxChan),
+		}
+		nw.rel.nodes[n] = rn
+	}
+	return rn
+}
+
+// shardOf resolves a node's destination shard for event scheduling.
+func (nw *Network) shardOf(n *chord.Node) int {
+	if !nw.par {
+		return sim.NoShard
+	}
+	return sim.ShardOfID(uint64(n.ID()))
+}
+
+// relHop draws a single-hop delay for transport-control traffic
+// (retransmissions, acks) from the node's fault stream. The regular
+// hop-delay source is deliberately not used: enabling faults must not
+// perturb its draw sequence.
+func (nw *Network) relHop(rng *sim.RNG) int64 {
+	if nw.cfg.MaxHopDelay == nw.cfg.MinHopDelay {
+		return nw.cfg.MinHopDelay
+	}
+	return nw.cfg.MinHopDelay + rng.Int63n(nw.cfg.MaxHopDelay-nw.cfg.MinHopDelay+1)
+}
+
+// sendReliable opens (or continues) the (from → owner) channel with one
+// retained message: assign the next sequence number, transmit under the
+// fault plan, and arm the first retransmit timer. delay is the routed
+// delivery delay already charged by the caller.
+func (nw *Network) sendReliable(a actor, from, owner *chord.Node, delay int64, msg Message) {
+	rn := nw.relNodeFor(from.ID())
+	tc, ok := rn.tx[owner.ID()]
+	if !ok {
+		tc = &txChan{dst: owner, unacked: make(map[uint64]*txEntry)}
+		rn.tx[owner.ID()] = tc
+	}
+	tc.next++
+	e := &txEntry{seq: tc.next, msg: msg}
+	tc.unacked[e.seq] = e
+	nw.transmit(a, rn, from, tc.dst, e.seq, delay, msg, false)
+	nw.armTimer(a, from, owner.ID(), e, delay+nw.rel.rto)
+}
+
+// transmit puts one copy of a channel sequence number on the wire,
+// subject to the fault plan: partition windows and the drop draw lose
+// it, the duplication draw adds a second copy, the spike draw inflates
+// a copy's delay. Every draw comes from the sender's fault stream. A
+// first transmission delivers as a foreground event (it is the
+// application's work); retransmissions are background — they must not
+// perturb quiescence, which is what keeps a zero-rate plan's clock
+// identical to a faults-off run even when a timer fires spuriously.
+func (nw *Network) transmit(a actor, rn *relNode, src, dst *chord.Node, seq uint64, delay int64, msg Message, retx bool) {
+	f := nw.cfg.Faults
+	now := nw.Engine.Now()
+	if nw.partitioned(src.ID(), dst.ID(), now) {
+		nw.addFaultDropped(a.l, 1)
+		return
+	}
+	if f.DropProb > 0 && rn.rng.Float64() < f.DropProb {
+		nw.addFaultDropped(a.l, 1)
+		return
+	}
+	copies := 1
+	if f.DupProb > 0 && rn.rng.Float64() < f.DupProb {
+		copies = 2
+		nw.addDuplicated(a.l, 1)
+	}
+	var ack uint64
+	if rx, ok := rn.rx[dst.ID()]; ok {
+		ack = rx.dedup.Cum()
+	}
+	env := &relEnv{src: src, seq: seq, ack: ack, msg: msg}
+	dstShard := nw.shardOf(dst)
+	for i := 0; i < copies; i++ {
+		d := delay
+		if f.SpikeProb > 0 && rn.rng.Float64() < f.SpikeProb {
+			d += rn.rng.Int63n(f.SpikeMax + 1)
+		}
+		if retx {
+			nw.Engine.AfterCtxShardBg(d, deliverReliableEvent, sim.Ctx{A: nw, B: dst, C: env}, a.shard, dstShard)
+		} else {
+			nw.Engine.AfterCtxShard(d, deliverReliableEvent, sim.Ctx{A: nw, B: dst, C: env}, a.shard, dstShard)
+		}
+	}
+}
+
+// armTimer schedules the retransmit timer guarding one entry, after
+// ticks from now, as a background event in the sender's shard.
+func (nw *Network) armTimer(a actor, src *chord.Node, dst id.ID, e *txEntry, after int64) {
+	e.deadline = nw.Engine.Now() + sim.Time(after)
+	tm := &relTimer{src: src, dst: dst, seq: e.seq}
+	nw.Engine.AtCtxShardBg(e.deadline, relTimerEvent, sim.Ctx{A: nw, B: tm}, a.shard, nw.shardOf(src))
+}
+
+// deliverReliableEvent completes one envelope's delivery at the
+// receiver: apply the piggybacked ack, suppress duplicates, schedule a
+// coalesced ack, and hand a first-time payload to the handler. A dead
+// or detached receiver acknowledges nothing — the sender's ladder
+// handles it.
+func deliverReliableEvent(now sim.Time, c sim.Ctx) {
+	nw := c.A.(*Network)
+	owner := c.B.(*chord.Node)
+	env := c.C.(*relEnv)
+	a := nw.actorFor(owner)
+	rn := nw.relNodeFor(owner.ID())
+	if env.ack > 0 {
+		if tc, ok := rn.tx[env.src.ID()]; ok {
+			tc.ackUpTo(env.ack)
+		}
+	}
+	h, ok := nw.handlers[owner.ID()]
+	if !ok || !owner.Alive() {
+		return
+	}
+	rx, ok := rn.rx[env.src.ID()]
+	if !ok {
+		rx = &rxChan{src: env.src}
+		rn.rx[env.src.ID()] = rx
+	}
+	first := rx.dedup.Mark(env.seq)
+	nw.scheduleAck(a, owner, rx)
+	if !first {
+		return // duplicate suppressed
+	}
+	nw.addDelivered(a.l, 1)
+	h.HandleMessage(now, env.msg)
+}
+
+// ackUpTo releases every retained entry the cumulative watermark
+// covers.
+func (tc *txChan) ackUpTo(cum uint64) {
+	for seq := range tc.unacked {
+		if seq <= cum {
+			delete(tc.unacked, seq)
+		}
+	}
+}
+
+// scheduleAck arms the receiver's coalesced ack for one channel, unless
+// one is already pending. The ack event is background: it flows as the
+// clock passes it, but a trailing ack never extends a drain — the
+// sender-side entry it would clear is already marked seen on the
+// receiver, which is what NextRetransmit consults.
+func (nw *Network) scheduleAck(a actor, owner *chord.Node, rx *rxChan) {
+	if rx.ackScheduled {
+		return
+	}
+	rx.ackScheduled = true
+	nw.Engine.AfterCtxShardBg(nw.rel.ackDelay, ackSendEvent,
+		sim.Ctx{A: nw, B: owner, C: rx}, a.shard, nw.shardOf(owner))
+}
+
+// ackSendEvent emits one coalesced cumulative ack. The ack itself rides
+// the faulty network: partition windows and the drop draw can lose it
+// (the sender's retransmission will provoke another).
+func ackSendEvent(now sim.Time, c sim.Ctx) {
+	nw := c.A.(*Network)
+	owner := c.B.(*chord.Node)
+	rx := c.C.(*rxChan)
+	rx.ackScheduled = false
+	if !owner.Alive() {
+		return
+	}
+	a := nw.actorFor(owner)
+	rn := nw.relNodeFor(owner.ID())
+	nw.addAckMessages(a.l, 1)
+	if nw.partitioned(owner.ID(), rx.src.ID(), now) {
+		nw.addFaultDropped(a.l, 1)
+		return
+	}
+	f := nw.cfg.Faults
+	if f.DropProb > 0 && rn.rng.Float64() < f.DropProb {
+		nw.addFaultDropped(a.l, 1)
+		return
+	}
+	ack := &relAck{from: owner, cum: rx.dedup.Cum()}
+	nw.Engine.AfterCtxShardBg(nw.relHop(rn.rng), ackDeliverEvent,
+		sim.Ctx{A: nw, B: rx.src, C: ack}, a.shard, nw.shardOf(rx.src))
+}
+
+// ackDeliverEvent applies a standalone ack at the original sender.
+func ackDeliverEvent(_ sim.Time, c sim.Ctx) {
+	nw := c.A.(*Network)
+	src := c.B.(*chord.Node)
+	ack := c.C.(*relAck)
+	rn := nw.relNodeFor(src.ID())
+	if tc, ok := rn.tx[ack.from.ID()]; ok {
+		tc.ackUpTo(ack.cum)
+	}
+}
+
+// relTimerEvent fires a retransmit timer: a still-unacknowledged entry
+// is retransmitted with exponential backoff and jitter; an exhausted
+// ladder escalates.
+func relTimerEvent(now sim.Time, c sim.Ctx) {
+	nw := c.A.(*Network)
+	tm := c.B.(*relTimer)
+	rn := nw.relNodeFor(tm.src.ID())
+	tc, ok := rn.tx[tm.dst]
+	if !ok {
+		return
+	}
+	e, ok := tc.unacked[tm.seq]
+	if !ok || e.deadline != now {
+		return // acknowledged, or superseded by a re-armed timer
+	}
+	a := nw.actorFor(tm.src)
+	if e.retries >= nw.rel.maxRetries {
+		nw.escalate(a, rn, tc, tm, e)
+		return
+	}
+	e.retries++
+	nw.addRetransmits(a.l, 1)
+	delay := nw.relHop(rn.rng)
+	nw.transmit(a, rn, tm.src, tc.dst, e.seq, delay, e.msg, true)
+	backoff := nw.rel.rto << e.retries
+	jitter := rn.rng.Int63n(nw.rel.rto/2 + 1)
+	nw.armTimer(a, tm.src, tm.dst, e, delay+backoff+jitter)
+}
+
+// escalate handles an exhausted backoff ladder. During an active
+// partition the outage is the known cause: the ladder resets without
+// consuming an escalation round and probing continues until the window
+// heals. Otherwise the sender consults ring ground truth for the
+// message's key: a peer that still owns it gets a fresh ladder on the
+// same channel (sequence preserved, so receiver-side dedup keeps
+// masking); a departed peer's message re-routes to the key's current
+// owner over a fresh channel, exactly the bounce path — the dead peer
+// never processed these deliveries, so the re-send cannot duplicate.
+func (nw *Network) escalate(a actor, rn *relNode, tc *txChan, tm *relTimer, e *txEntry) {
+	now := nw.Engine.Now()
+	if nw.partitioned(tm.src.ID(), tm.dst, now) {
+		e.retries = 0
+		nw.armTimer(a, tm.src, tm.dst, e, nw.rel.rto<<nw.rel.maxRetries)
+		return
+	}
+	rk, rekeyable := e.msg.(Rekeyable)
+	var owner *chord.Node
+	if rekeyable {
+		owner = nw.Ring.Owner(rk.RingKey())
+	}
+	if owner != nil && owner.ID() == tm.dst {
+		if e.ladders >= relMaxLadders {
+			delete(tc.unacked, tm.seq)
+			nw.addAbandoned(a.l, 1)
+			return
+		}
+		e.ladders++
+		e.retries = 0
+		nw.addRetransmits(a.l, 1)
+		delay := nw.relHop(rn.rng)
+		nw.transmit(a, rn, tm.src, tc.dst, e.seq, delay, e.msg, true)
+		nw.armTimer(a, tm.src, tm.dst, e, delay+nw.rel.rto)
+		return
+	}
+	delete(tc.unacked, tm.seq)
+	if owner == nil {
+		nw.addAbandoned(a.l, 1)
+		return // not rekeyable, or the ring is empty: the message is lost
+	}
+	nw.addBounced(a.l, 1)
+	nw.addSent(a.l, 1)
+	nw.charge(a.l, owner.ID(), 1)
+	if owner == tm.src {
+		nw.deliver(a, owner, 0, e.msg) // the key came home; deliver locally
+		return
+	}
+	nw.sendReliable(a, tm.src, owner, nw.relHop(rn.rng), e.msg)
+}
+
+// NextRetransmit returns the earliest outstanding retransmit deadline
+// of an entry whose payload the receiver has not seen — an entry that
+// is merely unacknowledged has its (background) ack already on the
+// heap and needs no clock driving. The core engine's drain loop
+// advances the clock here when foreground work runs dry, so every lost
+// payload is retransmitted, escalated or abandoned before Run returns.
+// Coordinator context only: the cross-shard read of receiver dedup
+// state is safe because the simulation is quiescent between drains.
+func (nw *Network) NextRetransmit() (sim.Time, bool) {
+	if nw.rel == nil {
+		return 0, false
+	}
+	var best sim.Time
+	found := false
+	for srcID, rn := range nw.rel.nodes {
+		for dstID, tc := range rn.tx {
+			if len(tc.unacked) == 0 {
+				continue
+			}
+			var rx *rxChan
+			if rdn, ok := nw.rel.nodes[dstID]; ok {
+				rx = rdn.rx[srcID]
+			}
+			for seq, e := range tc.unacked {
+				if rx != nil && rx.dedup.Seen(seq) {
+					continue // delivered; the pending ack will clear it
+				}
+				if !found || e.deadline < best {
+					best, found = e.deadline, true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// Lossy reports whether the network runs in unreliable mode. The core
+// engine gates message-struct recycling on it: a sender retains its
+// payload pointers for retransmission, so pooled reuse would corrupt
+// retained copies.
+func (nw *Network) Lossy() bool { return nw.cfg.Faults != nil }

@@ -82,6 +82,13 @@ type Config struct {
 	// Required under churn; in a static converged ring it never fires.
 	// Off by default so failure-injection tests keep drop semantics.
 	Bounce bool
+	// Faults switches the network to unreliable mode: transmissions are
+	// dropped, duplicated, delayed and partitioned per the plan, and
+	// every keyed or direct send runs over an end-to-end reliable
+	// channel that masks the injected faults (see faults.go). Requires
+	// Bounce — retransmit-ladder exhaustion escalates into the bounce
+	// path. Nil keeps the exact reliable-network behavior.
+	Faults *Faults
 }
 
 // DefaultConfig is a deterministic single-tick-per-hop network with
@@ -104,6 +111,11 @@ type lane struct {
 	messagesSent int64
 	delivered    int64
 	bounced      int64
+	dropped      int64
+	duplicated   int64
+	retransmits  int64
+	ackMessages  int64
+	abandoned    int64
 }
 
 // actor resolves the execution context of one overlay operation: the
@@ -143,6 +155,28 @@ type Network struct {
 	// Bounced counts undeliverable messages re-routed to the current
 	// owner of their ring key (see Config.Bounce).
 	Bounced int64
+
+	// Unreliable-mode transport accounting (zero when Faults is nil).
+	// These count transport-level work and are deliberately kept out of
+	// MessagesSent and the Traffic metric, so application-traffic
+	// figures stay comparable across fault plans; FigLossy reports the
+	// overhead from these counters explicitly.
+	//
+	// Dropped counts transmissions lost to the fault plan — drop draws
+	// and partition windows, payload envelopes and acks alike.
+	Dropped int64
+	// Duplicated counts injected duplicate copies (all suppressed by
+	// receiver-side dedup).
+	Duplicated int64
+	// Retransmits counts retransmitted payload envelopes.
+	Retransmits int64
+	// AckMessages counts coalesced acknowledgment messages emitted.
+	AckMessages int64
+	// Abandoned counts messages given up on after exhausting every
+	// escalation round — zero in any run the exactness guarantees cover.
+	Abandoned int64
+
+	rel *relState // reliable-channel state; nil when Faults is nil
 }
 
 // NewNetwork creates an overlay over an existing ring and engine. The
@@ -157,6 +191,18 @@ func NewNetwork(ring *chord.Ring, engine *sim.Engine, cfg Config) (*Network, err
 	if cfg.MaxHopDelay < cfg.MinHopDelay {
 		return nil, fmt.Errorf("overlay: MinHopDelay %d exceeds MaxHopDelay %d",
 			cfg.MinHopDelay, cfg.MaxHopDelay)
+	}
+	if cfg.BatchWindow < 0 {
+		return nil, fmt.Errorf("overlay: negative BatchWindow %d", cfg.BatchWindow)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(); err != nil {
+			return nil, err
+		}
+		if !cfg.Bounce {
+			return nil, fmt.Errorf("overlay: Faults requires the bounce path " +
+				"(retransmit escalation re-routes by ring key); set Config.Bounce = true")
+		}
 	}
 	nw := &Network{
 		Ring:     ring,
@@ -178,6 +224,9 @@ func NewNetwork(ring *chord.Ring, engine *sim.Engine, cfg Config) (*Network, err
 			}
 		}
 		nw.rngs = make(map[id.ID]*sim.RNG)
+	}
+	if cfg.Faults != nil {
+		nw.initFaults()
 	}
 	return nw, nil
 }
@@ -225,6 +274,9 @@ func (nw *Network) Attach(n *chord.Node, h Handler) {
 		if _, ok := nw.rngs[n.ID()]; !ok {
 			nw.rngs[n.ID()] = sim.NewRNG(nw.Engine.Seed(), uint64(n.ID()), 0x0e7a)
 		}
+	}
+	if nw.rel != nil {
+		nw.relNodeFor(n.ID()) // derive the fault stream in coordinator context
 	}
 }
 
@@ -327,6 +379,20 @@ func (nw *Network) deliver(a actor, owner *chord.Node, delay int64, msg Message)
 	nw.Engine.AfterCtxShard(delay, deliverEvent, sim.Ctx{A: nw, B: owner, C: msg}, a.shard, dst)
 }
 
+// deliverFrom is deliver with a known sender: in unreliable mode a
+// remote delivery runs over the (from → owner) reliable channel;
+// node-local deliveries and reliable networks take the plain path.
+// Transfer and ReplicateTo deliberately bypass this — their
+// instantaneous-handoff semantics model an already-acknowledged
+// primary-backup exchange.
+func (nw *Network) deliverFrom(a actor, from, owner *chord.Node, delay int64, msg Message) {
+	if nw.rel == nil || owner == from {
+		nw.deliver(a, owner, delay, msg)
+		return
+	}
+	nw.sendReliable(a, from, owner, delay, msg)
+}
+
 // charge attributes n sent messages to a node, in the lane's counters
 // when a lane is given, in the root counters otherwise.
 func (nw *Network) charge(l *lane, node id.ID, n int64) {
@@ -374,6 +440,46 @@ func (nw *Network) addBounced(l *lane, n int64) {
 		nw.Bounced += n
 	} else {
 		l.bounced += n
+	}
+}
+
+func (nw *Network) addFaultDropped(l *lane, n int64) {
+	if l == nil {
+		nw.Dropped += n
+	} else {
+		l.dropped += n
+	}
+}
+
+func (nw *Network) addDuplicated(l *lane, n int64) {
+	if l == nil {
+		nw.Duplicated += n
+	} else {
+		l.duplicated += n
+	}
+}
+
+func (nw *Network) addRetransmits(l *lane, n int64) {
+	if l == nil {
+		nw.Retransmits += n
+	} else {
+		l.retransmits += n
+	}
+}
+
+func (nw *Network) addAckMessages(l *lane, n int64) {
+	if l == nil {
+		nw.AckMessages += n
+	} else {
+		l.ackMessages += n
+	}
+}
+
+func (nw *Network) addAbandoned(l *lane, n int64) {
+	if l == nil {
+		nw.Abandoned += n
+	} else {
+		l.abandoned += n
 	}
 }
 
@@ -443,7 +549,13 @@ func (nw *Network) Sync() {
 		nw.MessagesSent += l.messagesSent
 		nw.Delivered += l.delivered
 		nw.Bounced += l.bounced
+		nw.Dropped += l.dropped
+		nw.Duplicated += l.duplicated
+		nw.Retransmits += l.retransmits
+		nw.AckMessages += l.ackMessages
+		nw.Abandoned += l.abandoned
 		l.messagesSent, l.delivered, l.bounced = 0, 0, 0
+		l.dropped, l.duplicated, l.retransmits, l.ackMessages, l.abandoned = 0, 0, 0, 0, 0
 	}
 }
 
@@ -460,6 +572,11 @@ func (nw *Network) RenameNode(old, new id.ID) {
 			nw.rngs[new] = rng
 		}
 	}
+	if nw.rel != nil {
+		if rn, ok := nw.rel.nodes[old]; ok {
+			nw.rel.nodes[new] = rn
+		}
+	}
 }
 
 // ResetTraffic zeroes all traffic accounting (total and tagged). The
@@ -473,6 +590,11 @@ func (nw *Network) ResetTraffic() {
 	nw.MessagesSent = 0
 	nw.Delivered = 0
 	nw.Bounced = 0
+	nw.Dropped = 0
+	nw.Duplicated = 0
+	nw.Retransmits = 0
+	nw.AckMessages = 0
+	nw.Abandoned = 0
 }
 
 // Send routes msg from node "from" to Successor(key) through the DHT
@@ -493,7 +615,7 @@ func (nw *Network) Send(from *chord.Node, key id.ID, msg Message) *chord.Node {
 func (nw *Network) sendNow(a actor, from *chord.Node, key id.ID, msg Message) *chord.Node {
 	owner, path := from.Lookup(key)
 	delay := nw.chargePath(a, from, path)
-	nw.deliver(a, owner, delay, msg)
+	nw.deliverFrom(a, from, owner, delay, msg)
 	return owner
 }
 
@@ -567,7 +689,7 @@ func (nw *Network) SendDirect(from *chord.Node, to id.ID, msg Message) {
 		nw.addSent(a.l, 1)
 		delay = nw.hopDelay(a.rng)
 	}
-	nw.deliver(a, owner, delay, msg)
+	nw.deliverFrom(a, from, owner, delay, msg)
 }
 
 // Transfer delivers msg to a known alive recipient at the current
@@ -678,7 +800,9 @@ func (nw *Network) multiSendNow(a actor, from *chord.Node, msgs []Message, keys 
 	for _, lg := range legs {
 		owner, path := cur.Lookup(lg.key)
 		accumulated += nw.chargePath(a, cur, path)
-		nw.deliver(a, owner, accumulated, lg.msg)
+		// The reliable channel is end-to-end: the origin retains and
+		// retransmits, even for legs forwarded along the ring.
+		nw.deliverFrom(a, from, owner, accumulated, lg.msg)
 		cur = owner
 	}
 	for j := range legs {
@@ -714,5 +838,34 @@ func (nw *Network) MaxDelta() int64 {
 	}
 	// A query transmission traverses at most a handful of batch
 	// buffers (the RIC walk legs plus the final send).
-	return nw.cfg.MaxHopDelay*hops + 8*nw.cfg.BatchWindow
+	delta := nw.cfg.MaxHopDelay*hops + 8*nw.cfg.BatchWindow
+	if f := nw.cfg.Faults; f != nil {
+		if f.SpikeProb > 0 {
+			delta += f.SpikeMax * hops
+		}
+		// A first transmission can only be lost to a drop draw or a
+		// partition window; a plan with neither never needs retransmit
+		// masking, and charging for it anyway would widen the ALTT
+		// window — visibly changing retention — on a plan that is
+		// supposed to be indistinguishable from faults-off.
+		if f.DropProb > 0 || len(f.Partitions) > 0 {
+			// A message masked by retransmission arrives late by at most
+			// the full backoff ladder (retry k waits RTO<<k plus jitter
+			// plus a retransmit hop), repeated for every escalation
+			// round, plus the longest partition outage it rode out and a
+			// delay spike per hop.
+			ladder := int64(0)
+			for k := 0; k <= nw.rel.maxRetries; k++ {
+				ladder += nw.rel.rto<<k + nw.rel.rto/2 + nw.cfg.MaxHopDelay + f.SpikeMax
+			}
+			var outage int64
+			for _, p := range f.Partitions {
+				if span := int64(p.End - p.Start); span > outage {
+					outage = span
+				}
+			}
+			delta += int64(relMaxLadders+1)*ladder + outage
+		}
+	}
+	return delta
 }

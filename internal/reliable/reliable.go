@@ -1,9 +1,13 @@
-// Package replication implements the transport-level bookkeeping of the
-// durable-state layer: replica-group link registries, per-link versioned
-// update streams, and the replica-side inbox that makes applying those
-// streams idempotent under replays and reorders.
+// Package reliable implements sequence-numbered channel bookkeeping
+// shared by every layer that must apply a message stream exactly once
+// over an unreliable or reordering transport: per-link versioned update
+// streams with their link registries (the durable-state replication
+// layer), the stream-side inbox that makes applying those streams
+// idempotent under replays and reorders, and the unordered Dedup filter
+// the overlay's end-to-end reliable channels use to suppress duplicate
+// deliveries.
 //
-// The durability model is successor-list replication: every key a node
+// The replication use is successor-list replication: every key a node
 // owns has the same replica group — the node itself plus its k−1 ring
 // successors — so each node maintains one outgoing stream per replica
 // target and mirrors its keyed state along all of them. What the
@@ -19,7 +23,7 @@
 // generations are dropped (a superseding snapshot is or was in flight),
 // replayed ranges are dropped (idempotency), and gaps are buffered until
 // the missing range arrives (reorder tolerance).
-package replication
+package reliable
 
 import (
 	"sort"
@@ -218,4 +222,54 @@ func (b *Inbox) Offer(gen int64, reset bool, first int64, count int, payload any
 		}
 		b.applied = p.first + int64(p.count) - 1
 	}
+}
+
+// Dedup is the receiver-side duplicate filter of one unordered reliable
+// channel: a cumulative watermark plus a sparse set of seen sequence
+// numbers above it. Unlike Inbox it imposes no delivery order — the
+// overlay's end-to-end channels deliver messages as they arrive and only
+// need each sequence number to pass exactly once; ordering, where it
+// matters, is the application layer's business (version counters,
+// commutative folds).
+type Dedup struct {
+	cum    uint64 // every sequence number <= cum has been seen
+	sparse map[uint64]struct{}
+}
+
+// Cum returns the cumulative watermark: every sequence number up to and
+// including it has been seen. Acks carry this value.
+func (d *Dedup) Cum() uint64 { return d.cum }
+
+// Seen reports whether seq has already passed the filter.
+func (d *Dedup) Seen(seq uint64) bool {
+	if seq <= d.cum {
+		return true
+	}
+	_, ok := d.sparse[seq]
+	return ok
+}
+
+// Mark records seq as seen and reports whether this was its first
+// passage (false = duplicate, the caller must drop the delivery). The
+// watermark advances over any contiguous run the sparse set completes.
+func (d *Dedup) Mark(seq uint64) bool {
+	if d.Seen(seq) {
+		return false
+	}
+	if seq == d.cum+1 {
+		d.cum = seq
+		for {
+			if _, ok := d.sparse[d.cum+1]; !ok {
+				break
+			}
+			d.cum++
+			delete(d.sparse, d.cum)
+		}
+		return true
+	}
+	if d.sparse == nil {
+		d.sparse = make(map[uint64]struct{})
+	}
+	d.sparse[seq] = struct{}{}
+	return true
 }

@@ -59,11 +59,12 @@ type bufEv struct {
 // parState is the engine's parallel-mode state; zero and inert on a
 // serial engine.
 type parState struct {
-	workers int         // 0 = serial engine
-	heaps   []eventHeap // one per logical shard
-	bufs    [][]bufEv   // deferred schedules, indexed by source shard
-	firedSh []uint64    // events executed per shard this sub-round
-	inRound bool        // workers are (possibly) running
+	workers   int         // 0 = serial engine
+	heaps     []eventHeap // one per logical shard
+	bufs      [][]bufEv   // deferred schedules, indexed by source shard
+	firedSh   []uint64    // events executed per shard this sub-round
+	firedFgSh []uint64    // foreground events among them (bg timers excluded)
+	inRound   bool        // workers are (possibly) running
 
 	roundTime   Time
 	roundShards []int32
@@ -90,6 +91,7 @@ func (e *Engine) SetWorkers(n int) {
 		e.par.heaps = make([]eventHeap, Shards)
 		e.par.bufs = make([][]bufEv, Shards)
 		e.par.firedSh = make([]uint64, Shards)
+		e.par.firedFgSh = make([]uint64, Shards)
 	}
 }
 
@@ -147,10 +149,13 @@ func (e *Engine) nextTime() (Time, bool) {
 // duration of the sub-round) or inline by the coordinator.
 func (e *Engine) execShard(s int, t Time) {
 	h := &e.par.heaps[s]
-	var n uint64
+	var n, nFg uint64
 	for len(*h) > 0 && (*h)[0].at == t {
 		ev := h.pop()
 		n++
+		if !ev.bg {
+			nFg++
+		}
 		if ev.fn != nil {
 			ev.fn(t)
 		} else {
@@ -158,6 +163,7 @@ func (e *Engine) execShard(s int, t Time) {
 		}
 	}
 	e.par.firedSh[s] += n
+	e.par.firedFgSh[s] += nFg
 }
 
 // mergeRound folds the sub-round's results back into the engine at the
@@ -166,10 +172,12 @@ func (e *Engine) execShard(s int, t Time) {
 // shard), each receiving the next global sequence number.
 func (e *Engine) mergeRound() {
 	p := &e.par
-	var executed uint64
+	var executed, executedFg uint64
 	for s := 0; s < Shards; s++ {
 		executed += p.firedSh[s]
+		executedFg += p.firedFgSh[s]
 		p.firedSh[s] = 0
+		p.firedFgSh[s] = 0
 		buf := p.bufs[s]
 		for i := range buf {
 			ev := buf[i].ev
@@ -184,7 +192,7 @@ func (e *Engine) mergeRound() {
 		p.bufs[s] = buf[:0]
 	}
 	e.fired += executed
-	e.fg -= int(executed) // sharded events are always foreground
+	e.fg -= int(executedFg) // bg timers on shard heaps don't count as work
 }
 
 // runParallel is the parallel drain loop behind Run (untilFg=true) and

@@ -55,3 +55,10 @@ func (r *RNG) Int63n(n int64) int64 {
 func (r *RNG) Intn(n int) int {
 	return int(r.Int63n(int64(n)))
 }
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision
+// (the math/rand construction). The overlay's fault-injection draws —
+// drop, duplication and delay-spike Bernoulli trials — use this.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -217,6 +217,25 @@ func (e *Engine) AfterCtxShard(d Duration, cb CtxFunc, c Ctx, src, dst int) {
 	e.AtCtxShard(e.now+Time(d), cb, c, src, dst)
 }
 
+// AtCtxShardBg is AtCtxShard with a background occurrence: the event
+// fires in order on its destination shard when the clock passes t, but a
+// pending occurrence does not keep Run alive. The overlay's retransmit
+// timers use this — a timer guarding an already-acknowledged message
+// must not stall quiescence detection (the engine's drain loop advances
+// the clock explicitly when unacknowledged channel entries remain).
+func (e *Engine) AtCtxShardBg(t Time, cb CtxFunc, c Ctx, src, dst int) {
+	if e.par.workers == 0 {
+		e.schedule(t, event{cb: cb, ctx: c, bg: true})
+		return
+	}
+	e.scheduleShard(t, event{cb: cb, ctx: c, bg: true}, src, dst)
+}
+
+// AfterCtxShardBg schedules cb d ticks from now; see AtCtxShardBg.
+func (e *Engine) AfterCtxShardBg(d Duration, cb CtxFunc, c Ctx, src, dst int) {
+	e.AtCtxShardBg(e.now+Time(d), cb, c, src, dst)
+}
+
 // Step executes the single next event, if any, and reports whether one
 // was executed. Step is a serial-engine primitive: a parallel engine
 // defines order only at sub-round granularity, so it must be driven

@@ -54,6 +54,43 @@ func TestChurnOptionsValidated(t *testing.T) {
 	}
 }
 
+// TestFaultOptionsValidated: NewNetwork rejects fault plans with
+// out-of-range probabilities, inverted partition windows, or partition
+// side indices outside the initial node list — each error naming the
+// offending knob — and a negative BatchWindow, while valid plans
+// (including the empty zero-rate plan) still construct.
+func TestFaultOptionsValidated(t *testing.T) {
+	bad := []struct {
+		opts Options
+		want string
+	}{
+		{Options{Nodes: 8, Faults: &FaultOptions{DropProb: -0.5}}, "Faults.DropProb"},
+		{Options{Nodes: 8, Faults: &FaultOptions{DropProb: 1.01}}, "Faults.DropProb"},
+		{Options{Nodes: 8, Faults: &FaultOptions{DupProb: 7}}, "Faults.DupProb"},
+		{Options{Nodes: 8, Faults: &FaultOptions{SpikeProb: -1}}, "Faults.SpikeProb"},
+		{Options{Nodes: 8, Faults: &FaultOptions{Partitions: []FaultPartition{{Start: 9, End: 3}}}}, "Faults.Partitions[0]"},
+		{Options{Nodes: 8, Faults: &FaultOptions{Partitions: []FaultPartition{{Start: 0, End: 9, Side: []int{8}}}}}, "node index 8"},
+		{Options{Nodes: 8, Faults: &FaultOptions{Partitions: []FaultPartition{{Start: 0, End: 9, Side: []int{-1}}}}}, "node index -1"},
+		{Options{Nodes: 8, BatchWindow: -4}, "BatchWindow"},
+	}
+	for _, tc := range bad {
+		if _, err := NewNetwork(tc.opts); err == nil {
+			t.Errorf("%+v accepted, want error naming %q", tc.opts, tc.want)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error %q does not name %q", err, tc.want)
+		}
+	}
+	for _, opts := range []Options{
+		{Nodes: 8, Faults: &FaultOptions{}},
+		{Nodes: 8, Faults: &FaultOptions{DropProb: 1, DupProb: 1, SpikeProb: 1, SpikeMax: 3}},
+		{Nodes: 8, Faults: &FaultOptions{Partitions: []FaultPartition{{Start: 2, End: 10, Side: []int{0, 7}}}}},
+	} {
+		if _, err := NewNetwork(opts); err != nil {
+			t.Errorf("valid fault plan %+v rejected: %v", opts, err)
+		}
+	}
+}
+
 // runFixedWorkload drives one deterministic workload under the given
 // options and returns the subscription's answer count plus stats.
 func runFixedWorkload(t *testing.T, opts Options) (int, Stats) {

@@ -142,6 +142,57 @@ type Options struct {
 	// overlay static (the paper's setting). Explicit AddNode /
 	// RemoveNode / Crash calls work either way.
 	Churn ChurnOptions
+	// Faults switches the overlay into unreliable-network mode:
+	// per-message drop and duplication draws, delay spikes and
+	// scheduled partitions, with every keyed send running over a
+	// sequence-numbered reliable channel (acks, retransmits with
+	// exponential backoff, receiver-side dedup). nil — the default —
+	// keeps the reliable overlay bit-identical to previous releases.
+	// All fault randomness comes from dedicated per-node streams, so a
+	// plan with all rates zero and no partitions also replays the
+	// faults-off schedule exactly. Combine with ReplicationFactor >= 2
+	// to keep answers exact when partitions overlap crashes.
+	Faults *FaultOptions
+}
+
+// FaultOptions is the deterministic fault-injection plan of
+// Options.Faults. Probabilities are per transmission (retransmissions
+// draw afresh) and must lie in [0, 1]; timers are in virtual ticks.
+type FaultOptions struct {
+	// DropProb is the probability one transmission is lost. The
+	// reliable channel retransmits until the message is acknowledged,
+	// so delivered answers stay exact; only latency and traffic change.
+	DropProb float64
+	// DupProb is the probability one transmission is delivered twice.
+	// Receiver-side dedup suppresses the copy before it reaches the
+	// join processor.
+	DupProb float64
+	// SpikeProb is the probability one transmission's delay is
+	// inflated by a uniform draw from [0, SpikeMax] extra ticks.
+	SpikeProb float64
+	SpikeMax  int64
+	// Partitions schedules link outages between node sets in virtual
+	// time. Messages crossing an active partition are dropped (and
+	// retransmitted after it heals).
+	Partitions []FaultPartition
+	// RTO is the base retransmit timeout; 0 derives a safe bound from
+	// the delay model. Retry k waits RTO<<k plus deterministic jitter.
+	RTO int64
+	// MaxRetries bounds one backoff ladder before the sender
+	// re-resolves the destination key and re-routes; 0 means 6.
+	MaxRetries int
+	// AckDelay is the ack-coalescing window; 0 means 2 ticks.
+	AckDelay int64
+}
+
+// FaultPartition is one scheduled partition window: during [Start,
+// End) in virtual ticks, messages between the nodes listed in Side and
+// everyone else are dropped. Side holds positions in the initial
+// identifier-ordered node list (the same indexing RemoveNode and Crash
+// use at time zero).
+type FaultPartition struct {
+	Start, End int64
+	Side       []int
 }
 
 // ChurnOptions configures spontaneous membership churn. Rates are
@@ -239,6 +290,21 @@ type Stats struct {
 	ReplSyncs           int64
 	ReplPromotions      int64
 	ReplEntriesPromoted int64
+
+	// Unreliable-network accounting (Options.Faults). Dropped and
+	// Duplicated count injected transmission faults; Retransmits counts
+	// timer-driven resends and AckMessages the standalone (non
+	// piggybacked) acknowledgements. Abandoned counts reliable sends
+	// given up after exhausting every escalation ladder — zero in any
+	// healthy run. None of these are included in Messages: the traffic
+	// metric stays comparable with reliable-mode runs, and the ack/
+	// retransmit overhead is measured separately. All zero with Faults
+	// nil.
+	Dropped     int64
+	Duplicated  int64
+	Retransmits int64
+	AckMessages int64
+	Abandoned   int64
 }
 
 // Network is a simulated RJoin deployment: a Chord overlay with an
@@ -315,6 +381,28 @@ func NewNetwork(opts Options) (*Network, error) {
 			return nil, fmt.Errorf("rjoin: Workers %d is incompatible with StrategyWorst (its oracle reads cross-shard state)", opts.Workers)
 		}
 	}
+	if opts.Faults != nil {
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"DropProb", opts.Faults.DropProb}, {"DupProb", opts.Faults.DupProb}, {"SpikeProb", opts.Faults.SpikeProb}} {
+			if p.v < 0 || p.v > 1 {
+				return nil, fmt.Errorf("rjoin: Faults.%s %v outside [0, 1]", p.name, p.v)
+			}
+		}
+		for i, p := range opts.Faults.Partitions {
+			if p.End < p.Start {
+				return nil, fmt.Errorf("rjoin: Faults.Partitions[%d] window [%d, %d) ends before it starts",
+					i, p.Start, p.End)
+			}
+			for _, idx := range p.Side {
+				if idx < 0 || idx >= opts.Nodes {
+					return nil, fmt.Errorf("rjoin: Faults.Partitions[%d] node index %d outside [0, %d)",
+						i, idx, opts.Nodes)
+				}
+			}
+		}
+	}
 	ring := chord.NewRing()
 	idRng := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < opts.Nodes; i++ {
@@ -325,6 +413,34 @@ func NewNetwork(opts Options) (*Network, error) {
 		}
 	}
 	ring.BuildPerfect()
+	var faults *overlay.Faults
+	if opts.Faults != nil {
+		// Resolve partition sides from positions in the initial
+		// identifier-ordered node list to identifier sets; the ring is
+		// fully built, so the indexing matches what RemoveNode and
+		// Crash would see at time zero.
+		nodes := ring.Nodes()
+		faults = &overlay.Faults{
+			DropProb:   opts.Faults.DropProb,
+			DupProb:    opts.Faults.DupProb,
+			SpikeProb:  opts.Faults.SpikeProb,
+			SpikeMax:   opts.Faults.SpikeMax,
+			RTO:        opts.Faults.RTO,
+			MaxRetries: opts.Faults.MaxRetries,
+			AckDelay:   opts.Faults.AckDelay,
+		}
+		for _, p := range opts.Faults.Partitions {
+			side := make(map[id.ID]bool, len(p.Side))
+			for _, idx := range p.Side {
+				side[nodes[idx].ID()] = true
+			}
+			faults.Partitions = append(faults.Partitions, overlay.Partition{
+				Start: sim.Time(p.Start),
+				End:   sim.Time(p.End),
+				Side:  side,
+			})
+		}
+	}
 	se := sim.NewEngine(opts.Seed)
 	if opts.Workers > 1 {
 		se.SetWorkers(opts.Workers)
@@ -334,9 +450,12 @@ func NewNetwork(opts Options) (*Network, error) {
 		MaxHopDelay:    opts.MaxHopDelay,
 		GroupMultiSend: true,
 		BatchWindow:    opts.BatchWindow,
+		Faults:         faults,
 		// With bouncing on, messages in flight to a node that departs
 		// re-route to the key's new owner. On a static ring it never
-		// fires, so enabling it unconditionally costs nothing.
+		// fires, so enabling it unconditionally costs nothing. The
+		// reliable channel's retransmit escalation also re-routes
+		// through this path, so Faults requires it.
 		Bounce: true,
 	})
 	if err != nil {
@@ -571,6 +690,11 @@ func (n *Network) Stats() Stats {
 		ReplSyncs:           n.eng.Counters.ReplSyncs,
 		ReplPromotions:      n.eng.Counters.ReplPromotions,
 		ReplEntriesPromoted: n.eng.Counters.ReplEntriesPromoted,
+		Dropped:             n.eng.Net().Dropped,
+		Duplicated:          n.eng.Net().Duplicated,
+		Retransmits:         n.eng.Net().Retransmits,
+		AckMessages:         n.eng.Net().AckMessages,
+		Abandoned:           n.eng.Net().Abandoned,
 	}
 }
 
