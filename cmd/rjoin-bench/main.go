@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rjoin-bench [-out DIR] [-runs N]
+//	rjoin-bench [-out DIR] [-runs N] [-baseline DIR] [-pprof ADDR] [-trace FILE] [-metrics-csv FILE]
 //
 // Areas:
 //
@@ -16,15 +16,30 @@
 //	engine  — raw event-engine throughput on a mixed workload, the
 //	          serial engine and Workers ∈ {2, 4, 8}
 //	          (BENCH_engine.json)
+//
+// Each file carries environment metadata (Go version, GOOS/GOARCH,
+// GOMAXPROCS, CPU count, VCS revision) so baselines from different
+// machines are never compared blindly. With -baseline DIR the run is
+// compared against the committed BENCH_*.json files there, warning on
+// any median ns/op more than 15% above the baseline. -pprof ADDR
+// serves net/http/pprof and expvar during the run so the benchmarks
+// can be profiled live. -trace/-metrics-csv run one extra instrumented
+// (untimed) pass of the publish workload and export its Chrome/Perfetto
+// trace and rate-series CSV.
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"testing"
 	"time"
@@ -49,18 +64,58 @@ type area struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	GitCommit  string   `json:"git_commit,omitempty"`
 	Timestamp  string   `json:"timestamp"`
 	Benchmarks []result `json:"benchmarks"`
+}
+
+// gitCommit reports the VCS revision stamped into the binary at build
+// time ("" for builds outside a repository or with -buildvcs=false).
+func gitCommit() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	return rev + dirty
 }
 
 func main() {
 	out := flag.String("out", ".", "directory to write BENCH_<area>.json files into")
 	runs := flag.Int("runs", 5, "benchmark repetitions; the median ns/op is reported")
+	baseline := flag.String("baseline", "", "directory with committed BENCH_<area>.json files to compare against")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on ADDR (e.g. localhost:6060) during the run")
+	traceFile := flag.String("trace", "", "write an instrumented publish-workload Chrome/Perfetto trace to FILE")
+	metricsFile := flag.String("metrics-csv", "", "write the instrumented publish workload's rate-series CSV to FILE")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "rjoin-bench: %v\n", err)
 		os.Exit(1)
+	}
+
+	current := expvar.NewString("rjoin.bench.current")
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rjoin-bench: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof and expvar serving on http://%s/debug/\n", *pprofAddr)
 	}
 
 	areas := []struct {
@@ -78,6 +133,7 @@ func main() {
 			{"EngineThroughputWorkers8", engineBench(8)},
 		}},
 	}
+	commit := gitCommit()
 	for _, a := range areas {
 		doc := area{
 			Area:       a.name,
@@ -85,9 +141,12 @@ func main() {
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GitCommit:  commit,
 			Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		}
 		for _, nb := range a.benches {
+			current.Set(a.name + "/" + nb.name)
 			doc.Benchmarks = append(doc.Benchmarks, measure(nb, *runs))
 		}
 		path := filepath.Join(*out, "BENCH_"+a.name+".json")
@@ -100,7 +159,106 @@ func main() {
 			fmt.Printf("  %-26s %12.0f ns/op  %6d allocs/op  %8d B/op\n",
 				b.Name, b.MedianNsOp, b.AllocsPerOp, b.BytesPerOp)
 		}
+		if *baseline != "" {
+			compareBaseline(filepath.Join(*baseline, "BENCH_"+a.name+".json"), doc)
+		}
 	}
+
+	if *traceFile != "" || *metricsFile != "" {
+		if err := obsArtifacts(*traceFile, *metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "rjoin-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline warns (without failing) about benchmarks whose median
+// ns/op regressed by more than 15% against the committed baseline.
+// Baselines recorded on a different Go version or architecture are
+// compared anyway but flagged, since the delta may be environmental.
+func compareBaseline(path string, cur area) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rjoin-bench: baseline: %v (skipping comparison)\n", err)
+		return
+	}
+	var base area
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "rjoin-bench: baseline %s: %v (skipping comparison)\n", path, err)
+		return
+	}
+	if base.GoVersion != cur.GoVersion || base.GOARCH != cur.GOARCH {
+		fmt.Printf("  note: baseline recorded on %s/%s, this run is %s/%s\n",
+			base.GoVersion, base.GOARCH, cur.GoVersion, cur.GOARCH)
+	}
+	byName := make(map[string]result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		ref, ok := byName[b.Name]
+		if !ok || ref.MedianNsOp <= 0 {
+			continue
+		}
+		delta := (b.MedianNsOp - ref.MedianNsOp) / ref.MedianNsOp
+		switch {
+		case delta > 0.15:
+			fmt.Printf("  WARNING %-22s %+.1f%% vs baseline (%.0f -> %.0f ns/op)\n",
+				b.Name, 100*delta, ref.MedianNsOp, b.MedianNsOp)
+		default:
+			fmt.Printf("  ok      %-22s %+.1f%% vs baseline\n", b.Name, 100*delta)
+		}
+	}
+}
+
+// obsArtifacts runs one untimed, instrumented pass of the publish
+// workload and exports its observability artifacts.
+func obsArtifacts(traceFile, metricsFile string) error {
+	net := rjoin.MustNetwork(rjoin.Options{
+		Nodes: 128, Seed: 11,
+		Trace:   &rjoin.TraceOptions{},
+		Metrics: &rjoin.MetricsOptions{},
+	})
+	net.MustDefineRelation("R", "A", "B")
+	net.MustDefineRelation("S", "A", "B")
+	for i := 0; i < 100; i++ {
+		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+	}
+	net.Run()
+	for i := 0; i < 512; i++ {
+		net.MustPublish("R", i%50, i)
+		net.MustPublish("S", i%50, i)
+		if i%16 == 15 {
+			net.Run()
+		}
+	}
+	net.Run()
+	if traceFile != "" {
+		if err := writeTo(traceFile, net.WriteTrace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (open at https://ui.perfetto.dev)\n", traceFile)
+	}
+	if metricsFile != "" {
+		if err := writeTo(metricsFile, net.WriteMetricsCSV); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metricsFile)
+	}
+	return nil
+}
+
+// writeTo streams one export into a freshly created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type namedBench struct {

@@ -11,11 +11,22 @@
 // along. With -lossy, the Figure 1 walkthrough itself runs on an
 // unreliable overlay — a 20% drop rate masked by the reliable channels
 // — and reports the fault counters next to the usual stats.
+//
+// Observability: -trace FILE writes the walkthrough's causal trace as a
+// Chrome trace-event file (one lane per node; load it at
+// https://ui.perfetto.dev), -metrics-csv FILE the windowed rate series.
+// -pprof ADDR serves net/http/pprof and expvar (live network stats
+// under /debug/vars) on ADDR and keeps the process alive after the
+// walkthrough so the endpoints can be scraped.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"rjoin"
@@ -28,7 +39,18 @@ func main() {
 	workers := flag.Int("workers", 0, "event-engine worker threads (0/1 serial, >=2 deterministic parallel)")
 	lossy := flag.Bool("lossy", false, "run the Figure 1 scenario on an unreliable overlay (20% drop, duplication, spikes)")
 	fig := flag.String("fig", "", `figure to run instead of the demo (only "lossy")`)
+	traceFile := flag.String("trace", "", "write the walkthrough's Chrome/Perfetto trace to FILE")
+	metricsFile := flag.String("metrics-csv", "", "write the walkthrough's rate-series CSV to FILE")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on ADDR (e.g. localhost:6060) and stay alive")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rjoin-demo: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	if *fig != "" {
 		if *fig != "lossy" {
@@ -52,7 +74,14 @@ func main() {
 		opts.ReplicationFactor = 2
 		opts.Faults = &rjoin.FaultOptions{DropProb: 0.20, DupProb: 0.05, SpikeProb: 0.05, SpikeMax: 4}
 	}
+	if *traceFile != "" {
+		opts.Trace = &rjoin.TraceOptions{}
+	}
+	if *metricsFile != "" {
+		opts.Metrics = &rjoin.MetricsOptions{SampleInterval: 16}
+	}
 	net := rjoin.MustNetwork(opts)
+	expvar.Publish("rjoin.stats", expvar.Func(func() any { return net.Stats() }))
 	for _, rel := range []string{"R", "S", "J", "M"} {
 		net.MustDefineRelation(rel, "A", "B", "C")
 	}
@@ -93,6 +122,37 @@ func main() {
 		fmt.Printf("Unreliable network: %d dropped, %d duplicated, masked by %d retransmits and %d acks (%d abandoned)\n",
 			st.Dropped, st.Duplicated, st.Retransmits, st.AckMessages, st.Abandoned)
 	}
+	if *traceFile != "" {
+		if err := writeTo(*traceFile, net.WriteTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "rjoin-demo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open at https://ui.perfetto.dev)\n", *traceFile)
+	}
+	if *metricsFile != "" {
+		if err := writeTo(*metricsFile, net.WriteMetricsCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "rjoin-demo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsFile)
+	}
+	if *pprofAddr != "" {
+		fmt.Printf("pprof and expvar serving on http://%s/debug/ (Ctrl-C to exit)\n", *pprofAddr)
+		select {}
+	}
+}
+
+// writeTo streams one export into a freshly created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func report(net *rjoin.Network, sub *rjoin.Subscription) {

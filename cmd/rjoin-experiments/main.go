@@ -14,6 +14,11 @@
 // engine (runs needing StrategyWorst's cross-shard oracle stay serial).
 // With -csv, every table is additionally written to DIR as one CSV file
 // named after its title, plottable without scraping the text output.
+//
+// The latency figure is instrumented end to end; -trace and
+// -metrics-csv export its raw observability artifacts — a Chrome
+// trace-event file (load it at https://ui.perfetto.dev) and the full
+// windowed rate-series CSV behind the figure's tables.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"rjoin/internal/experiments"
 	"rjoin/internal/metrics"
+	"rjoin/internal/obs"
 )
 
 func main() {
@@ -36,6 +42,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 	workers := flag.Int("workers", 0, "event-engine worker threads (0/1 serial, >=2 deterministic parallel)")
 	csvDir := flag.String("csv", "", "directory to additionally write each table to as CSV")
+	traceFile := flag.String("trace", "", "write the latency figure's Chrome/Perfetto trace to FILE")
+	metricsFile := flag.String("metrics-csv", "", "write the latency figure's rate-series CSV to FILE")
 	flag.Parse()
 
 	p := experiments.Default(*scale)
@@ -64,19 +72,21 @@ func main() {
 		"agg":      experiments.FigAgg,
 		"recovery": experiments.FigRecovery,
 		"lossy":    experiments.FigLossy,
+		"latency":  experiments.FigLatency,
 	}
 
 	var figs []string
 	if *fig == "" {
 		// Figures 7 and 8 share one experiment run; the sentinel "7+8"
-		// computes both together. "churn", "agg", "recovery" and
-		// "lossy" are this reproduction's own extensions: dynamic
-		// membership, in-network aggregation, durable state replication
-		// and reliable delivery over an unreliable network.
-		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery", "lossy"}
+		// computes both together. "churn", "agg", "recovery", "lossy"
+		// and "latency" are this reproduction's own extensions: dynamic
+		// membership, in-network aggregation, durable state replication,
+		// reliable delivery over an unreliable network and the
+		// observability figure.
+		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery", "lossy", "latency"}
 	} else {
 		if _, ok := runners[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg, recovery or lossy)\n", *fig)
+			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg, recovery, lossy or latency)\n", *fig)
 			os.Exit(2)
 		}
 		figs = []string{*fig}
@@ -91,8 +101,51 @@ func main() {
 			printTables(append(f7, f8...), start, *csvDir)
 			continue
 		}
+		if f == "latency" && (*traceFile != "" || *metricsFile != "") {
+			tabs, tr, om := experiments.FigLatencyObs(p)
+			printTables(tabs, start, *csvDir)
+			if err := writeArtifacts(*traceFile, *metricsFile, tr, om); err != nil {
+				fmt.Fprintf(os.Stderr, "rjoin-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		printTables(runners[f](p), start, *csvDir)
 	}
+}
+
+// writeArtifacts exports the latency figure's raw observability data:
+// the Chrome/Perfetto trace and the windowed rate-series CSV.
+func writeArtifacts(traceFile, metricsFile string, tr *obs.Tracer, om *obs.Metrics) error {
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (open at https://ui.perfetto.dev)\n", traceFile)
+	}
+	if metricsFile != "" {
+		f, err := os.Create(metricsFile)
+		if err != nil {
+			return err
+		}
+		if err := om.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metricsFile)
+	}
+	return nil
 }
 
 func printTables(tabs []*metrics.Table, start time.Time, csvDir string) {

@@ -94,14 +94,17 @@ func TestGoldenDeterminism(t *testing.T) {
 		stats  Stats
 		digest uint64
 	}{
-		{Stats{Messages: 12650, RICMessages: 362, QueryProcessingLoad: 1862, StorageLoad: 1484, Answers: 8746, RewritesCreated: 9933, MaxNodeQPL: 220, ParticipatingNodes: 53}, 0x631b5dd40811f4a5},
-		{Stats{Messages: 12791, RICMessages: 199, QueryProcessingLoad: 2099, StorageLoad: 1728, Answers: 8609, RewritesCreated: 10060, MaxNodeQPL: 255, ParticipatingNodes: 54}, 0x196e6f513d18ce1d},
+		{Stats{Messages: 12650, RICMessages: 362, QueryProcessingLoad: 1862, StorageLoad: 1484, Answers: 8746, RewritesCreated: 9933, MaxNodeQPL: 220, ParticipatingNodes: 53,
+			TrafficByTag: TagTraffic{RIC: 362, App: 12288}}, 0x631b5dd40811f4a5},
+		{Stats{Messages: 12791, RICMessages: 199, QueryProcessingLoad: 2099, StorageLoad: 1728, Answers: 8609, RewritesCreated: 10060, MaxNodeQPL: 255, ParticipatingNodes: 54,
+			TrafficByTag: TagTraffic{RIC: 199, App: 12592}}, 0x196e6f513d18ce1d},
 		// Churn-enabled: 19 joins, 22 graceful leaves and 10 crashes
 		// interleave the mixed workload; the digest pins the handover
 		// ordering, bounce paths, ownership re-routes and crash
 		// recovery to an exact replay.
 		{Stats{Messages: 12572, RICMessages: 552, QueryProcessingLoad: 1607, StorageLoad: 1235, Answers: 8282, RewritesCreated: 9214, MaxNodeQPL: 156, ParticipatingNodes: 63,
-			Joins: 19, Leaves: 22, Crashes: 10, HandoverMessages: 22, HandoverEntries: 296, MessagesRerouted: 2, MessagesBounced: 821, RewritesLost: 7, TuplesLost: 16}, 0x2b62efaa569da411},
+			Joins: 19, Leaves: 22, Crashes: 10, HandoverMessages: 22, HandoverEntries: 296, MessagesRerouted: 2, MessagesBounced: 821, RewritesLost: 7, TuplesLost: 16,
+			TrafficByTag: TagTraffic{RIC: 552, Churn: 22, App: 11998}}, 0x2b62efaa569da411},
 	}
 	for i, opts := range goldenConfigs() {
 		st1, d1 := goldenWorkload(opts)
@@ -217,13 +220,16 @@ func TestGoldenDeterminismParallel(t *testing.T) {
 		stats  Stats
 		digest uint64
 	}{
-		{Stats{Messages: 12650, RICMessages: 362, QueryProcessingLoad: 1862, StorageLoad: 1484, Answers: 8746, RewritesCreated: 9933, MaxNodeQPL: 220, ParticipatingNodes: 53}, 0xc2547b24d4c721b1},
-		{Stats{Messages: 12509, RICMessages: 227, QueryProcessingLoad: 2076, StorageLoad: 1728, Answers: 8288, RewritesCreated: 9716, MaxNodeQPL: 255, ParticipatingNodes: 54}, 0xa238b08d03877621},
+		{Stats{Messages: 12650, RICMessages: 362, QueryProcessingLoad: 1862, StorageLoad: 1484, Answers: 8746, RewritesCreated: 9933, MaxNodeQPL: 220, ParticipatingNodes: 53,
+			TrafficByTag: TagTraffic{RIC: 362, App: 12288}}, 0xc2547b24d4c721b1},
+		{Stats{Messages: 12509, RICMessages: 227, QueryProcessingLoad: 2076, StorageLoad: 1728, Answers: 8288, RewritesCreated: 9716, MaxNodeQPL: 255, ParticipatingNodes: 54,
+			TrafficByTag: TagTraffic{RIC: 227, App: 12282}}, 0xa238b08d03877621},
 		// Churn under parallel execution: membership changes run as
 		// global events between sub-rounds, handovers land in worker
 		// context, and the whole history still replays bit-identically.
 		{Stats{Messages: 12572, RICMessages: 552, QueryProcessingLoad: 1607, StorageLoad: 1235, Answers: 8282, RewritesCreated: 9214, MaxNodeQPL: 156, ParticipatingNodes: 63,
-			Joins: 19, Leaves: 22, Crashes: 10, HandoverMessages: 22, HandoverEntries: 296, MessagesRerouted: 2, MessagesBounced: 821, RewritesLost: 7, TuplesLost: 16}, 0x4209cc5b8b00c1f9},
+			Joins: 19, Leaves: 22, Crashes: 10, HandoverMessages: 22, HandoverEntries: 296, MessagesRerouted: 2, MessagesBounced: 821, RewritesLost: 7, TuplesLost: 16,
+			TrafficByTag: TagTraffic{RIC: 552, Churn: 22, App: 11998}}, 0x4209cc5b8b00c1f9},
 	}
 	for i, base := range parallelConfigs() {
 		for wi, w := range []int{2, 4, 8} {

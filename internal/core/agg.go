@@ -5,6 +5,7 @@ import (
 
 	"rjoin/internal/agg"
 	"rjoin/internal/id"
+	"rjoin/internal/obs"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
 	"rjoin/internal/sim"
@@ -52,6 +53,13 @@ type aggGroup struct {
 	group  []relation.Value // grouping values, in group-position order
 	epochs map[int64]*agg.Partial
 	dirty  map[int64]bool
+
+	// pubAt is the group's latency watermark: the maximum triggering
+	// publication vtime over all folded partials. Max commutes, so the
+	// watermark is deterministic under any fold order; it rides on
+	// emitted group updates so the subscriber can measure answer
+	// latency for aggregates the same way it does for plain answers.
+	pubAt int64
 }
 
 // mergeInto folds g into dst (the handover-collision path: partials for
@@ -60,6 +68,9 @@ type aggGroup struct {
 // state is independent of arrival interleaving. Every transferred
 // epoch is marked dirty on dst so the next flush re-emits its row.
 func (g *aggGroup) mergeInto(sliding bool, dst *aggGroup) {
+	if g.pubAt > dst.pubAt {
+		dst.pubAt = g.pubAt
+	}
 	for e, part := range g.epochs {
 		if cur, ok := dst.epochs[e]; ok {
 			cur.Merge(part)
@@ -87,21 +98,21 @@ func (e *Engine) aggSpec(queryID string) *agg.Spec { return e.aggSpecs[queryID] 
 // queries fold it into the aggregation pipeline. clock is the
 // completion clock — the maximum window-clock over the combined tuples
 // — which assigns the row to its epoch.
-func (p *Proc) emitCompletion(now sim.Time, q *query.Query, vals []relation.Value, clock int64) {
+func (p *Proc) emitCompletion(now sim.Time, q *query.Query, vals []relation.Value, clock int64, pubAt int64) {
 	spec := p.eng.aggSpec(q.ID)
 	if spec == nil {
-		p.eng.net.SendDirect(p.node, id.ID(q.Owner), newAnswerMsg(q.ID, id.ID(q.Owner), vals))
+		p.eng.net.SendDirect(p.node, id.ID(q.Owner), newAnswerMsg(q.ID, id.ID(q.Owner), vals, pubAt))
 		return
 	}
 	epoch := spec.Window.EpochOf(clock)
 	if p.eng.Cfg.SubscriberSideAgg {
 		p.eng.net.WithTag(p.node, TagAgg, func() {
-			p.eng.net.SendDirect(p.node, id.ID(q.Owner), newAggRowMsg(q.ID, id.ID(q.Owner), epoch, vals))
+			p.eng.net.SendDirect(p.node, id.ID(q.Owner), newAggRowMsg(q.ID, id.ID(q.Owner), epoch, vals, pubAt))
 		})
 		return
 	}
 	key := aggKeyOf(q.ID, spec.GroupKey(vals))
-	msg := newAggPartialMsg(q.ID, key, id.ID(q.Owner), epoch, vals)
+	msg := newAggPartialMsg(q.ID, key, id.ID(q.Owner), epoch, vals, pubAt)
 	p.eng.net.WithTag(p.node, TagAgg, func() {
 		// One-hop fast path: the candidate table remembers which node a
 		// previous partial for this group was routed to (the same trick
@@ -129,6 +140,12 @@ func (p *Proc) onAggPartial(now sim.Time, m *aggPartialMsg) {
 	}
 	p.qpl.Add(p.node.ID(), 1)
 	p.ctr.AggPartials++
+	if tr := p.eng.trace; tr != nil {
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindAggPartial, Node: p.nid(),
+			Trace: m.QueryID, Key: m.Key.String(), Arg: m.Epoch,
+		})
+	}
 	g, ok := p.aggs[m.Key]
 	if !ok {
 		g = &aggGroup{
@@ -148,6 +165,9 @@ func (p *Proc) onAggPartial(now sim.Time, m *aggPartialMsg) {
 		g.epochs[m.Epoch] = part
 	}
 	part.Add(spec, m.Row)
+	if m.PubAt > g.pubAt {
+		g.pubAt = m.PubAt
+	}
 	g.dirty[m.Epoch] = true
 	if spec.Sliding() {
 		// The next epoch's sliding view merges this epoch's partial, so
@@ -171,12 +191,23 @@ type viewEntry struct {
 
 // recordAggUpdate installs a group-update row into the owner-side
 // aggregate view, keeping the highest version per (group, epoch) so
-// reordered deliveries cannot regress the view. ctr is the acting
-// shard's counter slot.
-func (e *Engine) recordAggUpdate(m *aggUpdateMsg, ctr *Counters) {
+// reordered deliveries cannot regress the view. p is the owner's
+// processor.
+func (e *Engine) recordAggUpdate(now sim.Time, m *aggUpdateMsg, p *Proc) {
 	e.answersMu.Lock()
 	defer e.answersMu.Unlock()
-	ctr.AggUpdates++
+	p.ctr.AggUpdates++
+	lat := int64(now) - m.PubAt
+	if om := e.obsM; om != nil {
+		om.ObserveLatency(m.QueryID, lat)
+		om.IncQuery(p.shard, int64(now), m.QueryID)
+	}
+	if tr := e.trace; tr != nil {
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindAggUpdate, Node: p.nid(),
+			Trace: m.QueryID, Key: m.Group, Arg: m.Epoch,
+		})
+	}
 	vw, ok := e.aggViews[m.QueryID]
 	if !ok {
 		vw = make(map[viewKey]viewEntry)
@@ -200,14 +231,24 @@ type localAggGroup struct {
 // state (the SubscriberSideAgg ablation) and refreshes the affected
 // view rows immediately — the subscriber pays one message per raw row,
 // which is exactly the load the aggregation figure measures against.
-func (e *Engine) recordAggRow(m *aggRowMsg, ctr *Counters) {
+func (e *Engine) recordAggRow(now sim.Time, m *aggRowMsg, p *Proc) {
 	spec := e.aggSpec(m.QueryID)
 	if spec == nil {
 		return
 	}
 	e.answersMu.Lock()
 	defer e.answersMu.Unlock()
-	ctr.AggPartials++
+	p.ctr.AggPartials++
+	if om := e.obsM; om != nil {
+		om.ObserveLatency(m.QueryID, int64(now)-m.PubAt)
+		om.IncQuery(p.shard, int64(now), m.QueryID)
+	}
+	if tr := e.trace; tr != nil {
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindAggPartial, Node: p.nid(),
+			Trace: m.QueryID, Arg: m.Epoch,
+		})
+	}
 	groups, ok := e.aggLocal[m.QueryID]
 	if !ok {
 		groups = make(map[string]*localAggGroup)
@@ -301,6 +342,7 @@ func (e *Engine) flushAggregates() bool {
 					Epoch:   ep,
 					Ver:     agg.MergedRows(parts...),
 					Row:     spec.FinalizeRow(g.group, parts...),
+					PubAt:   g.pubAt,
 				}
 				e.net.WithTag(p.node, TagAgg, func() {
 					e.net.SendDirect(p.node, g.owner, msg)

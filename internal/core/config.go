@@ -12,6 +12,8 @@
 // info, chained RIC request walks).
 package core
 
+import "rjoin/internal/obs"
+
 // Strategy selects how nextKey() places input and rewritten queries
 // among their index candidates (Sections 3 and 6). The experiments of
 // Figure 2 compare the three.
@@ -160,6 +162,17 @@ type Config struct {
 	// uses, consulted by TupleGC. Zero disables tuple GC even when
 	// TupleGC is set.
 	MaxWindowHint int64
+
+	// Trace, when non-nil, receives a causal trace event for every
+	// step of the tuple and query lifecycle (see internal/obs). Every
+	// hook is nil-guarded: a nil Trace costs nothing on the hot path
+	// and leaves all golden digests byte-identical.
+	Trace *obs.Tracer
+
+	// Metrics, when non-nil, receives latency/depth histogram
+	// observations and windowed per-node/per-query rate counts. Same
+	// nil-guard discipline as Trace.
+	Metrics *obs.Metrics
 }
 
 // DefaultConfig returns the configuration the paper's experiments run

@@ -8,6 +8,7 @@ import (
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
 	"rjoin/internal/metrics"
+	"rjoin/internal/obs"
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
@@ -161,6 +162,13 @@ type Engine struct {
 	reqCnt   int64
 	lossy    bool // unreliable network: senders retain messages, no pooling
 
+	// trace and obsM mirror Cfg.Trace/Cfg.Metrics for direct hot-path
+	// access. Both nil unless observability is enabled; every hook site
+	// nil-guards before building an event, so the disabled path costs
+	// one predictable branch and zero allocations.
+	trace *obs.Tracer
+	obsM  *obs.Metrics
+
 	// Parallel-mode accumulators: while workers run, every hot-path
 	// count goes to the acting node's shard slot and merges into the
 	// public Counters/QPL/SL at the next Sync. Nil on a serial engine.
@@ -201,6 +209,8 @@ func NewEngine(ring *chord.Ring, se *sim.Engine, net *overlay.Network, cfg Confi
 		e.delta = net.MaxDelta()
 	}
 	e.lossy = net.Lossy()
+	e.trace = cfg.Trace
+	e.obsM = cfg.Metrics
 	if se.Workers() > 0 {
 		e.par = true
 		e.shardCtr = make([]Counters, sim.Shards)
@@ -301,6 +311,13 @@ func (e *Engine) SubmitQuery(owner *chord.Node, q *query.Query) (string, error) 
 	if spec := agg.SpecOf(q); spec != nil {
 		e.aggSpecs[qid] = spec
 	}
+	e.obsM.RegisterQuery(qid)
+	if tr := e.trace; tr != nil {
+		tr.Emit(sim.NoShard, obs.Event{
+			At: int64(e.sim.Now()), Kind: obs.KindSubmit,
+			Node: uint64(owner.ID()), Trace: qid, Arg: int64(len(q.Relations)),
+		})
+	}
 	// place may drop (and pool-Release) an unplaceable query, so the ID
 	// must be captured before it runs.
 	p.place(e.sim.Now(), q)
@@ -321,6 +338,12 @@ func (e *Engine) PublishTuple(publisher *chord.Node, t *relation.Tuple) {
 	t.PubSeq = e.pubSeq
 	t.PubTime = int64(e.sim.Now())
 	e.Counters.TuplesPublished++
+	if tr := e.trace; tr != nil {
+		tr.Emit(sim.NoShard, obs.Event{
+			At: t.PubTime, Kind: obs.KindPublish, Node: uint64(publisher.ID()),
+			Trace: obs.PubTrace(uint64(publisher.ID()), t.PubSeq), Arg: t.PubSeq,
+		})
+	}
 
 	attrKeys, valueKeys := t.Keys()
 	msgs := make([]overlay.Message, 0, 2*len(attrKeys))
@@ -374,11 +397,11 @@ func replicaKey(base relation.Key, i int) relation.Key {
 
 // recordAnswer collects an answer at its owner, applying the owner-side
 // set-semantics filter for DISTINCT queries (a final local safety net on
-// top of the distributed projection rule). ctr is the acting shard's
-// counter slot. The mutex serializes only the shared map bookkeeping:
-// per-query delivery order is already fixed by the owner's shard
-// schedule, so locking cannot perturb it.
-func (e *Engine) recordAnswer(now sim.Time, m *answerMsg, ctr *Counters) {
+// top of the distributed projection rule). p is the owner's processor
+// (its counter slot, shard and node identity). The mutex serializes
+// only the shared map bookkeeping: per-query delivery order is already
+// fixed by the owner's shard schedule, so locking cannot perturb it.
+func (e *Engine) recordAnswer(now sim.Time, m *answerMsg, p *Proc) {
 	e.answersMu.Lock()
 	defer e.answersMu.Unlock()
 	if e.distinctQs[m.QueryID] {
@@ -389,17 +412,28 @@ func (e *Engine) recordAnswer(now sim.Time, m *answerMsg, ctr *Counters) {
 		}
 		key := rowKey(m.Values)
 		if rows[key] {
-			ctr.AnswerDupesFiltered++
+			p.ctr.AnswerDupesFiltered++
 			return
 		}
 		rows[key] = true
 	}
-	ctr.AnswersDelivered++
+	p.ctr.AnswersDelivered++
 	e.answers[m.QueryID] = append(e.answers[m.QueryID], Answer{
 		QueryID: m.QueryID,
 		Values:  m.Values,
 		At:      now,
 	})
+	lat := int64(now) - m.PubAt
+	if om := e.obsM; om != nil {
+		om.ObserveLatency(m.QueryID, lat)
+		om.IncQuery(p.shard, int64(now), m.QueryID)
+	}
+	if tr := e.trace; tr != nil {
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindAnswer, Node: p.nid(),
+			Trace: m.QueryID, Arg: lat,
+		})
+	}
 }
 
 // rowKey canonicalizes a row for the DISTINCT filter using the shared
@@ -452,6 +486,12 @@ func (e *Engine) TotalAnswers() int64 {
 // It runs after every drain and before metric reads; on a serial
 // engine it is a no-op. Must be called from coordinator context only.
 func (e *Engine) Sync() {
+	// Trace flushes belong to sync barriers: Sync runs from driver
+	// context only (no handlers executing), at virtual times that are a
+	// pure function of the driving program — identical for every worker
+	// count — so flush batches, and with them the canonicalized event
+	// order, line up bit-for-bit across serial and parallel runs.
+	e.trace.Flush()
 	if !e.par {
 		return
 	}
@@ -509,6 +549,7 @@ func (e *Engine) ResetMetrics() {
 	e.SL.Reset()
 	e.Counters = Counters{}
 	e.net.ResetTraffic()
+	e.obsM.Reset()
 }
 
 // SweepALTT prunes expired ALTT entries on every node. Expiry is

@@ -6,6 +6,7 @@ import (
 
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
+	"rjoin/internal/obs"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
 	"rjoin/internal/sim"
@@ -197,6 +198,13 @@ func (e *Engine) sendHandover(from *chord.Node, to id.ID, msgs []*handoverMsg) {
 			}
 			e.Counters.HandoverMessages++
 			e.Counters.HandoverEntries += int64(m.entryCount())
+			if tr := e.trace; tr != nil {
+				// Handover runs from churn-manager (coordinator) context.
+				tr.Emit(sim.NoShard, obs.Event{
+					At: int64(e.sim.Now()), Kind: obs.KindHandover,
+					Node: uint64(from.ID()), Arg: int64(m.entryCount()),
+				})
+			}
 			e.net.Transfer(from, to, m)
 		}
 	})

@@ -35,9 +35,9 @@ func newEvalMsg(q *query.Query, key relation.Key, level query.Level, ric []ricIn
 	return m
 }
 
-func newAnswerMsg(queryID string, owner id.ID, values []relation.Value) *answerMsg {
+func newAnswerMsg(queryID string, owner id.ID, values []relation.Value, pubAt int64) *answerMsg {
 	m := answerMsgPool.Get().(*answerMsg)
-	*m = answerMsg{QueryID: queryID, Owner: owner, Values: values}
+	*m = answerMsg{QueryID: queryID, Owner: owner, Values: values, PubAt: pubAt}
 	return m
 }
 
@@ -80,21 +80,25 @@ type answerMsg struct {
 	QueryID string
 	Owner   id.ID
 	Values  []relation.Value
+	// PubAt is the publication vtime of the tuple whose arrival
+	// completed the rewrite chain — the trigger of this answer. The
+	// owner's answer-latency measurement is delivery vtime minus PubAt.
+	PubAt int64
 }
 
 // RingKey implements overlay.Rekeyable: answers re-route to the
 // current successor of the owner's ring position.
 func (m *answerMsg) RingKey() id.ID { return m.Owner }
 
-func newAggPartialMsg(queryID string, key relation.Key, owner id.ID, epoch int64, row []relation.Value) *aggPartialMsg {
+func newAggPartialMsg(queryID string, key relation.Key, owner id.ID, epoch int64, row []relation.Value, pubAt int64) *aggPartialMsg {
 	m := aggPartialMsgPool.Get().(*aggPartialMsg)
-	*m = aggPartialMsg{QueryID: queryID, Key: key, Owner: owner, Epoch: epoch, Row: row}
+	*m = aggPartialMsg{QueryID: queryID, Key: key, Owner: owner, Epoch: epoch, Row: row, PubAt: pubAt}
 	return m
 }
 
-func newAggRowMsg(queryID string, owner id.ID, epoch int64, row []relation.Value) *aggRowMsg {
+func newAggRowMsg(queryID string, owner id.ID, epoch int64, row []relation.Value, pubAt int64) *aggRowMsg {
 	m := aggRowMsgPool.Get().(*aggRowMsg)
-	*m = aggRowMsg{QueryID: queryID, Owner: owner, Epoch: epoch, Row: row}
+	*m = aggRowMsg{QueryID: queryID, Owner: owner, Epoch: epoch, Row: row, PubAt: pubAt}
 	return m
 }
 
@@ -103,11 +107,15 @@ func newAggRowMsg(queryID string, owner id.ID, epoch int64, row []relation.Value
 // group: the node owning Key = Hash(agg + queryID + groupKey). Owner
 // rides along so the aggregator knows where group updates go.
 type aggPartialMsg struct {
-	QueryID  string
-	Key      relation.Key
-	Owner    id.ID
-	Epoch    int64
-	Row      []relation.Value
+	QueryID string
+	Key     relation.Key
+	Owner   id.ID
+	Epoch   int64
+	Row     []relation.Value
+	// PubAt is the triggering tuple's publication vtime (see
+	// answerMsg.PubAt); the aggregator folds it into the group's
+	// latency watermark.
+	PubAt    int64
 	Reroutes uint8
 }
 
@@ -123,6 +131,9 @@ type aggRowMsg struct {
 	Owner   id.ID
 	Epoch   int64
 	Row     []relation.Value
+	// PubAt is the triggering tuple's publication vtime (see
+	// answerMsg.PubAt).
+	PubAt int64
 }
 
 // RingKey implements overlay.Rekeyable.
@@ -141,6 +152,10 @@ type aggUpdateMsg struct {
 	Epoch   int64
 	Ver     int64
 	Row     []relation.Value
+	// PubAt is the group's latency watermark: the latest triggering
+	// publication vtime folded into the row (a commutative max, so it
+	// is deterministic under any fold order).
+	PubAt int64
 }
 
 // RingKey implements overlay.Rekeyable: updates re-route to the current

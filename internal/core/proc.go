@@ -6,6 +6,7 @@ import (
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
 	"rjoin/internal/metrics"
+	"rjoin/internal/obs"
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
@@ -224,7 +225,7 @@ func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 			evalMsgPool.Put(m)
 		}
 	case *answerMsg:
-		p.eng.recordAnswer(now, m, p.ctr)
+		p.eng.recordAnswer(now, m, p)
 		if recycle {
 			*m = answerMsg{}
 			answerMsgPool.Put(m)
@@ -239,13 +240,13 @@ func (p *Proc) HandleMessage(now sim.Time, msg overlay.Message) {
 			aggPartialMsgPool.Put(m)
 		}
 	case *aggRowMsg:
-		p.eng.recordAggRow(m, p.ctr)
+		p.eng.recordAggRow(now, m, p)
 		if recycle {
 			*m = aggRowMsg{}
 			aggRowMsgPool.Put(m)
 		}
 	case *aggUpdateMsg:
-		p.eng.recordAggUpdate(m, p.ctr)
+		p.eng.recordAggUpdate(now, m, p)
 	case *ricRequestMsg:
 		p.onRICRequest(now, m)
 	case *ricReplyMsg:
@@ -277,6 +278,9 @@ func (p *Proc) reroute(key relation.Key, hops *uint8, m overlay.Message) bool {
 	p.eng.net.Send(p.node, key.ID(), m)
 	return true
 }
+
+// nid is the node's 64-bit identity as trace events carry it.
+func (p *Proc) nid() uint64 { return uint64(p.node.ID()) }
 
 func (p *Proc) recordArrival(key relation.Key, now sim.Time) {
 	st, ok := p.stats[key]
@@ -319,6 +323,13 @@ func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 	p.recordArrival(m.Key, now)
 	p.qpl.Add(p.node.ID(), 1)
 	p.ctr.TuplesReceived++
+	if tr := p.eng.trace; tr != nil {
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindTupleArrive, Node: p.nid(),
+			Trace: obs.PubTrace(uint64(m.Publisher), m.T.PubSeq),
+			Key:   m.Key.String(), Arg: int64(m.Level),
+		})
+	}
 
 	list := p.queries[m.Key]
 	if len(list) > 0 {
@@ -348,11 +359,25 @@ func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 
 	if m.Level == query.ValueLevel {
 		p.storeTuple(now, m.Key, m.T)
+		if tr := p.eng.trace; tr != nil {
+			tr.Emit(p.shard, obs.Event{
+				At: int64(now), Kind: obs.KindTupleStore, Node: p.nid(),
+				Trace: obs.PubTrace(uint64(m.Publisher), m.T.PubSeq),
+				Key:   m.Key.String(),
+			})
+		}
 	} else if p.eng.delta >= 0 {
 		e := alttEntry{t: m.T, expireAt: now + sim.Time(p.eng.delta)}
 		p.altt[m.Key] = append(p.altt[m.Key], e)
 		p.ctr.ALTTStored++
 		p.replALTTAdd(m.Key, e)
+		if tr := p.eng.trace; tr != nil {
+			tr.Emit(p.shard, obs.Event{
+				At: int64(now), Kind: obs.KindALTTStore, Node: p.nid(),
+				Trace: obs.PubTrace(uint64(m.Publisher), m.T.PubSeq),
+				Key:   m.Key.String(), Arg: int64(p.eng.delta),
+			})
+		}
 	}
 }
 
@@ -394,7 +419,7 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
 	p.replTrigger(sq, t, proj)
-	p.dispatch(now, q2)
+	p.dispatch(now, q2, t.PubTime)
 }
 
 // completeTrigger is the final-rewriting-step fast path shared by both
@@ -418,15 +443,35 @@ func (p *Proc) completeTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple)
 	if sq.q.Depth+1 >= 2 {
 		p.ctr.DeepRewrites++
 	}
+	p.observeComplete(now, sq.q.ID, int64(sq.q.Depth)+1)
 	if sq.agg {
 		clock := sq.q.Window.Clock(t)
 		if sq.q.AggClock > clock {
 			clock = sq.q.AggClock
 		}
-		p.emitCompletion(now, sq.q, vals, clock)
+		p.emitCompletion(now, sq.q, vals, clock, t.PubTime)
 		return
 	}
-	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, id.ID(sq.q.Owner), vals))
+	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, id.ID(sq.q.Owner), vals, t.PubTime))
+}
+
+// observeComplete records one completed rewrite chain: its depth into
+// the histogram and a completion trace event. Both trigger paths —
+// tuple-meets-stored-query and query-meets-stored-tuple — converge
+// here with identical event content, which is what keeps the trace
+// multiset schedule-independent when a tuple and a query reach the
+// same node on the same tick (the paths fire in engine-dependent
+// order, but exactly one fires either way).
+func (p *Proc) observeComplete(now sim.Time, qid string, depth int64) {
+	if om := p.eng.obsM; om != nil {
+		om.RewriteDepth.Observe(depth)
+	}
+	if tr := p.eng.trace; tr != nil {
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindComplete, Node: p.nid(),
+			Trace: qid, Arg: depth,
+		})
+	}
 }
 
 // storeTuple stores a value-level tuple (counted as storage load) and
@@ -483,6 +528,12 @@ func (p *Proc) alttScan(key relation.Key, now sim.Time) []alttEntry {
 func (p *Proc) onEval(now sim.Time, m *evalMsg) {
 	for _, info := range m.RIC {
 		p.ctMerge(info)
+	}
+	if tr := p.eng.trace; tr != nil {
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindEval, Node: p.nid(),
+			Trace: m.Q.ID, Key: m.Key.String(), Arg: int64(m.Q.Depth),
+		})
 	}
 	sq := &storedQuery{q: m.Q, key: m.Key, level: m.Level, agg: m.Q.IsAggregate()}
 	if m.Q.OneTime {
@@ -555,7 +606,7 @@ func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
 	p.replTrigger(sq, t, proj)
-	p.dispatch(now, q2)
+	p.dispatch(now, q2, t.PubTime)
 }
 
 // maybeMigrate implements the Section 10 future-work extension:
@@ -634,20 +685,29 @@ func mergeExclude(exclude, combined []int64) []int64 {
 // answers sent directly to the owner; contradictory queries are
 // discarded; everything else is indexed at the node the placement
 // strategy selects. Dropped rewrites are returned to the free list —
-// they never escaped this function.
-func (p *Proc) dispatch(now sim.Time, q2 *query.Query) {
+// they never escaped this function. pubAt is the publication vtime of
+// the tuple that triggered the rewrite, threaded to the answer path
+// for the latency measurement.
+func (p *Proc) dispatch(now sim.Time, q2 *query.Query, pubAt int64) {
 	p.ctr.RewritesCreated++
 	if q2.Depth >= 2 {
 		p.ctr.DeepRewrites++
 	}
 	if q2.IsComplete() {
+		p.observeComplete(now, q2.ID, int64(q2.Depth))
 		if q2.IsAggregate() {
-			p.emitCompletion(now, q2, q2.AnswerValues(), q2.AggClock)
+			p.emitCompletion(now, q2, q2.AnswerValues(), q2.AggClock, pubAt)
 		} else {
-			p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues()))
+			p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues(), pubAt))
 		}
 		query.Release(q2)
 		return
+	}
+	if tr := p.eng.trace; tr != nil {
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindRewrite, Node: p.nid(),
+			Trace: q2.ID, Arg: int64(q2.Depth),
+		})
 	}
 	if q2.Contradictory() {
 		p.ctr.ContradictoryDropped++
@@ -711,11 +771,24 @@ func (p *Proc) place(now sim.Time, q *query.Query) {
 func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
 	var known []ricInfo
 	var unknown []relation.Key
+	tr := p.eng.trace
 	for _, c := range cands {
 		if p.eng.Cfg.UseCT {
 			if e, ok := p.ct.fresh(c.Key, now, p.eng.Cfg.CTValidity); ok {
 				known = append(known, ricInfo{Key: c.Key, Rate: e.Rate, Addr: e.Addr, At: e.At})
+				if tr != nil {
+					tr.Emit(p.shard, obs.Event{
+						At: int64(now), Kind: obs.KindCTHit, Node: p.nid(),
+						Trace: q.ID, Key: c.Key.String(),
+					})
+				}
 				continue
+			}
+			if tr != nil {
+				tr.Emit(p.shard, obs.Event{
+					At: int64(now), Kind: obs.KindCTMiss, Node: p.nid(),
+					Trace: q.ID, Key: c.Key.String(),
+				})
 			}
 		}
 		unknown = append(unknown, c.Key)
@@ -734,6 +807,16 @@ func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
 	p.pending[reqID] = &pendingPlacement{q: q, cands: cands, known: known}
 	p.replPendingAdd(reqID, q)
 	p.ctr.RICRequests++
+	if tr != nil {
+		// The walk visits the unknown candidates in ring order; the
+		// event carries how many keys it must resolve. The request ID
+		// itself is deliberately absent: request numbering differs
+		// between the serial and parallel engines.
+		tr.Emit(p.shard, obs.Event{
+			At: int64(now), Kind: obs.KindRICWalk, Node: p.nid(),
+			Trace: q.ID, Key: unknown[0].String(), Arg: int64(len(unknown)),
+		})
+	}
 	req := &ricRequestMsg{Origin: p.node.ID(), ReqID: reqID, Pending: unknown}
 	p.eng.net.WithTag(p.node, TagRIC, func() {
 		p.eng.net.Send(p.node, unknown[0].ID(), req)

@@ -244,6 +244,70 @@ func TestFigLossyShapes(t *testing.T) {
 	}
 }
 
+// TestFigLatencyShapes: the observability figure must report a real
+// latency distribution (every answer observed, non-degenerate
+// quantiles), rate series that cover both scopes, and tag columns that
+// include the untagged application traffic.
+func TestFigLatencyShapes(t *testing.T) {
+	p := tiny()
+	tabs, tr, om := FigLatencyObs(p)
+	if len(tabs) != 4 {
+		t.Fatalf("FigLatencyObs returned %d tables", len(tabs))
+	}
+	hist, sum, tags, nodes := tabs[0], tabs[1], tabs[2], tabs[3]
+	if len(hist.Rows) == 0 {
+		t.Fatal("latency histogram is empty: workload produced no answers")
+	}
+	// Cumulative percentage ends at 100.
+	lastCum, _ := strconv.ParseFloat(hist.Rows[len(hist.Rows)-1][2], 64)
+	if lastCum < 99.9 || lastCum > 100.1 {
+		t.Fatalf("cumulative %% ends at %v, want 100", lastCum)
+	}
+	// Summary row order: latency, rewrite depth, hop count. All three
+	// must have observations with p50 <= p99 (quantiles are bucket upper
+	// bounds, so p99 may exceed the exact max) and min <= max.
+	for _, row := range sum.Rows {
+		w := tableWrap{[][]string{row}}
+		if cell(w, 0, 1) == 0 {
+			t.Fatalf("summary %q has no observations", row[0])
+		}
+		if p50, p99 := cell(w, 0, 3), cell(w, 0, 4); p50 > p99 {
+			t.Fatalf("summary %q quantiles out of order: %v", row[0], row)
+		}
+		if min, max := cell(w, 0, 2), cell(w, 0, 5); min > max {
+			t.Fatalf("summary %q min above max: %v", row[0], row)
+		}
+	}
+	if len(sum.Rows) != 3 {
+		t.Fatalf("summary rows %d", len(sum.Rows))
+	}
+	// The tag pivot includes the untagged application lane and at least
+	// one window; the node table's busiest >= median on every row.
+	foundApp := false
+	for _, h := range tags.Headers {
+		if h == "app" {
+			foundApp = true
+		}
+	}
+	if !foundApp || len(tags.Rows) == 0 {
+		t.Fatalf("tag rate table degenerate: headers %v, %d rows", tags.Headers, len(tags.Rows))
+	}
+	for _, row := range nodes.Rows {
+		w := tableWrap{[][]string{row}}
+		if cell(w, 0, 2) < cell(w, 0, 3) {
+			t.Fatalf("busiest below median: %v", row)
+		}
+	}
+	// The artifacts behind the tables are live: the trace saw events and
+	// nothing was truncated, and the metrics registry drains samples.
+	if len(tr.Events()) == 0 || tr.Dropped() != 0 {
+		t.Fatalf("trace degenerate: %d events, %d dropped", len(tr.Events()), tr.Dropped())
+	}
+	if len(om.Samples()) == 0 {
+		t.Fatal("metrics registry drained no samples")
+	}
+}
+
 func TestAllRunsEveryFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("All() runs every experiment")

@@ -258,6 +258,15 @@ func (t *Table) AddFloats(label string, vals ...float64) {
 	t.Rows = append(t.Rows, row)
 }
 
+// AddInts appends a row of integer cells after a leading label.
+func (t *Table) AddInts(label string, vals ...int64) {
+	row := []string{label}
+	for _, v := range vals {
+		row = append(row, fmt.Sprintf("%d", v))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
 // WriteTo renders the table with aligned columns.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	widths := make([]int, len(t.Headers))

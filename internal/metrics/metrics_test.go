@@ -183,6 +183,20 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableAddInts(t *testing.T) {
+	tab := &Table{Headers: []string{"k", "a", "b"}}
+	tab.AddInts("row", 7, -3)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	want := []string{"row", "7", "-3"}
+	for i, c := range tab.Rows[0] {
+		if c != want[i] {
+			t.Fatalf("cell %d = %q, want %q", i, c, want[i])
+		}
+	}
+}
+
 func TestRenameTransfersLoad(t *testing.T) {
 	l := NewLoad()
 	l.Add(1, 5)

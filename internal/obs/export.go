@@ -1,0 +1,138 @@
+// Trace exporters: newline-delimited JSON for programmatic analysis and
+// the Chrome trace-event format for visual inspection in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Virtual ticks map to
+// microseconds — trace viewers require a real time unit, and 1 tick =
+// 1 µs keeps the numbers readable — and every node gets its own lane
+// (one "thread" per node under a single "process", named by the node's
+// ring identifier), so causal chains read left-to-right across lanes.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonlEvent is the JSONL wire form of one Event.
+type jsonlEvent struct {
+	At    int64  `json:"at"`
+	Kind  string `json:"kind"`
+	Node  string `json:"node"`
+	Trace string `json:"trace,omitempty"`
+	Key   string `json:"key,omitempty"`
+	Arg   int64  `json:"arg"`
+}
+
+// WriteJSONL writes the merged stream as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(jsonlEvent{
+			At:    ev.At,
+			Kind:  ev.Kind.String(),
+			Node:  fmt.Sprintf("%016x", ev.Node),
+			Trace: ev.Trace,
+			Key:   ev.Key,
+			Arg:   ev.Arg,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Only
+// the fields Perfetto reads are emitted: instant events ("ph":"i",
+// thread scope) on pid 1, tid = the node's lane.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat,omitempty"`
+	Phase string                 `json:"ph"`
+	Scope string                 `json:"s,omitempty"`
+	TS    int64                  `json:"ts"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the merged stream in Chrome trace-event
+// format. Load the file at ui.perfetto.dev (or chrome://tracing): one
+// lane per node, ordered by ring identifier, with every event an
+// instant marker carrying its trace ID, key and argument.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+
+	// Lane assignment: rank of the node among the sorted distinct node
+	// identifiers, so lanes are stable across runs of the same workload.
+	laneOf := make(map[uint64]int)
+	nodes := make([]uint64, 0, 64)
+	for _, ev := range events {
+		if _, ok := laneOf[ev.Node]; !ok {
+			laneOf[ev.Node] = 0
+			nodes = append(nodes, ev.Node)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for i, n := range nodes {
+		laneOf[n] = i
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		buf, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(buf)
+		return err
+	}
+	for i, n := range nodes {
+		if err := emit(chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   i,
+			Args:  map[string]interface{}{"name": fmt.Sprintf("node %016x", n)},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		args := map[string]interface{}{"arg": ev.Arg}
+		if ev.Trace != "" {
+			args["trace"] = ev.Trace
+		}
+		if ev.Key != "" {
+			args["key"] = ev.Key
+		}
+		if err := emit(chromeEvent{
+			Name:  ev.Kind.String(),
+			Cat:   "rjoin",
+			Phase: "i",
+			Scope: "t",
+			TS:    ev.At, // 1 virtual tick = 1 µs
+			PID:   1,
+			TID:   laneOf[ev.Node],
+			Args:  args,
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

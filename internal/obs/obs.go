@@ -1,0 +1,270 @@
+// Package obs is the observability layer of the simulated RJoin
+// deployment: a deterministic causal tracer and a virtual-time metrics
+// registry, both designed so that (a) the disabled path is free — every
+// hook in the engine is nil-guarded and a nil *Tracer / *Metrics method
+// receiver is a no-op — and (b) the enabled path stays deterministic
+// across the serial engine and every parallel worker count.
+//
+// # Determinism
+//
+// Trace identity never touches a wall clock or a random stream: a
+// tuple's trace ID is derived from (publisher node, publication
+// sequence number), a query's from its network-wide query ID. Both are
+// assigned in coordinator context and are bit-identical across worker
+// counts.
+//
+// Event ORDER, however, is schedule-dependent: the parallel engine
+// executes same-timestamp events shard-concurrently. The tracer
+// therefore buffers events per logical shard (one slot per sim shard
+// plus one for coordinator context, so no lock is ever taken on the hot
+// path) and canonicalizes at merge points: every Flush sorts the
+// accumulated batch by (At, Kind, Node, Trace, Key, Arg). Flushes
+// happen at engine sync barriers, which are driver-driven and therefore
+// occur at the same virtual times for every worker count; the flushed
+// stream is bit-identical whenever the event multiset is.
+//
+// The resulting guarantee mirrors the engine's own replay model
+// exactly: a trace replays bit-identically run over run, and is
+// bit-identical across every parallel worker count (Workers ∈ {2, 4,
+// 8, ...}), because the barrier schedule is keyed by the fixed
+// logical-shard space, never the worker count. Serial traces are
+// pinned separately — the serial heap interleaves same-tick deliveries
+// in a different (equally deterministic) order, which moves
+// schedule-sensitive intermediate state such as candidate-table
+// hit/miss outcomes, exactly as the repo's separate serial and
+// parallel golden Stats digests already document.
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"rjoin/internal/sim"
+)
+
+// Kind enumerates trace event kinds, covering the full tuple lifecycle
+// (publish → index placement → lookups → rewrite hops → completion →
+// aggregation → delivery) plus transport-level annotations.
+type Kind uint8
+
+const (
+	// KindPublish is the root span of a tuple trace: a tuple enters the
+	// network at its publisher. Arg is the publication sequence number.
+	KindPublish Kind = iota
+	// KindTupleArrive is a tuple copy reaching an index node. Arg is
+	// the indexing level (0 attribute, 1 value).
+	KindTupleArrive
+	// KindTupleStore is a value-level insertion into a node's tuple
+	// index.
+	KindTupleStore
+	// KindALTTStore is an attribute-level insertion into a node's ALTT.
+	KindALTTStore
+	// KindSubmit is the root span of a query trace: a continuous query
+	// enters at its subscriber node.
+	KindSubmit
+	// KindEval is a query (or rewritten query) arriving at an index
+	// node for evaluation. Arg is the rewrite depth.
+	KindEval
+	// KindCTHit / KindCTMiss are candidate-table lookups during query
+	// placement (Section 7's one-hop cache).
+	KindCTHit
+	KindCTMiss
+	// KindRICWalk is a rate-information walk issued for placement
+	// candidates the candidate table could not answer. Arg is the
+	// number of keys requested.
+	KindRICWalk
+	// KindRewrite is one recursive rewrite hop: a stored query combined
+	// with a matching tuple produces a smaller query shipped onward.
+	// Arg is the new rewrite depth.
+	KindRewrite
+	// KindComplete is the final rewrite: all joins satisfied, the
+	// result row leaves for the subscriber (or aggregator). Arg is the
+	// completed depth.
+	KindComplete
+	// KindAnswer is an answer row delivered at the subscriber. Arg is
+	// the answer latency in ticks (delivery vtime − publish vtime).
+	KindAnswer
+	// KindAggPartial is a completion row folded into an aggregator
+	// node's group state. Arg is the window epoch.
+	KindAggPartial
+	// KindAggUpdate is a finalized group update delivered at the
+	// subscriber. Arg is the answer latency in ticks.
+	KindAggUpdate
+	// KindReplFanout is one replica-group fan-out of a keyed state
+	// mutation batch. Arg is the number of replicas addressed.
+	KindReplFanout
+	// KindRetransmit is a reliable-channel timer resending an
+	// unacknowledged message. Arg is the retry number within the
+	// current backoff ladder.
+	KindRetransmit
+	// KindAck is a standalone acknowledgement carrying a receiver's
+	// cumulative sequence watermark (Arg).
+	KindAck
+	// KindBounce is a message arriving at a node that no longer owns
+	// its key and being re-routed to the current owner.
+	KindBounce
+	// KindHandover is one chunk of state handed over during a graceful
+	// leave or join. Arg is the number of entries in the chunk.
+	KindHandover
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	"publish", "tuple.arrive", "tuple.store", "altt.store",
+	"query.submit", "query.eval", "ct.hit", "ct.miss", "ric.walk",
+	"rewrite", "complete", "answer", "agg.partial", "agg.update",
+	"repl.fanout", "retransmit", "ack", "bounce", "handover",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// PubTrace derives a tuple's trace identifier from its publisher and
+// publication sequence number — both assigned in coordinator context,
+// so the ID is bit-identical across worker counts.
+func PubTrace(publisher uint64, pubSeq int64) string {
+	return fmt.Sprintf("pub:%016x#%d", publisher, pubSeq)
+}
+
+// Event is one trace event. All fields are virtual-time or identity
+// data; nothing here depends on the wall clock or the schedule.
+type Event struct {
+	// At is the virtual tick the event occurred on.
+	At int64
+	// Kind classifies the event.
+	Kind Kind
+	// Node is the 64-bit ring identifier of the node the event occurred
+	// at.
+	Node uint64
+	// Trace is the causal trace this event belongs to: a tuple trace
+	// (PubTrace) or a query ID. Empty for pure transport annotations.
+	Trace string
+	// Key is the DHT key involved, when one is ("" otherwise).
+	Key string
+	// Arg is a kind-specific small integer (depth, epoch, latency,
+	// fan-out, retry number — see the Kind constants).
+	Arg int64
+}
+
+// less is the canonical event order used at merge points and in the
+// digest: virtual time first, then identity fields. Two distinct
+// executions producing the same event multiset sort to the same
+// sequence.
+func (e Event) less(o Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	if e.Kind != o.Kind {
+		return e.Kind < o.Kind
+	}
+	if e.Node != o.Node {
+		return e.Node < o.Node
+	}
+	if e.Trace != o.Trace {
+		return e.Trace < o.Trace
+	}
+	if e.Key != o.Key {
+		return e.Key < o.Key
+	}
+	return e.Arg < o.Arg
+}
+
+// Tracer collects trace events. It must be used from at most one
+// network: shard slots mirror the sim engine's shard layout. The zero
+// of *Tracer (nil) is a valid, disabled tracer: every method is a
+// no-op, and callers additionally nil-guard at hook sites so the
+// disabled hot path does not even make the call.
+type Tracer struct {
+	// limit caps the retained event count (0 = unbounded); overflow is
+	// truncated deterministically at flush and counted in dropped.
+	limit   int64
+	dropped int64
+
+	// shards holds per-execution-context append buffers: one slot per
+	// logical shard plus one (the last) for coordinator/global context.
+	// A shard's handlers are single-threaded within a sub-round and
+	// only ever touch their own slot, so no lock is needed.
+	shards [sim.ShardSlots][]Event
+
+	// events is the merged, canonically ordered stream.
+	events []Event
+}
+
+// NewTracer returns an enabled tracer. maxEvents caps retained events
+// (0 = unbounded).
+func NewTracer(maxEvents int64) *Tracer {
+	return &Tracer{limit: maxEvents}
+}
+
+// Emit records one event from the given execution shard (sim.NoShard
+// for coordinator context). Safe on a nil receiver.
+func (t *Tracer) Emit(shard int, ev Event) {
+	if t == nil {
+		return
+	}
+	s := sim.ShardSlot(shard)
+	t.shards[s] = append(t.shards[s], ev)
+}
+
+// Flush merges the per-shard buffers into the canonical stream. It must
+// be called from driver context at a sync barrier (no handlers
+// running); the engine does this in Sync. Safe on a nil receiver.
+func (t *Tracer) Flush() {
+	if t == nil {
+		return
+	}
+	start := len(t.events)
+	for i := range t.shards {
+		if len(t.shards[i]) == 0 {
+			continue
+		}
+		t.events = append(t.events, t.shards[i]...)
+		t.shards[i] = t.shards[i][:0]
+	}
+	batch := t.events[start:]
+	sort.Slice(batch, func(i, j int) bool { return batch[i].less(batch[j]) })
+	if t.limit > 0 && int64(len(t.events)) > t.limit {
+		t.dropped += int64(len(t.events)) - t.limit
+		t.events = t.events[:t.limit]
+	}
+}
+
+// Events returns the merged stream (flushing any buffered stragglers
+// first). The slice is owned by the tracer; callers must not mutate it.
+// Returns nil on a nil receiver.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.Flush()
+	return t.events
+}
+
+// Dropped reports events truncated by the MaxEvents cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Digest folds the canonical stream into one FNV-64a value. Two runs
+// with the same event multiset and the same flush barrier times — in
+// particular, the same workload on any worker count — digest
+// identically. Returns 0 on a nil receiver.
+func (t *Tracer) Digest() uint64 {
+	if t == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	for _, ev := range t.Events() {
+		fmt.Fprintf(h, "%d|%d|%016x|%s|%s|%d;", ev.At, ev.Kind, ev.Node, ev.Trace, ev.Key, ev.Arg)
+	}
+	return h.Sum64()
+}

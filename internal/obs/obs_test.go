@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rjoin/internal/sim"
+)
+
+// TestTracerCanonicalOrder: the merged stream must not depend on which
+// execution shard an event was emitted from, only on the canonical
+// (At, Kind, Node, ...) order — that is the whole determinism argument.
+func TestTracerCanonicalOrder(t *testing.T) {
+	evs := []Event{
+		{At: 2, Kind: KindRewrite, Node: 7, Trace: "q1", Arg: 1},
+		{At: 1, Kind: KindPublish, Node: 3, Trace: PubTrace(3, 0)},
+		{At: 2, Kind: KindTupleArrive, Node: 9, Trace: PubTrace(3, 0), Key: "R.A=3"},
+		{At: 1, Kind: KindSubmit, Node: 5, Trace: "q1", Arg: 2},
+	}
+	a := NewTracer(0)
+	for i, ev := range evs {
+		a.Emit(i%sim.Shards, ev) // scatter across shards
+	}
+	b := NewTracer(0)
+	for i := len(evs) - 1; i >= 0; i-- {
+		b.Emit(sim.NoShard, evs[i]) // reverse order, coordinator slot
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("digest depends on emit shard/order: %x vs %x", a.Digest(), b.Digest())
+	}
+	got := a.Events()
+	for i := 1; i < len(got); i++ {
+		if got[i].less(got[i-1]) {
+			t.Fatalf("events not in canonical order at %d: %+v before %+v", i, got[i-1], got[i])
+		}
+	}
+}
+
+// TestTracerFlushBatches: events flushed in separate batches keep batch
+// order (later flush, later position) even when their timestamps
+// interleave — batches model sim barriers, which only ever move forward.
+func TestTracerFlushBatches(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(0, Event{At: 5, Kind: KindPublish, Node: 1})
+	tr.Flush()
+	tr.Emit(1, Event{At: 5, Kind: KindAnswer, Node: 2})
+	tr.Flush()
+	got := tr.Events()
+	if len(got) != 2 || got[0].Kind != KindPublish || got[1].Kind != KindAnswer {
+		t.Fatalf("batch order lost: %+v", got)
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 10; i++ {
+		tr.Emit(sim.NoShard, Event{At: int64(i), Kind: KindPublish, Node: 1})
+	}
+	if got := len(tr.Events()); got != 3 {
+		t.Fatalf("limit 3 retained %d events", got)
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, Event{})
+	tr.Flush()
+	if tr.Events() != nil || tr.Digest() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestExportJSONL(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(0, Event{At: 1, Kind: KindPublish, Node: 3, Trace: PubTrace(3, 0)})
+	tr.Emit(0, Event{At: 4, Kind: KindAnswer, Node: 9, Trace: "q1", Arg: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %q not valid JSON: %v", ln, err)
+		}
+	}
+}
+
+// TestExportChromeTrace: the Chrome trace-event output must be one valid
+// JSON array with per-node thread-name metadata plus one instant event
+// per trace event — the shape Perfetto's JSON importer accepts.
+func TestExportChromeTrace(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(0, Event{At: 1, Kind: KindPublish, Node: 3})
+	tr.Emit(0, Event{At: 2, Kind: KindTupleArrive, Node: 5, Key: "R.A=1"})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v\n%s", err, buf.String())
+	}
+	var meta, inst int
+	for _, e := range evs {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "i":
+			inst++
+		}
+	}
+	if meta != 2 || inst != 2 {
+		t.Fatalf("want 2 metadata + 2 instant events, got %d + %d", meta, inst)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 100, -5} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 6 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 0 || s.Max != 100 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	if s.P50 > s.P99 {
+		t.Fatalf("P50 %d > P99 %d", s.P50, s.P99)
+	}
+	var total int64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatal("nil histogram must be inert")
+	}
+}
+
+// TestMetricsWindows: counts land in the window of the event timestamp
+// regardless of drain timing, duplicate (win, scope, name) rows from
+// different shards merge, and the CSV renders every completed window.
+func TestMetricsWindows(t *testing.T) {
+	m := NewMetrics(10)
+	m.IncNode(0, 3, 0xa)
+	m.IncNode(1, 7, 0xa) // same node, different shard, same window
+	m.IncTag(0, 12, "ric", 2)
+	m.IncQuery(2, 5, "q1")
+	m.Drain(20) // completes windows 0 and 10
+	samples := m.Samples()
+	byKey := map[string]int64{}
+	for _, s := range samples {
+		byKey[s.Scope+"/"+s.Name] += s.Count
+	}
+	if byKey["node/000000000000000a"] != 2 {
+		t.Fatalf("node counts did not merge: %+v", samples)
+	}
+	if byKey["tag/ric"] != 2 || byKey["query/q1"] != 1 {
+		t.Fatalf("unexpected samples: %+v", samples)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != 1+len(samples) {
+		t.Fatalf("CSV rows %d != header + %d samples:\n%s", len(lines), len(samples), buf.String())
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.IncNode(0, 1, 2)
+	m.IncTag(0, 1, "x", 1)
+	m.IncQuery(0, 1, "q")
+	m.ObserveLatency("q", 5)
+	m.RegisterQuery("q")
+	m.Drain(100)
+	m.Reset()
+	if m.Samples() != nil || m.QueryHist("q") != nil {
+		t.Fatal("nil metrics must be inert")
+	}
+}
+
+// TestObsDisabledZeroAlloc pins the disabled-path contract: with tracing
+// and metrics off (nil receivers), every hook the hot paths call must
+// allocate nothing.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	var m *Metrics
+	var h *Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Emit(3, Event{At: 1, Kind: KindPublish, Node: 2})
+		tr.Flush()
+		m.IncNode(3, 1, 2)
+		m.IncTag(3, 1, "ric", 1)
+		m.IncQuery(3, 1, "q1")
+		m.ObserveLatency("q1", 7)
+		h.Observe(7)
+	}); n != 0 {
+		t.Fatalf("disabled observability allocated %.1f times per run", n)
+	}
+}
+
+// TestEnabledHistogramZeroAlloc: the enabled histogram path must also be
+// allocation-free — it is on the answer hot path.
+func TestEnabledHistogramZeroAlloc(t *testing.T) {
+	h := &Histogram{}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(42) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocated %.1f times per run", n)
+	}
+}

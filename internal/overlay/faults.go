@@ -53,6 +53,7 @@ import (
 
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
+	"rjoin/internal/obs"
 	"rjoin/internal/reliable"
 	"rjoin/internal/sim"
 )
@@ -392,6 +393,7 @@ func deliverReliableEvent(now sim.Time, c sim.Ctx) {
 		return // duplicate suppressed
 	}
 	nw.addDelivered(a.l, 1)
+	nw.obsM.IncNode(a.shard, int64(now), uint64(owner.ID()))
 	h.HandleMessage(now, env.msg)
 }
 
@@ -433,6 +435,15 @@ func ackSendEvent(now sim.Time, c sim.Ctx) {
 	a := nw.actorFor(owner)
 	rn := nw.relNodeFor(owner.ID())
 	nw.addAckMessages(a.l, 1)
+	if tr := nw.trace; tr != nil {
+		// Arg annotates the ack with the receiver's out-of-order backlog —
+		// how many sequence numbers the dedup filter holds above the
+		// cumulative watermark this ack carries.
+		tr.Emit(a.shard, obs.Event{
+			At: int64(now), Kind: obs.KindAck, Node: uint64(owner.ID()),
+			Arg: int64(rx.dedup.Outstanding()),
+		})
+	}
 	if nw.partitioned(owner.ID(), rx.src.ID(), now) {
 		nw.addFaultDropped(a.l, 1)
 		return
@@ -480,6 +491,15 @@ func relTimerEvent(now sim.Time, c sim.Ctx) {
 	}
 	e.retries++
 	nw.addRetransmits(a.l, 1)
+	if m := nw.obsM; m != nil {
+		m.RetransmitRounds.Observe(int64(e.retries))
+	}
+	if tr := nw.trace; tr != nil {
+		tr.Emit(a.shard, obs.Event{
+			At: int64(now), Kind: obs.KindRetransmit,
+			Node: uint64(tm.src.ID()), Arg: int64(e.retries),
+		})
+	}
 	delay := nw.relHop(rn.rng)
 	nw.transmit(a, rn, tm.src, tc.dst, e.seq, delay, e.msg, true)
 	backoff := nw.rel.rto << e.retries
@@ -517,6 +537,17 @@ func (nw *Network) escalate(a actor, rn *relNode, tc *txChan, tm *relTimer, e *t
 		e.ladders++
 		e.retries = 0
 		nw.addRetransmits(a.l, 1)
+		if m := nw.obsM; m != nil {
+			// A fresh ladder restarts the count; observe the full ladder
+			// it exhausted so the histogram's tail records escalations.
+			m.RetransmitRounds.Observe(int64(nw.rel.maxRetries) + 1)
+		}
+		if tr := nw.trace; tr != nil {
+			tr.Emit(a.shard, obs.Event{
+				At: int64(now), Kind: obs.KindRetransmit,
+				Node: uint64(tm.src.ID()), Arg: int64(nw.rel.maxRetries) + 1,
+			})
+		}
 		delay := nw.relHop(rn.rng)
 		nw.transmit(a, rn, tm.src, tc.dst, e.seq, delay, e.msg, true)
 		nw.armTimer(a, tm.src, tm.dst, e, delay+nw.rel.rto)

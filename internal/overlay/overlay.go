@@ -31,6 +31,7 @@ import (
 	"rjoin/internal/chord"
 	"rjoin/internal/id"
 	"rjoin/internal/metrics"
+	"rjoin/internal/obs"
 	"rjoin/internal/sim"
 )
 
@@ -89,6 +90,15 @@ type Config struct {
 	// Bounce — retransmit-ladder exhaustion escalates into the bounce
 	// path. Nil keeps the exact reliable-network behavior.
 	Faults *Faults
+	// Trace, when non-nil, receives annotation events for transport-level
+	// activity the core layer cannot see: bounces of undeliverable
+	// messages, replication fan-out, retransmissions and acknowledgments.
+	// Nil disables tracing at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the hop-count and retransmit-round
+	// histograms plus per-node delivery and per-tag send rate series.
+	// Nil disables collection at zero cost.
+	Metrics *obs.Metrics
 }
 
 // DefaultConfig is a deterministic single-tick-per-hop network with
@@ -177,6 +187,9 @@ type Network struct {
 	Abandoned int64
 
 	rel *relState // reliable-channel state; nil when Faults is nil
+
+	trace *obs.Tracer  // nil unless Config.Trace is set
+	obsM  *obs.Metrics // nil unless Config.Metrics is set
 }
 
 // NewNetwork creates an overlay over an existing ring and engine. The
@@ -212,6 +225,8 @@ func NewNetwork(ring *chord.Ring, engine *sim.Engine, cfg Config) (*Network, err
 		handlers: make(map[id.ID]Handler),
 		tagged:   make(map[string]*metrics.Load),
 		outboxes: make(map[id.ID]*outbox),
+		trace:    cfg.Trace,
+		obsM:     cfg.Metrics,
 	}
 	if engine.Workers() > 0 {
 		nw.par = true
@@ -308,6 +323,10 @@ func (nw *Network) chargePath(a actor, from *chord.Node, path []*chord.Node) int
 		senders = 0 // local delivery, no transmission
 	}
 	nw.addSent(a.l, int64(senders))
+	if m := nw.obsM; m != nil {
+		m.HopCount.Observe(int64(len(path)))
+		nw.obsSent(a, int64(senders))
+	}
 	var delay int64
 	if len(path) > 0 {
 		nw.charge(a.l, from.ID(), 1)
@@ -332,6 +351,7 @@ func deliverEvent(now sim.Time, c sim.Ctx) {
 	a := nw.actorFor(owner)
 	if h, ok := nw.handlers[owner.ID()]; ok && owner.Alive() {
 		nw.addDelivered(a.l, 1)
+		nw.obsM.IncNode(a.shard, int64(now), uint64(owner.ID()))
 		h.HandleMessage(now, c.C)
 		return
 	}
@@ -364,7 +384,14 @@ func (nw *Network) bounce(a actor, msg Message) {
 	}
 	nw.addBounced(a.l, 1)
 	nw.addSent(a.l, 1)
+	nw.obsSent(a, 1)
 	nw.charge(a.l, tgt.ID(), 1)
+	if tr := nw.trace; tr != nil {
+		tr.Emit(a.shard, obs.Event{
+			At: int64(nw.Engine.Now()), Kind: obs.KindBounce,
+			Node: uint64(tgt.ID()), Key: rk.RingKey().String(),
+		})
+	}
 	nw.deliver(a, tgt, nw.hopDelay(a.rng), msg)
 }
 
@@ -417,6 +444,21 @@ func (nw *Network) charge(l *lane, node id.ID, n int64) {
 		}
 		tl.Add(node, n)
 	}
+}
+
+// obsSent records n sent messages against the acting context's traffic
+// tag in the metrics rate series (an empty tag maps to the "app" lane).
+// Window attribution uses the current virtual time, so the series is
+// schedule-independent. No-op when metrics are disabled.
+func (nw *Network) obsSent(a actor, n int64) {
+	if nw.obsM == nil || n == 0 {
+		return
+	}
+	tag := nw.tag
+	if a.l != nil {
+		tag = a.l.tag
+	}
+	nw.obsM.IncTag(a.shard, int64(nw.Engine.Now()), tag, n)
 }
 
 func (nw *Network) addSent(l *lane, n int64) {
@@ -529,6 +571,18 @@ func (nw *Network) TaggedTraffic(tag string) *metrics.Load {
 		return l
 	}
 	return metrics.NewLoad()
+}
+
+// TagTotals returns the network-wide message count charged under each
+// traffic tag. It folds outstanding lane deltas first, so like Sync it
+// must only be called from coordinator context.
+func (nw *Network) TagTotals() map[string]int64 {
+	nw.Sync()
+	out := make(map[string]int64, len(nw.tagged))
+	for tag, l := range nw.tagged {
+		out[tag] = l.Total()
+	}
+	return out
 }
 
 // Sync folds every lane's accounting deltas into the public aggregate
@@ -687,6 +741,7 @@ func (nw *Network) SendDirect(from *chord.Node, to id.ID, msg Message) {
 	if owner != from {
 		nw.charge(a.l, from.ID(), 1)
 		nw.addSent(a.l, 1)
+		nw.obsSent(a, 1)
 		delay = nw.hopDelay(a.rng)
 	}
 	nw.deliverFrom(a, from, owner, delay, msg)
@@ -709,6 +764,7 @@ func (nw *Network) Transfer(from *chord.Node, to id.ID, msg Message) bool {
 	if owner != from {
 		nw.charge(a.l, from.ID(), 1)
 		nw.addSent(a.l, 1)
+		nw.obsSent(a, 1)
 	}
 	nw.deliver(a, owner, 0, msg)
 	return true
@@ -736,6 +792,12 @@ const TagRepl = "repl"
 func (nw *Network) ReplicateTo(from *chord.Node, targets []id.ID, mk func(target id.ID) Message) {
 	if len(targets) == 0 {
 		return
+	}
+	if tr := nw.trace; tr != nil {
+		tr.Emit(nw.actorFor(from).shard, obs.Event{
+			At: int64(nw.Engine.Now()), Kind: obs.KindReplFanout,
+			Node: uint64(from.ID()), Arg: int64(len(targets)),
+		})
 	}
 	nw.WithTag(from, TagRepl, func() {
 		for _, t := range targets {

@@ -240,6 +240,13 @@ type Dedup struct {
 // including it has been seen. Acks carry this value.
 func (d *Dedup) Cum() uint64 { return d.cum }
 
+// Outstanding returns the number of sequence numbers seen above the
+// cumulative watermark — the out-of-order backlog the filter is holding.
+// Zero means every seen sequence number is contiguous. Observability
+// uses it to annotate acks with how much reordering a channel is
+// masking.
+func (d *Dedup) Outstanding() int { return len(d.sparse) }
+
 // Seen reports whether seq has already passed the filter.
 func (d *Dedup) Seen(seq uint64) bool {
 	if seq <= d.cum {

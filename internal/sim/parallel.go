@@ -49,6 +49,22 @@ const NoShard = -1
 // ShardOfID maps a 64-bit entity identifier to its logical shard.
 func ShardOfID(u uint64) int { return int(u % Shards) }
 
+// ShardSlots sizes a per-execution-context accumulation array: one
+// slot per logical shard plus one for driver/global (NoShard) context.
+// Components that collect state from handler context without locks —
+// the observability layer's trace buffers and metric cells — index
+// such arrays through ShardSlot.
+const ShardSlots = Shards + 1
+
+// ShardSlot maps a scheduling shard (including NoShard) to its slot in
+// a ShardSlots-sized array.
+func ShardSlot(shard int) int {
+	if shard < 0 || shard >= Shards {
+		return Shards
+	}
+	return shard
+}
+
 // bufEv is one schedule deferred during a sub-round: the event plus its
 // destination heap.
 type bufEv struct {

@@ -25,12 +25,14 @@ package rjoin
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"rjoin/internal/chord"
 	"rjoin/internal/churn"
 	"rjoin/internal/core"
 	"rjoin/internal/id"
+	"rjoin/internal/obs"
 	"rjoin/internal/overlay"
 	"rjoin/internal/relation"
 	"rjoin/internal/sim"
@@ -153,6 +155,37 @@ type Options struct {
 	// faults-off schedule exactly. Combine with ReplicationFactor >= 2
 	// to keep answers exact when partitions overlap crashes.
 	Faults *FaultOptions
+	// Trace enables the deterministic causal tracer: every tuple's
+	// lifecycle (publish, index placement, lookups, each rewrite hop,
+	// completion, answer delivery) plus transport annotations (bounces,
+	// replication fan-out, retransmits, acks) recorded against the
+	// virtual clock. Trace identity derives from (publisher, publish
+	// sequence) and query IDs — no wall clock, no extra randomness — so
+	// a run's trace is bit-identical for a given seed at every worker
+	// count. nil (the default) disables tracing; the hot paths then pay
+	// one nil check and allocate nothing.
+	Trace *TraceOptions
+	// Metrics enables the virtual-time metrics registry: allocation-free
+	// latency/depth/hop histograms and windowed per-node, per-traffic-tag
+	// and per-query rate series sampled on the virtual clock. nil (the
+	// default) disables collection at zero cost.
+	Metrics *MetricsOptions
+}
+
+// TraceOptions configures the causal tracer (Options.Trace).
+type TraceOptions struct {
+	// MaxEvents caps the retained event count; overflow is truncated
+	// deterministically (newest events dropped at flush) and reported by
+	// Network.TraceDropped. 0 means 1 << 20; negative means unbounded.
+	MaxEvents int64
+}
+
+// MetricsOptions configures the metrics registry (Options.Metrics).
+type MetricsOptions struct {
+	// SampleInterval is the window width, in virtual ticks, of the rate
+	// series (per-node deliveries, per-tag sends, per-query answers).
+	// 0 means 64.
+	SampleInterval int64
 }
 
 // FaultOptions is the deterministic fault-injection plan of
@@ -305,6 +338,28 @@ type Stats struct {
 	Retransmits int64
 	AckMessages int64
 	Abandoned   int64
+
+	// TrafficByTag breaks Messages down by the overlay's traffic tags.
+	TrafficByTag TagTraffic
+}
+
+// TagTraffic is the per-tag decomposition of total network traffic. The
+// tagged lanes are disjoint; App is the untagged remainder (tuple and
+// query routing, RIC piggybacks, answer delivery), so the five fields
+// sum to Stats.Messages.
+type TagTraffic struct {
+	// RIC is placement polling (Request-RIC walks); equals RICMessages.
+	RIC int64
+	// Agg is in-network aggregation traffic: partial shipping and
+	// finalized group updates.
+	Agg int64
+	// Churn is membership-change state transfer: handovers, arc
+	// transfers and crash-recovery re-indexing.
+	Churn int64
+	// Repl is replica-group mirroring; equals ReplicationMessages.
+	Repl int64
+	// App is everything untagged.
+	App int64
 }
 
 // Network is a simulated RJoin deployment: a Chord overlay with an
@@ -313,11 +368,13 @@ type Stats struct {
 // RemoveNode, Crash); node selection for subscriptions and
 // publications always draws from the live ring.
 type Network struct {
-	eng  *core.Engine
-	cat  *relation.Catalog
-	mgr  *churn.Manager
-	rng  *rand.Rand
-	subs map[string]*Subscription
+	eng   *core.Engine
+	cat   *relation.Catalog
+	mgr   *churn.Manager
+	rng   *rand.Rand
+	subs  map[string]*Subscription
+	trace *obs.Tracer  // nil unless Options.Trace was set
+	obsM  *obs.Metrics // nil unless Options.Metrics was set
 }
 
 // Subscription is a live continuous query.
@@ -445,12 +502,30 @@ func NewNetwork(opts Options) (*Network, error) {
 	if opts.Workers > 1 {
 		se.SetWorkers(opts.Workers)
 	}
+	var tracer *obs.Tracer
+	if opts.Trace != nil {
+		limit := opts.Trace.MaxEvents
+		if limit == 0 {
+			limit = 1 << 20
+		}
+		if limit < 0 {
+			limit = 0 // obs convention: 0 = unbounded
+		}
+		tracer = obs.NewTracer(limit)
+	}
+	var om *obs.Metrics
+	if opts.Metrics != nil {
+		om = obs.NewMetrics(opts.Metrics.SampleInterval)
+		om.Start(se)
+	}
 	nw, err := overlay.NewNetwork(ring, se, overlay.Config{
 		MinHopDelay:    opts.MinHopDelay,
 		MaxHopDelay:    opts.MaxHopDelay,
 		GroupMultiSend: true,
 		BatchWindow:    opts.BatchWindow,
 		Faults:         faults,
+		Trace:          tracer,
+		Metrics:        om,
 		// With bouncing on, messages in flight to a node that departs
 		// re-route to the key's new owner. On a static ring it never
 		// fires, so enabling it unconditionally costs nothing. The
@@ -471,6 +546,8 @@ func NewNetwork(opts Options) (*Network, error) {
 	cfg.SubscriberSideAgg = opts.SubscriberSideAgg
 	cfg.AttrReplicas = opts.AttrReplicas
 	cfg.ReplicationFactor = opts.ReplicationFactor
+	cfg.Trace = tracer
+	cfg.Metrics = om
 	eng := core.NewEngine(ring, se, nw, cfg)
 	mgr := churn.New(eng, churn.Config{
 		Rates:          churnRates,
@@ -491,11 +568,13 @@ func NewNetwork(opts Options) (*Network, error) {
 		return nil, err
 	}
 	return &Network{
-		eng:  eng,
-		cat:  cat,
-		mgr:  mgr,
-		rng:  rand.New(rand.NewSource(opts.Seed + 1)),
-		subs: make(map[string]*Subscription),
+		eng:   eng,
+		cat:   cat,
+		mgr:   mgr,
+		rng:   rand.New(rand.NewSource(opts.Seed + 1)),
+		subs:  make(map[string]*Subscription),
+		trace: tracer,
+		obsM:  om,
 	}, nil
 }
 
@@ -661,9 +740,17 @@ func (n *Network) nodeAt(index int, action string) (*chord.Node, error) {
 // Stats snapshots network-wide cost measures.
 func (n *Network) Stats() Stats {
 	n.eng.Sync() // fold any unmerged parallel shard deltas in first
+	total := n.eng.Net().Traffic.Total()
+	byTag := TagTraffic{
+		RIC:   n.eng.Net().TaggedTraffic(core.TagRIC).Total(),
+		Agg:   n.eng.Net().TaggedTraffic(core.TagAgg).Total(),
+		Churn: n.eng.Net().TaggedTraffic(core.TagChurn).Total(),
+		Repl:  n.eng.Net().TaggedTraffic(overlay.TagRepl).Total(),
+	}
+	byTag.App = total - byTag.RIC - byTag.Agg - byTag.Churn - byTag.Repl
 	return Stats{
-		Messages:            n.eng.Net().Traffic.Total(),
-		RICMessages:         n.eng.Net().TaggedTraffic(core.TagRIC).Total(),
+		Messages:            total,
+		RICMessages:         byTag.RIC,
 		QueryProcessingLoad: n.eng.QPL.Total(),
 		StorageLoad:         n.eng.SL.Total(),
 		Answers:             n.eng.Counters.AnswersDelivered,
@@ -695,7 +782,87 @@ func (n *Network) Stats() Stats {
 		Retransmits:         n.eng.Net().Retransmits,
 		AckMessages:         n.eng.Net().AckMessages,
 		Abandoned:           n.eng.Net().Abandoned,
+		TrafficByTag:        byTag,
 	}
+}
+
+// LatencySummary is a histogram snapshot: answer latency in virtual
+// ticks between the triggering publish and the answer's delivery.
+// Buckets are exponential; Buckets[i] counts observations in
+// (BucketBound(i-1), BucketBound(i)].
+type LatencySummary = obs.LatencySummary
+
+// TraceEvent is one causal trace event on the virtual clock.
+type TraceEvent = obs.Event
+
+// LatencyStats summarizes end-to-end answer latency across all
+// subscriptions — the virtual ticks between each triggering publish and
+// the delivery of the answer (or aggregate update) it produced. The
+// zero summary comes back when Options.Metrics is off.
+func (n *Network) LatencyStats() LatencySummary {
+	n.eng.Sync()
+	if n.obsM == nil {
+		return LatencySummary{}
+	}
+	return n.obsM.AnswerLatency.Summary()
+}
+
+// TraceDigest folds the trace recorded so far into one 64-bit value.
+// Equal seeds and workloads digest identically at every worker count;
+// the golden-trace tests pin this. Zero when tracing is off.
+func (n *Network) TraceDigest() uint64 {
+	n.eng.Sync()
+	return n.trace.Digest()
+}
+
+// TraceDropped reports trace events truncated by TraceOptions.MaxEvents.
+func (n *Network) TraceDropped() int64 {
+	n.eng.Sync()
+	return n.trace.Dropped()
+}
+
+// TraceEvents returns the canonically ordered trace recorded so far.
+// The slice is owned by the network; callers must not mutate it. Nil
+// when tracing is off.
+func (n *Network) TraceEvents() []TraceEvent {
+	n.eng.Sync()
+	return n.trace.Events()
+}
+
+// WriteTrace writes the trace in Chrome trace-event JSON — load the
+// file at ui.perfetto.dev (or chrome://tracing) to see one lane per
+// node with every event placed at its virtual time, rendered as
+// microseconds. An error is returned when tracing is off.
+func (n *Network) WriteTrace(w io.Writer) error {
+	n.eng.Sync()
+	if n.trace == nil {
+		return fmt.Errorf("rjoin: tracing is not enabled (set Options.Trace)")
+	}
+	return n.trace.WriteChromeTrace(w)
+}
+
+// WriteTraceJSONL writes the trace as one JSON object per line, for
+// ad-hoc filtering with line-oriented tools. An error is returned when
+// tracing is off.
+func (n *Network) WriteTraceJSONL(w io.Writer) error {
+	n.eng.Sync()
+	if n.trace == nil {
+		return fmt.Errorf("rjoin: tracing is not enabled (set Options.Trace)")
+	}
+	return n.trace.WriteJSONL(w)
+}
+
+// WriteMetricsCSV writes every completed rate-series window as CSV
+// (window_start, interval, scope, name, count): per-node delivery
+// rates, per-traffic-tag send rates and per-query answer rates. An
+// error is returned when metrics are off.
+func (n *Network) WriteMetricsCSV(w io.Writer) error {
+	n.eng.Sync()
+	if n.obsM == nil {
+		return fmt.Errorf("rjoin: metrics are not enabled (set Options.Metrics)")
+	}
+	n.obsM.Drain(int64(n.eng.Sim().Now()) + n.obsM.Interval())
+	return n.obsM.WriteCSV(w)
 }
 
 // Engine exposes the underlying engine for advanced use (experiment
@@ -735,6 +902,18 @@ func (s *Subscription) AnswersSince(cursor int) []Answer {
 // Count returns the number of answers delivered so far, without
 // converting or allocating anything.
 func (s *Subscription) Count() int { return len(s.net.eng.Answers(s.ID)) }
+
+// LatencyStats summarizes this subscription's answer latency: the
+// virtual ticks between each triggering publish and the delivery of
+// the answer (or aggregate update) it produced. The zero summary comes
+// back when Options.Metrics is off.
+func (s *Subscription) LatencyStats() LatencySummary {
+	s.net.eng.Sync()
+	if s.net.obsM == nil {
+		return LatencySummary{}
+	}
+	return s.net.obsM.QueryHist(s.ID).Summary()
+}
 
 // AggregateRow is one row of an aggregate query's view: the latest
 // finalized aggregates of one group in one window epoch. Row has the
