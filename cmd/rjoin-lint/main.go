@@ -1,0 +1,65 @@
+// Command rjoin-lint statically enforces the engine's determinism
+// contract: the invariants the golden-digest replay tests certify
+// dynamically are checked here at the source level, before any config
+// has to trip them.
+//
+// Usage:
+//
+//	go run ./cmd/rjoin-lint ./...
+//
+// The suite (see DESIGN.md, "Determinism invariants"):
+//
+//	detrange   map iteration order escaping into observable effects
+//	novtime    wall-clock reads and global math/rand draws
+//	poolsafe   use-after-release / double release of pooled values
+//	shardsafe  per-shard lane state touched outside the barrier rules
+//
+// Exit status: 0 clean, 1 findings, 2 load/internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rjoin/internal/lint/detrange"
+	"rjoin/internal/lint/lintdriver"
+	"rjoin/internal/lint/novtime"
+	"rjoin/internal/lint/poolsafe"
+	"rjoin/internal/lint/shardsafe"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rjoin-lint [packages]\n\nRuns the determinism lint suite (detrange, novtime, poolsafe, shardsafe)\nover the given package patterns (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := []*analysis.Analyzer{
+		detrange.Analyzer,
+		novtime.Analyzer,
+		poolsafe.Analyzer,
+		shardsafe.Analyzer,
+	}
+
+	diags, err := lintdriver.Run(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rjoin-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rjoin-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

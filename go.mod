@@ -1,3 +1,11 @@
 module rjoin
 
 go 1.24
+
+// First external dependency: the go/analysis framework behind
+// cmd/rjoin-lint. The container building this repo has no module-proxy
+// access, so the dependency is satisfied from a vendored subset (the
+// toolchain's own copy) under third_party/ via the replace below.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

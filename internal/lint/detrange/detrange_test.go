@@ -1,0 +1,18 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"rjoin/internal/lint/detrange"
+	"rjoin/internal/lint/linttest"
+)
+
+func TestDetrange(t *testing.T) {
+	linttest.Run(t, detrange.Analyzer, "example/internal/core", "testdata/core")
+}
+
+// Outside the deterministic scope the analyzer must stay silent even
+// on the positive fixtures.
+func TestDetrangeScope(t *testing.T) {
+	linttest.RunExpectNone(t, detrange.Analyzer, "example/tools", "testdata/core")
+}

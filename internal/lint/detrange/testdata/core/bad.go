@@ -1,0 +1,24 @@
+// Directive-misuse cases: a reason-less suppression never mutes the
+// finding and is itself diagnosed; unknown analyzers are diagnosed too.
+package core
+
+func undocumented(m map[string]int, mr msgr) {
+	for k := range m {
+		mr.Send(k) //lint:ordered // want `undocumented //lint: suppression for detrange` `Send call inside map range`
+	}
+}
+
+func undocumentedAllow(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k //lint:allow detrange // want `undocumented //lint: suppression for detrange` `channel send inside map range`
+	}
+}
+
+func unknownAnalyzer(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow sortorder keys are sorted by the caller // want `malformed //lint: directive`
+		keys = append(keys, k) // want `append to keys records entries in iteration order`
+	}
+	return keys
+}

@@ -1,0 +1,90 @@
+// Negative cases: the order-insensitive idioms the engine actually
+// uses. Nothing in this file may be flagged.
+package core
+
+import "sort"
+
+// collect-then-sort: the canonical deterministic map walk.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collect-then-sort through an alias of the collecting slice.
+func aliasSorted(m map[string]int) []string {
+	var acc []string
+	for k := range m {
+		acc = append(acc, k)
+	}
+	tail := acc[0:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return acc
+}
+
+// commutative integer accumulation: Stats-merge style.
+func counts(m map[string]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return
+}
+
+// rebuild keyed by the loop variables: order-free by construction.
+func rebuild(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// guarded extremum selection.
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// guarded lazy once-only initialisation plus keyed writes.
+func lazyInit(m map[string]int) map[string]bool {
+	var set map[string]bool
+	for k := range m {
+		if set == nil {
+			set = make(map[string]bool)
+		}
+		set[k] = true
+	}
+	return set
+}
+
+// boolean-constant flag set: same result for every order.
+func flagSet(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// return of a loop-independent value.
+func bail(m map[string]int, limit int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+		if total > limit {
+			return limit
+		}
+	}
+	return total
+}

@@ -1,0 +1,75 @@
+// Positive cases: map iterations whose order escapes into an
+// observable effect. Every line below must be flagged.
+package core
+
+type msgr struct{}
+
+func (msgr) Send(k string)  {}
+func (msgr) Emit(v float64) {}
+
+func sends(m map[string]int, mr msgr) {
+	for k := range m {
+		mr.Send(k) // want `Send call inside map range`
+	}
+}
+
+func emits(m map[string]float64, mr msgr) {
+	for _, v := range m {
+		mr.Emit(v) // want `Emit call inside map range`
+	}
+}
+
+func chanSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map range`
+	}
+}
+
+func earlyReturn(m map[string]int) string {
+	for k, v := range m {
+		if v > 10 {
+			return k // want `return of a value selected by iteration order`
+		}
+	}
+	return ""
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys records entries in iteration order`
+	}
+	return keys
+}
+
+func lastWriter(m map[string]int) int {
+	var last int
+	for _, v := range m {
+		last = v // want `last-writer-wins overwrite of last`
+	}
+	return last
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+func stringConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation into s`
+	}
+	return s
+}
+
+func cursorWrite(m map[string]int, out []string) {
+	i := 0
+	for k := range m {
+		out[i] = k // want `write through cursor i advanced inside the loop`
+		i++
+	}
+}

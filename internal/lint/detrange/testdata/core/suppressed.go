@@ -1,0 +1,27 @@
+// Suppressed cases: documented //lint:ordered and //lint:allow
+// directives mute the finding. Nothing in this file may be flagged.
+package core
+
+// Comment-above-statement placement.
+func fanoutAbove(m map[string]int, mr msgr) {
+	for k := range m {
+		//lint:ordered delivery order is normalized by the reliable channel downstream
+		mr.Send(k)
+	}
+}
+
+// Trailing-comment placement, long form.
+func fanoutTrailing(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k //lint:allow detrange consumer drains into a sorted buffer before acting
+	}
+}
+
+// Function-doc placement covers the whole body.
+//
+//lint:ordered the map is a singleton by construction in this path
+func fanoutDoc(m map[string]int, mr msgr) {
+	for k := range m {
+		mr.Send(k)
+	}
+}

@@ -1,0 +1,164 @@
+// Package directive parses the suppression directives shared by every
+// rjoin-lint analyzer.
+//
+// Two forms are recognised, always as line comments:
+//
+//	//lint:ordered <reason>            sugar for //lint:allow detrange <reason>
+//	//lint:allow <analyzer> <reason>   suppress one analyzer's findings
+//
+// A directive suppresses diagnostics of the named analyzer on the
+// directive's own line and on the line directly below it (so both
+// trailing comments and comment-above-statement placements work). A
+// directive written in a function declaration's doc comment suppresses
+// the analyzer for the whole function body.
+//
+// The reason string is mandatory: a suppression that does not document
+// *why* the flagged code is safe is itself a diagnostic. Every analyzer
+// reports reason-less directives addressed to it; directives naming an
+// analyzer that does not exist are reported by all analyzers (the
+// directive is inert, which is worse than noisy).
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Known is the set of analyzer names a directive may address.
+var Known = map[string]bool{
+	"detrange":  true,
+	"novtime":   true,
+	"poolsafe":  true,
+	"shardsafe": true,
+}
+
+// Directive is one parsed //lint: comment.
+type Directive struct {
+	Analyzer string    // addressed analyzer ("" when unparsable)
+	Reason   string    // documentation string ("" when missing)
+	Pos      token.Pos // position of the comment
+	File     string    // file the comment sits in
+	Line     int       // line the comment sits on
+	From, To token.Pos // suppression extent (func body for doc comments)
+	used     bool
+}
+
+// Index holds every directive of one package, ready for suppression
+// lookups by the analyzers.
+type Index struct {
+	fset *token.FileSet
+	all  []*Directive
+}
+
+// Build scans the pass's files for //lint: directives. It is cheap
+// enough to run once per analyzer; directives are per-package state and
+// go/analysis passes are per-package.
+func Build(pass *analysis.Pass) *Index {
+	ix := &Index{fset: pass.Fset}
+	for _, f := range pass.Files {
+		// Map doc-comment positions to their function bodies so a
+		// directive on a declaration can cover the whole function.
+		funcDocs := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			fd := funcDocs[cg]
+			for _, c := range cg.List {
+				d, ok := parse(c)
+				if !ok {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				d.File, d.Line = p.Filename, p.Line
+				if fd != nil {
+					d.From, d.To = fd.Pos(), fd.End()
+				}
+				ix.all = append(ix.all, d)
+			}
+		}
+	}
+	return ix
+}
+
+// parse extracts a directive from one comment, reporting ok=false for
+// comments that are not //lint: directives at all. Malformed directives
+// (unknown analyzer, missing reason) parse with the offending field
+// left empty so Bad can report them.
+func parse(c *ast.Comment) (*Directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//lint:")
+	if !ok {
+		return nil, false
+	}
+	// A reason ends at an embedded "//": anything after it is an
+	// ordinary trailing comment (the analyzer goldens use this to put
+	// `// want` expectations on directive lines).
+	if i := strings.Index(text, "//"); i >= 0 {
+		text = text[:i]
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return &Directive{Pos: c.Pos()}, true
+	}
+	d := &Directive{Pos: c.Pos()}
+	switch fields[0] {
+	case "ordered":
+		d.Analyzer = "detrange"
+		d.Reason = strings.Join(fields[1:], " ")
+	case "allow":
+		if len(fields) >= 2 {
+			if Known[fields[1]] {
+				d.Analyzer = fields[1]
+			}
+			d.Reason = strings.Join(fields[2:], " ")
+		}
+	default:
+		// Unknown verb: inert directive, reported by Bad.
+	}
+	return d, true
+}
+
+// Suppressed reports whether a diagnostic of the named analyzer at pos
+// is covered by a documented directive. Reason-less directives never
+// suppress: the finding still fires, alongside the missing-reason
+// diagnostic, so an undocumented mute can't hide anything.
+func (ix *Index) Suppressed(analyzer string, pos token.Pos) bool {
+	p := ix.fset.Position(pos)
+	for _, d := range ix.all {
+		if d.Analyzer != analyzer || d.Reason == "" {
+			continue
+		}
+		if d.From.IsValid() && d.From <= pos && pos < d.To {
+			d.used = true
+			return true
+		}
+		if p.Filename == d.File && (p.Line == d.Line || p.Line == d.Line+1) {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Report emits the malformed-directive diagnostics the given analyzer
+// owns: reason-less directives addressed to it, plus directives whose
+// analyzer name is unknown or missing — those are reported by every
+// analyzer (nobody owns them; the driver deduplicates identical
+// positions). Malformed directives never suppress, so Report can run
+// any time after Build.
+func (ix *Index) Report(pass *analysis.Pass) {
+	name := pass.Analyzer.Name
+	for _, d := range ix.all {
+		switch {
+		case d.Analyzer == "":
+			pass.Reportf(d.Pos, "malformed //lint: directive: want //lint:ordered <reason> or //lint:allow <analyzer> <reason> with a known analyzer (detrange, novtime, poolsafe, shardsafe)")
+		case d.Analyzer == name && d.Reason == "":
+			pass.Reportf(d.Pos, "undocumented //lint: suppression for %s: a reason string is required", name)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package directive
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+func build(t *testing.T, srcs ...string) (*token.FileSet, *Index) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pass := &analysis.Pass{Fset: fset}
+	for i, src := range srcs {
+		f, err := parser.ParseFile(fset, fmt.Sprintf("f%d.go", i), src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass.Files = append(pass.Files, f)
+	}
+	return fset, Build(pass)
+}
+
+// lineStart returns the position of the start of a line in the named
+// fixture file.
+func lineStart(t *testing.T, fset *token.FileSet, name string, line int) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	fset.Iterate(func(tf *token.File) bool {
+		if tf.Name() == name {
+			pos = tf.LineStart(line)
+			return false
+		}
+		return true
+	})
+	if !pos.IsValid() {
+		t.Fatalf("no fixture file %s", name)
+	}
+	return pos
+}
+
+func TestParseForms(t *testing.T) {
+	_, ix := build(t, `package p
+
+//lint:ordered singleton map
+//lint:allow poolsafe alias cleared by barrier
+//lint:allow poolsafe
+//lint:allow nonsense some reason
+//lint:ordered trailing ok // want-style tail is not part of the reason
+func f() {}
+`)
+	got := ix.all
+	if len(got) != 5 {
+		t.Fatalf("parsed %d directives, want 5", len(got))
+	}
+	checks := []struct{ analyzer, reason string }{
+		{"detrange", "singleton map"},
+		{"poolsafe", "alias cleared by barrier"},
+		{"poolsafe", ""},
+		{"", "some reason"},
+		{"detrange", "trailing ok"},
+	}
+	for i, want := range checks {
+		if got[i].Analyzer != want.analyzer || got[i].Reason != want.reason {
+			t.Errorf("directive %d: got (%q, %q), want (%q, %q)",
+				i, got[i].Analyzer, got[i].Reason, want.analyzer, want.reason)
+		}
+	}
+}
+
+func TestSuppressionExtent(t *testing.T) {
+	fset, ix := build(t, `package p
+
+//lint:allow novtime benchmark only
+var a = 1
+var b = 2
+`)
+	if !ix.Suppressed("novtime", lineStart(t, fset, "f0.go", 3)) {
+		t.Error("directive line itself not suppressed")
+	}
+	if !ix.Suppressed("novtime", lineStart(t, fset, "f0.go", 4)) {
+		t.Error("line below directive not suppressed")
+	}
+	if ix.Suppressed("novtime", lineStart(t, fset, "f0.go", 5)) {
+		t.Error("two lines below directive wrongly suppressed")
+	}
+	if ix.Suppressed("detrange", lineStart(t, fset, "f0.go", 4)) {
+		t.Error("directive suppressed a different analyzer")
+	}
+}
+
+func TestFuncDocCoversBody(t *testing.T) {
+	fset, ix := build(t, `package p
+
+//lint:allow shardsafe driver context by contract
+func f() {
+	_ = 1
+	_ = 2
+}
+
+func g() {
+	_ = 3
+}
+`)
+	if !ix.Suppressed("shardsafe", lineStart(t, fset, "f0.go", 6)) {
+		t.Error("func-doc directive did not cover the body")
+	}
+	if ix.Suppressed("shardsafe", lineStart(t, fset, "f0.go", 10)) {
+		t.Error("func-doc directive leaked into the next function")
+	}
+}
+
+func TestReasonlessNeverSuppresses(t *testing.T) {
+	fset, ix := build(t, `package p
+
+//lint:allow novtime
+var a = 1
+`)
+	if ix.Suppressed("novtime", lineStart(t, fset, "f0.go", 4)) {
+		t.Error("reason-less directive suppressed a finding")
+	}
+}
+
+// A directive in one file must not mute findings on the same line
+// numbers of a sibling file in the package.
+func TestNoCrossFileSuppression(t *testing.T) {
+	fset, ix := build(t,
+		"package p\n\n//lint:allow novtime benchmark only\nvar a = 1\n",
+		"package p\n\nvar b = 2\nvar c = 3\n",
+	)
+	if ix.Suppressed("novtime", lineStart(t, fset, "f1.go", 3)) {
+		t.Error("directive suppressed a finding in a different file")
+	}
+	if ix.Suppressed("novtime", lineStart(t, fset, "f1.go", 4)) {
+		t.Error("directive suppressed a finding in a different file")
+	}
+}

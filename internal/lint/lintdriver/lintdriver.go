@@ -1,0 +1,211 @@
+// Package lintdriver loads Go packages and runs go/analysis analyzers
+// over them without golang.org/x/tools/go/packages (unavailable in the
+// build environment — see third_party/golang.org/x/tools).
+//
+// Loading leans entirely on the go command: `go list -deps -export
+// -json` yields, for every target package and every dependency, the
+// file list plus a build-cache export-data file. Targets are parsed
+// from source and type-checked with go/types; every import — stdlib
+// and intra-module alike — is satisfied from export data through the
+// standard gc importer, so the driver never re-type-checks a
+// dependency. Facts are not supported: the rjoin-lint analyzers are
+// all package-local.
+package lintdriver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Diagnostic is one analyzer finding, position-resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run loads the packages matched by patterns and applies every
+// analyzer to each. It returns all diagnostics sorted by position.
+func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if len(a.Requires) > 0 || len(a.FactTypes) > 0 {
+			return nil, fmt.Errorf("lintdriver: analyzer %s needs Requires/Facts support, which this driver does not provide", a.Name)
+		}
+	}
+
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lintdriver: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lintdriver: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var diags []Diagnostic
+	for _, p := range targets {
+		ds, err := checkPackage(fset, imp, p, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// A malformed //lint: directive is reported by every analyzer
+	// (nobody owns it); keep one copy.
+	return dedup(diags), nil
+}
+
+func goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, p *listPkg, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return Check(fset, p.ImportPath, files, imp, analyzers)
+}
+
+// Check type-checks the given parsed files as one package under the
+// given import path and applies the analyzers, returning their
+// diagnostics. The linttest harness shares this entry point with the
+// command-line driver so goldens exercise exactly the production pass
+// construction.
+func Check(fset *token.FileSet, pkgPath string, files []*ast.File, imp types.Importer, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: conf.Sizes,
+			ResultOf:   map[*analysis.Analyzer]interface{}{},
+			ReadFile:   os.ReadFile,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{
+				Analyzer: name,
+				Pos:      fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkgPath, err)
+		}
+	}
+	return diags, nil
+}
+
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			prev := diags[i-1]
+			if prev.Pos == d.Pos && prev.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

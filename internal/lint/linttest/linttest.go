@@ -1,0 +1,244 @@
+// Package linttest is a self-contained analysistest: it runs one
+// analyzer over a directory of Go source files and checks the reported
+// diagnostics against `// want "regexp"` comments, the same golden
+// convention golang.org/x/tools/go/analysis/analysistest uses (that
+// package needs go/packages, which the build environment cannot
+// fetch).
+//
+// A want comment annotates the line it sits on and may carry several
+// expectations:
+//
+//	m.send(k) // want `map iteration order escapes` "second finding"
+//
+// Every diagnostic must match exactly one unconsumed want expectation
+// on its line, and every expectation must be consumed — extra and
+// missing findings both fail the test.
+//
+// Imports in test sources are resolved through `go list -export`, so
+// fixtures may import the standard library and real module packages
+// (rjoin/internal/sim, say) alike. The fake package path given to Run
+// controls the analyzers' package scoping: "example/internal/core" is
+// inside the determinism contract, "example/tools" is not.
+package linttest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"rjoin/internal/lint/lintdriver"
+)
+
+// exportCache memoises `go list -export` lookups across tests in the
+// process; stdlib export files are stable for the build session.
+var exportCache sync.Map // import path -> export file path (or "")
+
+func exportFile(path string) (string, error) {
+	if v, ok := exportCache.Load(path); ok {
+		if s := v.(string); s != "" {
+			return s, nil
+		}
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	var stderr bytes.Buffer
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		exportCache.Store(path, "")
+		return "", fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	file := strings.TrimSpace(string(out))
+	exportCache.Store(path, file)
+	if file == "" {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	return file, nil
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file     string
+	line     int
+	re       *regexp.Regexp
+	raw      string
+	consumed bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// parseWants extracts expectations from one parsed file.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*want {
+	var wants []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, raw := range splitQuoted(t, pos, m[1]) {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+				}
+				wants = append(wants, &want{
+					file: filepath.Base(pos.Filename),
+					line: pos.Line,
+					re:   re,
+					raw:  raw,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go string literals ("..." or `...`).
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("%s: unterminated want string: %s", pos, s)
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", pos, s[:end+1], err)
+			}
+			out = append(out, lit)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", pos, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want expects quoted regexps, got %q", pos, s)
+		}
+	}
+	return out
+}
+
+// Run applies the analyzer to the package formed by every .go file in
+// dir, type-checked under the fake import path pkgPath, and matches
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath, dir string) {
+	t.Helper()
+	diags, wants := check(t, a, pkgPath, dir)
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.consumed || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	var missing []*want
+	for _, w := range wants {
+		if !w.consumed {
+			missing = append(missing, w)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		if missing[i].file != missing[j].file {
+			return missing[i].file < missing[j].file
+		}
+		return missing[i].line < missing[j].line
+	})
+	for _, w := range missing {
+		t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+	}
+}
+
+// RunExpectNone applies the analyzer to the fixture under a package
+// path where it must stay silent (out of the deterministic scope, or
+// in an exempted package); want comments are ignored.
+func RunExpectNone(t *testing.T, a *analysis.Analyzer, pkgPath, dir string) {
+	t.Helper()
+	diags, _ := check(t, a, pkgPath, dir)
+	for _, d := range diags {
+		t.Errorf("%s: diagnostic outside %s scope: %s", d.Pos, a.Name, d.Message)
+	}
+}
+
+// check loads the fixture package and returns the analyzer's
+// diagnostics alongside the parsed want expectations.
+func check(t *testing.T, a *analysis.Analyzer, pkgPath, dir string) ([]lintdriver.Diagnostic, []*want) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, err := exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+
+	diags, err := lintdriver.Check(fset, pkgPath, files, imp, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags, wants
+}

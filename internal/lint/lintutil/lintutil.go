@@ -1,0 +1,194 @@
+// Package lintutil holds the scope table and small AST helpers shared
+// by the rjoin-lint analyzers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministic is the set of packages whose code executes under the
+// simulator's replay contract: everything they do must be a pure
+// function of (seed, workload, options). The linters enforce their
+// rules only inside these packages — experiment drivers, offline
+// metric summaries and the SQL parser are free to use wall clocks and
+// unordered iteration.
+var deterministic = map[string]bool{
+	"core":     true,
+	"sim":      true,
+	"overlay":  true,
+	"chord":    true,
+	"agg":      true,
+	"churn":    true,
+	"reliable": true, // includes what used to be the replication package
+	"query":    true,
+	"obs":      true,
+}
+
+// Deterministic reports whether the package at the given import path
+// is under the replay contract: any path segment "internal" followed
+// by one of the deterministic package names (so forks and testdata
+// trees match the same way the real tree does).
+func Deterministic(pkgPath string) bool {
+	seg := strings.Split(pkgPath, "/")
+	for i := 0; i+1 < len(seg); i++ {
+		if seg[i] == "internal" && deterministic[seg[i+1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// WalkStack traverses the AST below root, calling fn with the chain of
+// ancestors (outermost first, not including n itself) for every node.
+// Returning false prunes the subtree below n.
+func WalkStack(root ast.Node, fn func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(stack, n) {
+			// Pruned: Inspect sends the nil pop only for nodes whose
+			// children were visited, so nothing was pushed.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// in the ancestor stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// EnclosingFuncName returns the name of the innermost named function in
+// the stack ("" inside a bare function literal at top level).
+func EnclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// BaseObject resolves the object an identifier or selector expression
+// ultimately denotes: for `x` the variable x, for `a.b.c` the field c.
+// Returns nil for anything else.
+func BaseObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// RootObject resolves the leftmost identifier of an expression: for
+// `a.b[i].c` the variable a. Returns nil when the root is not a plain
+// identifier (a call result, for example).
+func RootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// CalleeObject resolves the function or method object a call invokes,
+// or nil for builtins, conversions and indirect calls.
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if o, ok := info.ObjectOf(fun).(*types.Func); ok {
+			return o
+		}
+	case *ast.SelectorExpr:
+		if o, ok := info.ObjectOf(fun.Sel).(*types.Func); ok {
+			return o
+		}
+	}
+	return nil
+}
+
+// IsWriteTarget reports whether expr (a member of stack position i,
+// i.e. stack[i] == expr's parent chain applies) is written through:
+// it, or an address taken of it, appears as an assignment LHS, the
+// operand of ++/--, or under a unary &. The stack is the ancestor
+// chain of expr, outermost first.
+func IsWriteTarget(stack []ast.Node, expr ast.Expr) bool {
+	child := ast.Node(expr)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if containsNode(lhs, child) {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return containsNode(p.X, child)
+		case *ast.UnaryExpr:
+			if p.Op.String() == "&" {
+				return true
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.ParenExpr, *ast.SliceExpr:
+			child = p.(ast.Node)
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// Mentions reports whether the subtree under root contains an
+// identifier resolving to obj.
+func Mentions(info *types.Info, root ast.Node, obj types.Object) bool {
+	if root == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

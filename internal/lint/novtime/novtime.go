@@ -1,0 +1,96 @@
+// Package novtime implements the rjoin-lint analyzer that forbids
+// wall-clock and global-randomness sources inside the deterministic
+// packages.
+//
+// The replay contract requires every value the engine computes to be a
+// pure function of (seed, workload, options). time.Now and friends
+// read the host clock; the top-level math/rand functions draw from a
+// process-global source whose consumption order depends on goroutine
+// interleaving. Both make replays diverge. The only sanctioned
+// randomness inside the contract is an explicitly seeded stream: a
+// *rand.Rand constructed from rand.NewSource(seed), or the engine's
+// counter-based per-node sim.RNG streams (the salt discipline from the
+// unreliable-network PR — checked here instead of remembered).
+package novtime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"rjoin/internal/lint/directive"
+	"rjoin/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "novtime",
+	Doc:  "forbids wall-clock reads and global math/rand draws in deterministic packages",
+	Run:  run,
+}
+
+// forbiddenTime are package-level functions of "time" that read or
+// wait on the host clock. Pure constructors and conversions
+// (time.Duration, time.Unix, time.Date) stay legal: they compute, they
+// don't observe.
+var forbiddenTime = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the host clock",
+	"After":     "fires on the host clock",
+	"Tick":      "fires on the host clock",
+	"NewTimer":  "fires on the host clock",
+	"NewTicker": "fires on the host clock",
+	"AfterFunc": "fires on the host clock",
+}
+
+// allowedRand are the math/rand and math/rand/v2 package-level
+// functions that construct seeded generators rather than drawing from
+// the global source.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ix := directive.Build(pass)
+	ix.Report(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(sel.Sel)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods on seeded
+			// *rand.Rand / *sim.RNG values are exactly the sanctioned
+			// idiom.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if why, bad := forbiddenTime[fn.Name()]; bad && !ix.Suppressed("novtime", sel.Pos()) {
+					pass.Reportf(sel.Pos(), "time.%s %s: deterministic code must use virtual sim.Time (or document with //lint:allow novtime <reason>)", fn.Name(), why)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] && !ix.Suppressed("novtime", sel.Pos()) {
+					pass.Reportf(sel.Pos(), "global rand.%s draw: deterministic code must draw from a seeded *rand.Rand or a sim.RNG stream (or document with //lint:allow novtime <reason>)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

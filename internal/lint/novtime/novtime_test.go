@@ -1,0 +1,16 @@
+package novtime_test
+
+import (
+	"testing"
+
+	"rjoin/internal/lint/linttest"
+	"rjoin/internal/lint/novtime"
+)
+
+func TestNovtime(t *testing.T) {
+	linttest.Run(t, novtime.Analyzer, "example/internal/core", "testdata/core")
+}
+
+func TestNovtimeScope(t *testing.T) {
+	linttest.RunExpectNone(t, novtime.Analyzer, "example/tools", "testdata/core")
+}

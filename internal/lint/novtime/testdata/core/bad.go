@@ -1,0 +1,9 @@
+// Directive-misuse cases: a reason-less suppression never mutes the
+// finding and is itself diagnosed.
+package core
+
+import "time"
+
+func undocumented() int64 {
+	return time.Now().UnixNano() //lint:allow novtime // want `undocumented //lint: suppression for novtime` `time.Now reads the wall clock`
+}

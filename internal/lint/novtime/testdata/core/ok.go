@@ -1,0 +1,27 @@
+// Negative cases: the sanctioned time and randomness idioms. Nothing
+// in this file may be flagged.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"rjoin/internal/sim"
+)
+
+// Seeded *rand.Rand: method draws on an explicit stream are legal.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// The engine's counter-based per-node streams.
+func stream(seed int64) uint64 {
+	r := sim.NewRNG(seed, 7, 0xfa17)
+	return r.Uint64()
+}
+
+// Pure time computation: constructors and conversions observe nothing.
+func pure(d time.Duration) time.Time {
+	return time.Unix(0, int64(d)).Add(d)
+}

@@ -1,0 +1,37 @@
+// Positive cases: wall-clock reads and global randomness inside the
+// deterministic scope. Every line below must be flagged.
+package core
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func wall() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks on the host clock`
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time.NewTimer fires on the host clock`
+}
+
+func draw() int {
+	return rand.Intn(10) // want `global rand.Intn draw`
+}
+
+func drawV2() uint64 {
+	return randv2.Uint64() // want `global rand.Uint64 draw`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle draw`
+}

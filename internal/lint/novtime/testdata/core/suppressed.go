@@ -1,0 +1,15 @@
+// Suppressed cases: documented //lint:allow novtime directives mute
+// the finding. Nothing in this file may be flagged.
+package core
+
+import "time"
+
+func bench() int64 {
+	//lint:allow novtime offline benchmark timing, never on the replay path
+	return time.Now().UnixNano()
+}
+
+//lint:allow novtime progress logging to stderr is outside the replay contract
+func progress(start time.Time) time.Duration {
+	return time.Since(start)
+}

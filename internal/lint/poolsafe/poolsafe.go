@@ -1,0 +1,465 @@
+// Package poolsafe implements the rjoin-lint analyzer that flags
+// misuse of pooled values: reads after a value went back to its
+// sync.Pool or free list, double releases, and releases of values that
+// earlier escaped into retained state.
+//
+// This is exactly the bug class the engine has paid for twice by hand:
+// the SubmitQuery fix (a rewrite read after query.Release) and the
+// unreliable-network pool gating (messages retained for retransmission
+// must never be recycled). A released struct is re-zeroed and handed to
+// the next Get; any alias that survives the release reads — or worse,
+// writes — somebody else's message.
+//
+// Recognised release points:
+//   - p.Put(x) where p is a sync.Pool;
+//   - calls to a function or method named Release or Free whose single
+//     argument (or receiver) is the pooled value — query.Release(q) is
+//     the canonical in-tree form.
+//
+// The analysis is a per-function forward scan over statement lists:
+// straight-line use-after-release and double-release are always
+// caught; if/switch branches that do not terminate (return, panic,
+// continue, break) union their release sets into the fall-through, so
+// "released on some path, used after" is caught too. Deferred releases
+// are ignored (they run at function exit, after every use), as are go
+// statements. Cross-function aliasing is out of scope — the golden
+// replay tests own that layer.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"rjoin/internal/lint/directive"
+	"rjoin/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "flags use-after-release, double release, and retained-then-released pooled values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ix := directive.Build(pass)
+	ix.Report(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, ix, body)
+			}
+			return true // nested function literals get their own scan
+		})
+	}
+	return nil, nil
+}
+
+// releaseTarget resolves the pooled object a call releases, or nil.
+func releaseTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		callee, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		if callee == nil {
+			return nil
+		}
+		recv := callee.Type().(*types.Signature).Recv()
+		switch callee.Name() {
+		case "Put":
+			// sync.Pool.Put(x)
+			if recv != nil && isSyncPool(recv.Type()) && len(call.Args) == 1 {
+				return lintutil.BaseObject(info, call.Args[0])
+			}
+		case "Release", "Free":
+			if recv != nil && len(call.Args) == 0 {
+				// x.Release()
+				return lintutil.BaseObject(info, fun.X)
+			}
+			if recv == nil && len(call.Args) == 1 {
+				// pkg.Release(x)
+				return lintutil.BaseObject(info, call.Args[0])
+			}
+		}
+	case *ast.Ident:
+		callee, _ := info.ObjectOf(fun).(*types.Func)
+		if callee == nil {
+			return nil
+		}
+		if (callee.Name() == "Release" || callee.Name() == "Free") && len(call.Args) == 1 {
+			return lintutil.BaseObject(info, call.Args[0])
+		}
+	}
+	return nil
+}
+
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// site is where a tracked event (release, escape) happened.
+type site = token.Pos
+
+type state struct {
+	released map[types.Object]site
+	escaped  map[types.Object]site
+}
+
+func (s state) clone() state {
+	c := state{released: map[types.Object]site{}, escaped: map[types.Object]site{}}
+	for k, v := range s.released {
+		c.released[k] = v
+	}
+	for k, v := range s.escaped {
+		c.escaped[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	ix      *directive.Index
+	tracked map[types.Object]bool // objects released somewhere in this function
+}
+
+func checkFunc(pass *analysis.Pass, ix *directive.Index, body *ast.BlockStmt) {
+	c := &checker{pass: pass, ix: ix, tracked: map[types.Object]bool{}}
+	// Pass A: which objects does this function ever release? (Skip
+	// deferred releases and nested function literals — literals get
+	// their own checkFunc.)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if o := releaseTarget(pass.TypesInfo, n); o != nil {
+				c.tracked[o] = true
+			}
+		}
+		return true
+	})
+	if len(c.tracked) == 0 {
+		return
+	}
+	c.stmts(body.List, state{released: map[types.Object]site{}, escaped: map[types.Object]site{}})
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
+	if !c.ix.Suppressed("poolsafe", pos) {
+		c.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (c *checker) line(p token.Pos) int { return c.pass.Fset.Position(p).Line }
+
+// stmts walks one statement list, threading st through it. The
+// returned state reflects fall-through execution of the whole list.
+func (c *checker) stmts(list []ast.Stmt, st state) state {
+	for _, s := range list {
+		st = c.stmt(s, st)
+	}
+	return st
+}
+
+func (c *checker) stmt(s ast.Stmt, st state) state {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		c.uses(s.Cond, st, nil)
+		thenSt := c.stmts(s.Body.List, st.clone())
+		var elseSt state
+		hasElse := s.Else != nil
+		if hasElse {
+			elseSt = c.stmt(s.Else, st.clone())
+		}
+		// Union non-terminating branches into the fall-through: a
+		// release on some path poisons every later use.
+		if !terminates(s.Body) {
+			st = merge(st, thenSt)
+		}
+		if hasElse && !elseTerminates(s.Else) {
+			st = merge(st, elseSt)
+		}
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branches(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		c.uses(s.Cond, st, nil)
+		c.stmts(s.Body.List, st.clone()) // loop body: checked, not merged
+		return st
+	case *ast.RangeStmt:
+		c.uses(s.X, st, nil)
+		c.stmts(s.Body.List, st.clone())
+		return st
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred releases run at exit; go statements are concurrent.
+		// Neither participates in the linear path.
+		return st
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	default:
+		return c.linear(s, st)
+	}
+}
+
+// branches handles switch-like statements: every clause body starts
+// from the pre-switch state; non-terminating clauses union in.
+func (c *checker) branches(s ast.Stmt, st state) state {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		c.uses(s.Tag, st, nil)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := st
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.uses(e, st, nil)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		clSt := c.stmts(stmts, st.clone())
+		if !stmtsTerminate(stmts) {
+			out = merge(out, clSt)
+		}
+	}
+	return out
+}
+
+// linear processes one simple statement: check uses of released
+// values, record new releases and escapes, clear rebound names.
+func (c *checker) linear(s ast.Stmt, st state) state {
+	info := c.pass.TypesInfo
+
+	// Identifiers exempt from the use check: arguments/receivers of
+	// release calls in this statement (the release itself is not a
+	// use) and plain LHS rebinds.
+	exempt := map[*ast.Ident]bool{}
+	var releases []struct {
+		obj types.Object
+		pos token.Pos
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if o := releaseTarget(info, call); o != nil {
+			releases = append(releases, struct {
+				obj types.Object
+				pos token.Pos
+			}{o, call.Pos()})
+			markIdents(info, call, o, exempt)
+		}
+		return true
+	})
+
+	var rebinds []types.Object
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if o := info.ObjectOf(id); o != nil {
+					exempt[id] = true
+					rebinds = append(rebinds, o)
+				}
+			}
+		}
+	}
+
+	c.uses(s, st, exempt)
+
+	for _, r := range releases {
+		if first, ok := st.released[r.obj]; ok {
+			c.reportf(r.pos, "%s released twice: already returned to the pool on this path at line %d", r.obj.Name(), c.line(first))
+			continue
+		}
+		if esc, ok := st.escaped[r.obj]; ok {
+			c.reportf(r.pos, "%s was retained in escaping state at line %d and is now released to the pool: the retained alias will observe recycled memory", r.obj.Name(), c.line(esc))
+		}
+		st.released[r.obj] = r.pos
+	}
+
+	for _, o := range rebinds {
+		delete(st.released, o)
+		delete(st.escaped, o)
+	}
+
+	c.escapes(s, st)
+	return st
+}
+
+// uses reports every read of a released object inside n.
+func (c *checker) uses(n ast.Node, st state, exempt map[*ast.Ident]bool) {
+	if n == nil || len(st.released) == 0 {
+		return
+	}
+	info := c.pass.TypesInfo
+	reported := map[types.Object]bool{}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok || exempt[id] {
+			return true
+		}
+		o := info.ObjectOf(id)
+		if o == nil || reported[o] {
+			return true
+		}
+		if rel, ok := st.released[o]; ok {
+			reported[o] = true
+			c.reportf(id.Pos(), "use of %s after it was released to the pool at line %d", o.Name(), c.line(rel))
+		}
+		return true
+	})
+}
+
+// escapes records tracked objects stored into retained state: an
+// assignment whose RHS mentions the object and whose LHS is a field,
+// an element of a container, a dereference, or a package-level
+// variable; or a channel send.
+func (c *checker) escapes(s ast.Stmt, st state) {
+	info := c.pass.TypesInfo
+	record := func(rhs ast.Expr, pos token.Pos) {
+		for o := range c.tracked {
+			if _, done := st.escaped[o]; done {
+				continue
+			}
+			if lintutil.Mentions(info, rhs, o) {
+				st.escaped[o] = pos
+			}
+		}
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			if !retainingLHS(info, lhs) {
+				continue
+			}
+			if i < len(s.Rhs) {
+				record(s.Rhs[i], s.Pos())
+			} else if len(s.Rhs) == 1 {
+				record(s.Rhs[0], s.Pos())
+			}
+		}
+	case *ast.SendStmt:
+		record(s.Value, s.Pos())
+	}
+}
+
+// retainingLHS reports whether an assignment target outlives the
+// function body's locals: fields, container elements, dereferences and
+// package-level variables.
+func retainingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(lhs).(*types.Var); ok {
+			return v.Parent() == v.Pkg().Scope()
+		}
+	}
+	return false
+}
+
+func markIdents(info *types.Info, call *ast.CallExpr, obj types.Object, exempt map[*ast.Ident]bool) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			exempt[id] = true
+		}
+		return true
+	})
+}
+
+func merge(a, b state) state {
+	for k, v := range b.released {
+		if _, ok := a.released[k]; !ok {
+			a.released[k] = v
+		}
+	}
+	for k, v := range b.escaped {
+		if _, ok := a.escaped[k]; !ok {
+			a.escaped[k] = v
+		}
+	}
+	return a
+}
+
+// terminates reports whether a block always leaves the enclosing
+// statement list (return, panic, continue, break, goto).
+func terminates(b *ast.BlockStmt) bool { return stmtsTerminate(b.List) }
+
+func elseTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		return terminates(s.Body) && s.Else != nil && elseTerminates(s.Else)
+	}
+	return false
+}
+
+func stmtsTerminate(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last)
+	case *ast.IfStmt:
+		return terminates(last.Body) && last.Else != nil && elseTerminates(last.Else)
+	}
+	return false
+}

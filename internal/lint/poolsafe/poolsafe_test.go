@@ -1,0 +1,14 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"rjoin/internal/lint/linttest"
+	"rjoin/internal/lint/poolsafe"
+)
+
+// poolsafe is not scoped to the deterministic packages: recycled
+// memory is a bug everywhere, so the fixture uses a neutral path.
+func TestPoolsafe(t *testing.T) {
+	linttest.Run(t, poolsafe.Analyzer, "example/pool", "testdata/pool")
+}

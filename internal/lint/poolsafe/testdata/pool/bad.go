@@ -1,0 +1,9 @@
+// Directive-misuse cases: a reason-less suppression never mutes the
+// finding and is itself diagnosed.
+package pool
+
+func undocumented() int {
+	m := msgPool.Get().(*Msg)
+	Release(m)
+	return m.N //lint:allow poolsafe // want `undocumented //lint: suppression for poolsafe` `use of m after it was released to the pool`
+}

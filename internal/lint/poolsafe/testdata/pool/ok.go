@@ -1,0 +1,51 @@
+// Negative cases: the release discipline the engine actually uses.
+// Nothing in this file may be flagged.
+package pool
+
+// Read everything you need, then release.
+func okUse() int {
+	m := msgPool.Get().(*Msg)
+	n := m.N
+	Release(m)
+	return n
+}
+
+// Rebinding the name to a fresh Get starts a new lifetime.
+func reacquire() {
+	m := msgPool.Get().(*Msg)
+	Release(m)
+	m = msgPool.Get().(*Msg)
+	m.N = 1
+	Release(m)
+}
+
+// Deferred releases run at function exit, after every use.
+func deferred() int {
+	m := msgPool.Get().(*Msg)
+	defer Release(m)
+	m.N = 2
+	return m.N
+}
+
+// A branch that releases and returns does not poison the fall-through.
+func branchTerminates(cond bool) int {
+	m := msgPool.Get().(*Msg)
+	if cond {
+		Release(m)
+		return 0
+	}
+	n := m.N
+	Release(m)
+	return n
+}
+
+// Release on both sides of a terminating if/else: no path doubles.
+func eitherWay(cond bool) int {
+	m := msgPool.Get().(*Msg)
+	if cond {
+		Release(m)
+		return 0
+	}
+	Release(m)
+	return 1
+}

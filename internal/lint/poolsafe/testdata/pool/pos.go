@@ -1,0 +1,58 @@
+// Positive cases: pooled-value misuse. Every line below must be
+// flagged.
+package pool
+
+import "sync"
+
+type Msg struct{ N int }
+
+var msgPool = sync.Pool{New: func() interface{} { return new(Msg) }}
+
+// Release is the canonical free-list release helper; poolsafe
+// recognises it by name and single argument.
+func Release(m *Msg) {
+	*m = Msg{}
+	msgPool.Put(m)
+}
+
+func useAfter() int {
+	m := msgPool.Get().(*Msg)
+	Release(m)
+	return m.N // want `use of m after it was released to the pool`
+}
+
+func useAfterDirectPut() int {
+	m := msgPool.Get().(*Msg)
+	msgPool.Put(m)
+	return m.N // want `use of m after it was released to the pool`
+}
+
+func double() {
+	m := msgPool.Get().(*Msg)
+	Release(m)
+	Release(m) // want `m released twice`
+}
+
+func doubleOnSomePath(cond bool) {
+	m := msgPool.Get().(*Msg)
+	if cond {
+		Release(m)
+	}
+	Release(m) // want `m released twice`
+}
+
+type holder struct{ last *Msg }
+
+func retained(h *holder) {
+	m := msgPool.Get().(*Msg)
+	h.last = m
+	Release(m) // want `m was retained in escaping state`
+}
+
+func useAfterBranchRelease(cond bool) int {
+	m := msgPool.Get().(*Msg)
+	if cond {
+		Release(m)
+	}
+	return m.N // want `use of m after it was released to the pool`
+}

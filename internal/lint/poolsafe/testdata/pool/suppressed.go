@@ -1,0 +1,12 @@
+// Suppressed cases: documented //lint:allow poolsafe directives mute
+// the finding. Nothing in this file may be flagged.
+package pool
+
+var sink holder
+
+func gated() {
+	m := msgPool.Get().(*Msg)
+	sink.last = m
+	//lint:allow poolsafe the sink is cleared by the flush barrier before the pool reuses the struct
+	Release(m)
+}

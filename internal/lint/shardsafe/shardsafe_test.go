@@ -1,0 +1,17 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"rjoin/internal/lint/linttest"
+	"rjoin/internal/lint/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	linttest.Run(t, shardsafe.Analyzer, "example/internal/obs", "testdata/obs")
+}
+
+// The sim package implements the barrier: the analyzer exempts it.
+func TestShardsafeExemptsSim(t *testing.T) {
+	linttest.RunExpectNone(t, shardsafe.Analyzer, "example/internal/sim", "testdata/obs")
+}

@@ -1,0 +1,7 @@
+// Directive-misuse cases: a reason-less suppression never mutes the
+// finding and is itself diagnosed.
+package obs
+
+func (t *tracer) undocumented(i, v int) {
+	t.slots[i] = append(t.slots[i], v) //lint:allow shardsafe // want `undocumented //lint: suppression for shardsafe` `write to per-shard lane slots indexed by i`
+}

@@ -1,0 +1,45 @@
+// Negative cases: the lane-access discipline the engine actually
+// uses. Nothing in this file may be flagged.
+package obs
+
+import "rjoin/internal/sim"
+
+// Handler context: index derived from sim.ShardSlot via a local.
+func (t *tracer) emit(shard, v int) {
+	s := sim.ShardSlot(shard)
+	t.slots[s] = append(t.slots[s], v)
+}
+
+// Handler context: ShardSlot call used inline as the index.
+func (t *tracer) emitInline(shard, v int) {
+	t.slots[sim.ShardSlot(shard)] = append(t.slots[sim.ShardSlot(shard)], v)
+}
+
+// Conventionally named shard-index parameter.
+func (t *tracer) emitNamed(slot, v int) {
+	t.slots[slot] = append(t.slots[slot], v)
+}
+
+// Barrier function: the Sync/merge family may do cross-slot work.
+func (t *tracer) flushMerge() []int {
+	var out []int
+	for i := range t.slots {
+		out = append(out, t.slots[i]...)
+		t.slots[i] = t.slots[i][:0]
+	}
+	return out
+}
+
+// make-allocated lanes: writes in the allocating function are init.
+type net struct {
+	byShard []int
+}
+
+func newNet() *net {
+	n := &net{}
+	n.byShard = make([]int, sim.Shards)
+	for i := range n.byShard {
+		n.byShard[i] = i
+	}
+	return n
+}

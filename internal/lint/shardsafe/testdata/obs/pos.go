@@ -1,0 +1,35 @@
+// Positive cases: per-shard lane writes outside the discipline. Every
+// marked line must be flagged.
+package obs
+
+import "rjoin/internal/sim"
+
+type tracer struct {
+	slots [sim.ShardSlots][]int
+}
+
+// Arbitrary index in handler context: not derived from ShardSlot.
+func (t *tracer) emitWrong(i, v int) {
+	t.slots[i] = append(t.slots[i], v) // want `write to per-shard lane slots indexed by i`
+}
+
+// Cross-slot loop outside a barrier function.
+func (t *tracer) stealAll(v int) {
+	for i := range t.slots { // want `cross-slot write loop over per-shard lane slots`
+		t.slots[i] = append(t.slots[i], v)
+	}
+}
+
+// Writing through the range value variable is still a lane write.
+type gauges struct {
+	lanes [sim.Shards]counter
+}
+
+type counter struct{ n int }
+
+func (g *gauges) bumpAll() {
+	for i, c := range g.lanes { // want `cross-slot write loop over per-shard lane lanes`
+		c.n++
+		g.lanes[i] = c
+	}
+}

@@ -1,0 +1,17 @@
+// Suppressed cases: documented //lint:allow shardsafe directives mute
+// the finding. Nothing in this file may be flagged.
+package obs
+
+// Driver-context maintenance outside the barrier naming convention.
+//
+//lint:allow shardsafe coordinator context by contract: runs between drains with no handlers in flight
+func (t *tracer) retagAll(v int) {
+	for i := range t.slots {
+		t.slots[i] = append(t.slots[i], v)
+	}
+}
+
+func (t *tracer) retagOne(i, v int) {
+	//lint:allow shardsafe index validated against the owning shard by the caller
+	t.slots[i] = append(t.slots[i], v)
+}

@@ -548,6 +548,8 @@ func (nw *Network) WithTag(n *chord.Node, tag string, fn func()) {
 // WithTagAll runs fn with the tag active on every lane. It is for
 // coordinator-context sections (crash recovery) whose sends originate
 // from many different nodes; it must never run while workers do.
+//
+//lint:allow shardsafe coordinator-context by contract: callers run between drains with no handlers in flight
 func (nw *Network) WithTagAll(tag string, fn func()) {
 	if !nw.par {
 		nw.WithTag(nil, tag, fn)

@@ -826,7 +826,9 @@ func (q *Query) Validate(cat *relation.Catalog) error {
 		}
 		touched[s.Col.Rel] = true
 	}
-	for r := range fromSet {
+	// Walk the FROM list, not fromSet: with several unjoined relations
+	// the reported offender must not depend on map iteration order.
+	for _, r := range q.Relations {
 		if !touched[r] && len(fromSet) > 1 {
 			return fmt.Errorf("query %s: relation %s joins nothing (cross products are unsupported)", q.ID, r)
 		}

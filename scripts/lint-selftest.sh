@@ -1,0 +1,32 @@
+#!/bin/sh
+# CI self-test for the rjoin-lint gate: inject a wall-clock read into
+# internal/core via a scratch file, run the linter, and require (a) a
+# nonzero exit and (b) a novtime diagnostic naming the injected line —
+# proving the lint step actually gates instead of rubber-stamping.
+set -eu
+cd "$(dirname "$0")/.."
+
+probe=internal/core/zz_lint_selftest_probe.go
+trap 'rm -f "$probe"' EXIT INT TERM
+
+cat >"$probe" <<'EOF'
+package core
+
+import "time"
+
+// lintSelftestProbe exists only while scripts/lint-selftest.sh runs:
+// a deliberate determinism violation the CI lint gate must catch.
+func lintSelftestProbe() int64 { return time.Now().UnixNano() }
+EOF
+
+if out=$(go run ./cmd/rjoin-lint ./internal/core 2>&1); then
+	echo "lint self-test FAILED: injected time.Now violation was not flagged" >&2
+	exit 1
+fi
+if ! echo "$out" | grep -q 'zz_lint_selftest_probe\.go.*novtime.*time\.Now'; then
+	echo "lint self-test FAILED: linter failed, but not with a novtime finding on the probe:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+echo "lint self-test passed; the gate flagged the injected violation:"
+echo "$out" | grep 'zz_lint_selftest_probe\.go'
