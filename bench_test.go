@@ -317,8 +317,12 @@ func BenchmarkPublishTuple(b *testing.B) {
 	net := MustNetwork(Options{Nodes: 128, Seed: 11})
 	net.MustDefineRelation("R", "A", "B")
 	net.MustDefineRelation("S", "A", "B")
+	// Distinct window sizes keep the 100 standing queries in 100
+	// distinct pipelines: exact-duplicate dedup would otherwise
+	// collapse them into one and the bench would stop measuring
+	// per-tuple cost against a populated query store.
 	for i := 0; i < 100; i++ {
-		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+		net.MustSubscribe(fmt.Sprintf("select R.B, S.B from R,S where R.A=S.A within %d ticks", 1_000_000+i))
 	}
 	net.Run()
 	b.ReportAllocs()
@@ -339,8 +343,10 @@ func BenchmarkPublishTupleReplicated(b *testing.B) {
 	net := MustNetwork(Options{Nodes: 128, Seed: 11, ReplicationFactor: 2})
 	net.MustDefineRelation("R", "A", "B")
 	net.MustDefineRelation("S", "A", "B")
+	// Distinct window sizes, as in BenchmarkPublishTuple: keep 100
+	// standing pipelines instead of one exact-dedup'd class.
 	for i := 0; i < 100; i++ {
-		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+		net.MustSubscribe(fmt.Sprintf("select R.B, S.B from R,S where R.A=S.A within %d ticks", 1_000_000+i))
 	}
 	net.Run()
 	b.ReportAllocs()
@@ -357,8 +363,10 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	net := MustNetwork(Options{Nodes: 100, Seed: 13})
 	net.MustDefineRelation("R", "A", "B")
 	net.MustDefineRelation("S", "A", "B")
+	// Distinct window sizes, as in BenchmarkPublishTuple: keep 50
+	// standing pipelines instead of one exact-dedup'd class.
 	for i := 0; i < 50; i++ {
-		net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+		net.MustSubscribe(fmt.Sprintf("select R.B, S.B from R,S where R.A=S.A within %d ticks", 1_000_000+i))
 	}
 	net.Run()
 	before := net.Engine().Sim().Fired()
@@ -388,8 +396,10 @@ func BenchmarkEngineThroughputWorkers(b *testing.B) {
 			net := MustNetwork(Options{Nodes: 256, Seed: 13, Workers: workers})
 			net.MustDefineRelation("R", "A", "B")
 			net.MustDefineRelation("S", "A", "B")
+			// Distinct window sizes, as in BenchmarkPublishTuple: keep
+			// 100 standing pipelines instead of one exact-dedup'd class.
 			for i := 0; i < 100; i++ {
-				net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+				net.MustSubscribe(fmt.Sprintf("select R.B, S.B from R,S where R.A=S.A within %d ticks", 1_000_000+i))
 			}
 			net.Run()
 			before := net.Engine().Sim().Fired()

@@ -16,6 +16,10 @@
 //	engine  — raw event-engine throughput on a mixed workload, the
 //	          serial engine and Workers ∈ {2, 4, 8}
 //	          (BENCH_engine.json)
+//	submit  — SubmitQuery cost with multi-query sharing enabled at
+//	          duplicate ratios 0%, 50% and 90%; each run also records
+//	          the stored-query footprint per submission as the
+//	          "storedq/op" extra metric (BENCH_submit.json)
 //
 // Each file carries environment metadata (Go version, GOOS/GOARCH,
 // GOMAXPROCS, CPU count, VCS revision) so baselines from different
@@ -34,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -49,12 +54,13 @@ import (
 
 // result is one benchmark's aggregated measurement.
 type result struct {
-	Name        string  `json:"name"`
-	Runs        int     `json:"runs"`
-	MedianNsOp  float64 `json:"median_ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	MedianNsOp  float64            `json:"median_ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Iterations  int                `json:"iterations"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // area is one BENCH_<name>.json file.
@@ -131,6 +137,11 @@ func main() {
 			{"EngineThroughputWorkers2", engineBench(2)},
 			{"EngineThroughputWorkers4", engineBench(4)},
 			{"EngineThroughputWorkers8", engineBench(8)},
+		}},
+		{"submit", []namedBench{
+			{"SubmitQueryDup0", submitBench(0)},
+			{"SubmitQueryDup50", submitBench(0.5)},
+			{"SubmitQueryDup90", submitBench(0.9)},
 		}},
 	}
 	commit := gitCommit()
@@ -275,16 +286,24 @@ func measure(nb namedBench, runs int) result {
 		allocs int64
 		bytes  int64
 		n      int
+		extra  map[string]float64
 	}
 	samples := make([]sample, 0, runs)
 	for i := 0; i < runs; i++ {
 		r := testing.Benchmark(nb.fn)
-		samples = append(samples, sample{
+		s := sample{
 			ns:     float64(r.NsPerOp()),
 			allocs: r.AllocsPerOp(),
 			bytes:  r.AllocedBytesPerOp(),
 			n:      r.N,
-		})
+		}
+		if len(r.Extra) > 0 {
+			s.extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				s.extra[k] = v
+			}
+		}
+		samples = append(samples, s)
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i].ns < samples[j].ns })
 	med := samples[len(samples)/2]
@@ -295,6 +314,7 @@ func measure(nb namedBench, runs int) result {
 		AllocsPerOp: med.allocs,
 		BytesPerOp:  med.bytes,
 		Iterations:  med.n,
+		Extra:       med.extra,
 	}
 }
 
@@ -307,8 +327,12 @@ func publishBench(replication int) func(b *testing.B) {
 		net := rjoin.MustNetwork(rjoin.Options{Nodes: 128, Seed: 11, ReplicationFactor: replication})
 		net.MustDefineRelation("R", "A", "B")
 		net.MustDefineRelation("S", "A", "B")
+		// Distinct window sizes keep the 100 standing queries in 100
+		// distinct pipelines: exact-duplicate dedup would otherwise
+		// collapse them into one and the bench would stop measuring
+		// per-tuple cost against a populated query store.
 		for i := 0; i < 100; i++ {
-			net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+			net.MustSubscribe(fmt.Sprintf("select R.B, S.B from R,S where R.A=S.A within %d ticks", 1_000_000+i))
 		}
 		net.Run()
 		b.ReportAllocs()
@@ -320,6 +344,45 @@ func publishBench(replication int) func(b *testing.B) {
 	}
 }
 
+// submitBench measures the end-to-end cost of one continuous-query
+// subscription — parse, canonicalize, registry lookup, placement —
+// with multi-query sharing enabled, at a controlled duplicate ratio.
+// Fresh queries get distinct canonical forms via distinct window
+// sizes; duplicates resubmit an earlier query in a clause-permuted
+// rendering, so they exercise the canonicalization path rather than
+// byte-identical string dedup. The stored-query footprint per
+// submission rides along as the "storedq/op" extra metric: at high
+// duplicate ratios sharing keeps it far below one.
+func submitBench(dup float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := rjoin.MustNetwork(rjoin.Options{Nodes: 128, Seed: 17, Sharing: true})
+		net.MustDefineRelation("R", "A", "B")
+		net.MustDefineRelation("S", "A", "B")
+		rng := rand.New(rand.NewSource(17))
+		var protos []string
+		fresh := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var sql string
+			if len(protos) > 0 && rng.Float64() < dup {
+				sql = protos[rng.Intn(len(protos))]
+			} else {
+				fresh++
+				sql = fmt.Sprintf("select R.B, S.B from R,S where R.A=S.A within %d ticks", 1000000+fresh)
+				// The duplicate rendering permutes the clause order, so
+				// resubmissions are byte-distinct equivalents.
+				protos = append(protos, fmt.Sprintf("select R.B, S.B from S,R where S.A=R.A within %d ticks", 1000000+fresh))
+			}
+			net.MustSubscribe(sql)
+			net.Run()
+		}
+		b.StopTimer()
+		q, _, _ := net.Engine().StoredState()
+		b.ReportMetric(float64(q)/float64(b.N), "storedq/op")
+	}
+}
+
 // engineBench mirrors BenchmarkEngineThroughput(Workers): bursts of
 // publications drain together so every virtual tick has real width for
 // the parallel engine's sub-rounds; workers 0 is the serial engine.
@@ -328,8 +391,10 @@ func engineBench(workers int) func(b *testing.B) {
 		net := rjoin.MustNetwork(rjoin.Options{Nodes: 256, Seed: 13, Workers: workers})
 		net.MustDefineRelation("R", "A", "B")
 		net.MustDefineRelation("S", "A", "B")
+		// Distinct window sizes, as in publishBench: keep 100 standing
+		// pipelines instead of one exact-dedup'd class.
 		for i := 0; i < 100; i++ {
-			net.MustSubscribe("select R.B, S.B from R,S where R.A=S.A")
+			net.MustSubscribe(fmt.Sprintf("select R.B, S.B from R,S where R.A=S.A within %d ticks", 1_000_000+i))
 		}
 		net.Run()
 		b.ReportAllocs()

@@ -8,7 +8,10 @@
 // same experiment rjoin-experiments -fig lossy regenerates, at demo
 // scale): recall, duplication and retransmit overhead swept over
 // per-transmission drop rates, with a partition/heal cycle riding
-// along. With -lossy, the Figure 1 walkthrough itself runs on an
+// along. -fig sharing runs the multi-query sharing figure the same
+// way: stored state and rewriting work per query as the duplicate
+// ratio sweeps 0-90%, with every subscriber certified exact.
+// With -lossy, the Figure 1 walkthrough itself runs on an
 // unreliable overlay — a 20% drop rate masked by the reliable channels
 // — and reports the fault counters next to the usual stats.
 //
@@ -31,6 +34,7 @@ import (
 
 	"rjoin"
 	"rjoin/internal/experiments"
+	"rjoin/internal/metrics"
 )
 
 func main() {
@@ -38,7 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "event-engine worker threads (0/1 serial, >=2 deterministic parallel)")
 	lossy := flag.Bool("lossy", false, "run the Figure 1 scenario on an unreliable overlay (20% drop, duplication, spikes)")
-	fig := flag.String("fig", "", `figure to run instead of the demo (only "lossy")`)
+	fig := flag.String("fig", "", `figure to run instead of the demo ("lossy" or "sharing")`)
 	traceFile := flag.String("trace", "", "write the walkthrough's Chrome/Perfetto trace to FILE")
 	metricsFile := flag.String("metrics-csv", "", "write the walkthrough's rate-series CSV to FILE")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on ADDR (e.g. localhost:6060) and stay alive")
@@ -53,8 +57,13 @@ func main() {
 	}
 
 	if *fig != "" {
-		if *fig != "lossy" {
-			fmt.Fprintf(os.Stderr, "rjoin-demo: unknown figure %q (only \"lossy\"; use rjoin-experiments for the rest)\n", *fig)
+		figRunners := map[string]func(experiments.Params) []*metrics.Table{
+			"lossy":   experiments.FigLossy,
+			"sharing": experiments.FigSharing,
+		}
+		runner, ok := figRunners[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rjoin-demo: unknown figure %q (\"lossy\" or \"sharing\"; use rjoin-experiments for the rest)\n", *fig)
 			os.Exit(2)
 		}
 		p := experiments.Default(0.15)
@@ -62,7 +71,7 @@ func main() {
 		p.Queries = 200
 		p.Seed = *seed
 		p.Workers = *workers
-		for _, t := range experiments.FigLossy(p) {
+		for _, t := range runner(p) {
 			t.WriteTo(os.Stdout)
 			fmt.Println()
 		}

@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (2-9, churn, agg, recovery or lossy); empty runs all")
+	fig := flag.String("fig", "", "figure to regenerate (2-9, churn, agg, recovery, lossy or sharing); empty runs all")
 	scale := flag.Float64("scale", 0.25, "workload scale in (0,1]: fraction of the paper's query/tuple counts")
 	nodes := flag.Int("nodes", 1000, "overlay size")
 	queries := flag.Int("queries", 20000, "continuous queries before scaling")
@@ -73,20 +73,22 @@ func main() {
 		"recovery": experiments.FigRecovery,
 		"lossy":    experiments.FigLossy,
 		"latency":  experiments.FigLatency,
+		"sharing":  experiments.FigSharing,
 	}
 
 	var figs []string
 	if *fig == "" {
 		// Figures 7 and 8 share one experiment run; the sentinel "7+8"
-		// computes both together. "churn", "agg", "recovery", "lossy"
-		// and "latency" are this reproduction's own extensions: dynamic
-		// membership, in-network aggregation, durable state replication,
-		// reliable delivery over an unreliable network and the
-		// observability figure.
-		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery", "lossy", "latency"}
+		// computes both together. "churn", "agg", "recovery", "lossy",
+		// "latency" and "sharing" are this reproduction's own
+		// extensions: dynamic membership, in-network aggregation,
+		// durable state replication, reliable delivery over an
+		// unreliable network, the observability figure and multi-query
+		// sharing.
+		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery", "lossy", "latency", "sharing"}
 	} else {
 		if _, ok := runners[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg, recovery, lossy or latency)\n", *fig)
+			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg, recovery, lossy, latency or sharing)\n", *fig)
 			os.Exit(2)
 		}
 		figs = []string{*fig}

@@ -99,20 +99,28 @@ func (e *Engine) aggSpec(queryID string) *agg.Spec { return e.aggSpecs[queryID] 
 // completion clock — the maximum window-clock over the combined tuples
 // — which assigns the row to its epoch.
 func (p *Proc) emitCompletion(now sim.Time, q *query.Query, vals []relation.Value, clock int64, pubAt int64) {
-	spec := p.eng.aggSpec(q.ID)
+	p.emitTo(now, q.ID, id.ID(q.Owner), p.eng.aggSpec(q.ID), vals, clock, pubAt)
+}
+
+// emitTo is emitCompletion with the routing identity (query ID, owner,
+// spec) supplied by the caller instead of read off a query object: the
+// shared-pipeline fan-out emits one subscriber-shaped row per attached
+// query, each under its own identity and aggregation spec, through
+// exactly this path.
+func (p *Proc) emitTo(now sim.Time, qid string, owner id.ID, spec *agg.Spec, vals []relation.Value, clock int64, pubAt int64) {
 	if spec == nil {
-		p.eng.net.SendDirect(p.node, id.ID(q.Owner), newAnswerMsg(q.ID, id.ID(q.Owner), vals, pubAt))
+		p.eng.net.SendDirect(p.node, owner, newAnswerMsg(qid, owner, vals, pubAt))
 		return
 	}
 	epoch := spec.Window.EpochOf(clock)
 	if p.eng.Cfg.SubscriberSideAgg {
 		p.eng.net.WithTag(p.node, TagAgg, func() {
-			p.eng.net.SendDirect(p.node, id.ID(q.Owner), newAggRowMsg(q.ID, id.ID(q.Owner), epoch, vals, pubAt))
+			p.eng.net.SendDirect(p.node, owner, newAggRowMsg(qid, owner, epoch, vals, pubAt))
 		})
 		return
 	}
-	key := aggKeyOf(q.ID, spec.GroupKey(vals))
-	msg := newAggPartialMsg(q.ID, key, id.ID(q.Owner), epoch, vals, pubAt)
+	key := aggKeyOf(qid, spec.GroupKey(vals))
+	msg := newAggPartialMsg(qid, key, owner, epoch, vals, pubAt)
 	p.eng.net.WithTag(p.node, TagAgg, func() {
 		// One-hop fast path: the candidate table remembers which node a
 		// previous partial for this group was routed to (the same trick
@@ -137,6 +145,9 @@ func (p *Proc) onAggPartial(now sim.Time, m *aggPartialMsg) {
 	spec := p.eng.aggSpec(m.QueryID)
 	if spec == nil {
 		return // unknown query (cannot happen in-run; dropped defensively)
+	}
+	if p.eng.retiredSub(m.QueryID) {
+		return // unsubscribed while the partial was in flight
 	}
 	p.qpl.Add(p.node.ID(), 1)
 	p.ctr.AggPartials++
@@ -194,6 +205,9 @@ type viewEntry struct {
 // reordered deliveries cannot regress the view. p is the owner's
 // processor.
 func (e *Engine) recordAggUpdate(now sim.Time, m *aggUpdateMsg, p *Proc) {
+	if e.retiredS[m.QueryID] {
+		return // unsubscribed while the update was in flight
+	}
 	e.answersMu.Lock()
 	defer e.answersMu.Unlock()
 	p.ctr.AggUpdates++
@@ -233,7 +247,7 @@ type localAggGroup struct {
 // which is exactly the load the aggregation figure measures against.
 func (e *Engine) recordAggRow(now sim.Time, m *aggRowMsg, p *Proc) {
 	spec := e.aggSpec(m.QueryID)
-	if spec == nil {
+	if spec == nil || e.retiredS[m.QueryID] {
 		return
 	}
 	e.answersMu.Lock()

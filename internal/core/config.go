@@ -12,7 +12,10 @@
 // info, chained RIC request walks).
 package core
 
-import "rjoin/internal/obs"
+import (
+	"rjoin/internal/obs"
+	"rjoin/internal/relation"
+)
 
 // Strategy selects how nextKey() places input and rewritten queries
 // among their index candidates (Sections 3 and 6). The experiments of
@@ -162,6 +165,35 @@ type Config struct {
 	// uses, consulted by TupleGC. Zero disables tuple GC even when
 	// TupleGC is set.
 	MaxWindowHint int64
+
+	// ShareExact enables the multi-query registry's byte-identical
+	// duplicate detection (see share.go): a submitted query whose
+	// canonical SQL rendering matches an already-live query attaches to
+	// that query's pipeline instead of indexing a second copy, and the
+	// completion node fans answer rows out to every subscriber.
+	// Attaching mid-stream is only sound when completions of tuples
+	// published at the attach tick happen strictly later (the fan-out
+	// table must be visible first), so ShareExact requires every message
+	// to take at least one tick — the rjoin layer enables it exactly
+	// when MinHopDelay >= 1. Off by default: the bare engine keeps the
+	// one-pipeline-per-submission behaviour.
+	ShareExact bool
+
+	// ShareQueries enables full canonical-form sharing: queries that
+	// differ only in constants, filter predicates or projection lists
+	// share one canonical full-row pipeline per join-graph equivalence
+	// class, with per-subscriber residuals applied at the completion
+	// node, and a query whose join graph strictly contains an existing
+	// class's attaches to that class's completions (containment
+	// sharing). Requires Catalog and implies the ShareExact timing
+	// constraint (MinHopDelay >= 1).
+	ShareQueries bool
+
+	// Catalog supplies relation schemas to the canonicalizer; required
+	// by ShareQueries (a canonical pipeline selects every attribute of
+	// every relation, which needs the schemas). A nil Catalog disables
+	// canonical sharing but leaves exact-duplicate sharing intact.
+	Catalog *relation.Catalog
 
 	// Trace, when non-nil, receives a causal trace event for every
 	// step of the tuple and query lifecycle (see internal/obs). Every

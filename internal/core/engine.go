@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"rjoin/internal/agg"
@@ -12,6 +13,7 @@ import (
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
+	"rjoin/internal/share"
 	"rjoin/internal/sim"
 )
 
@@ -75,6 +77,18 @@ type Counters struct {
 	RewritesLost     int64 // rewritten-query state dropped by crashes
 	TuplesLost       int64 // stored tuples and ALTT entries dropped by crashes
 
+	// Multi-query sharing (see share.go). QueriesShared counts
+	// submissions that attached to an existing pipeline instead of
+	// placing their own; QueriesUnsubscribed counts Unsubscribe calls;
+	// SharedFanoutRows counts answer rows emitted through completion
+	// fan-out tables; ContainmentRewrites counts partial rewrites
+	// spawned by replaying a parent class's completed row through a
+	// containment child's pipeline.
+	QueriesShared       int64
+	QueriesUnsubscribed int64
+	SharedFanoutRows    int64
+	ContainmentRewrites int64
+
 	// Replication bookkeeping (see replicate.go).
 	ReplUpdates         int64 // replica-update messages shipped (batches × targets)
 	ReplOps             int64 // state operations those messages carried
@@ -112,6 +126,10 @@ func (c *Counters) add(o *Counters) {
 	c.AggPartials += o.AggPartials
 	c.AggUpdates += o.AggUpdates
 	c.AggStateLost += o.AggStateLost
+	c.QueriesShared += o.QueriesShared
+	c.QueriesUnsubscribed += o.QueriesUnsubscribed
+	c.SharedFanoutRows += o.SharedFanoutRows
+	c.ContainmentRewrites += o.ContainmentRewrites
 	c.HandoverMessages += o.HandoverMessages
 	c.HandoverEntries += o.HandoverEntries
 	c.MessagesRerouted += o.MessagesRerouted
@@ -155,6 +173,21 @@ type Engine struct {
 	aggSpecs map[string]*agg.Spec
 	aggViews map[string]map[viewKey]viewEntry
 	aggLocal map[string]map[string]*localAggGroup // SubscriberSideAgg fold state
+
+	// Multi-query sharing state (see share.go). All four structures are
+	// written only from coordinator context (SubmitQuery, Unsubscribe);
+	// handlers read them lock-free, the same discipline aggSpecs
+	// follows. fanouts maps a shared pipeline's QID to the immutable
+	// completion fan-out snapshot — mutation replaces the snapshot
+	// wholesale. retiredS marks unsubscribed subscriber QIDs (their
+	// in-flight answers are dropped at the owner); retiredQ marks
+	// torn-down pipeline QIDs (their in-flight rewrites are dropped
+	// instead of being re-indexed, including on the handover, promotion
+	// and crash-recovery resurrection paths).
+	reg      *share.Registry
+	fanouts  map[string]*share.Fanout
+	retiredS map[string]bool
+	retiredQ map[string]bool
 
 	delta    int64
 	pubSeq   int64
@@ -203,6 +236,10 @@ func NewEngine(ring *chord.Ring, se *sim.Engine, net *overlay.Network, cfg Confi
 		aggSpecs:   make(map[string]*agg.Spec),
 		aggViews:   make(map[string]map[viewKey]viewEntry),
 		aggLocal:   make(map[string]map[string]*localAggGroup),
+		reg:        share.NewRegistry(),
+		fanouts:    make(map[string]*share.Fanout),
+		retiredS:   make(map[string]bool),
+		retiredQ:   make(map[string]bool),
 	}
 	e.delta = cfg.Delta
 	if cfg.Delta == 0 {
@@ -303,6 +340,7 @@ func (e *Engine) SubmitQuery(owner *chord.Node, q *query.Query) (string, error) 
 	q.Owner = uint64(owner.ID())
 	q.InsertTime = int64(e.sim.Now())
 	q.Depth = 0
+	q.MinPub = math.MaxInt64
 	e.Counters.QueriesSubmitted++
 	qid := q.ID
 	if q.Distinct {
@@ -318,9 +356,14 @@ func (e *Engine) SubmitQuery(owner *chord.Node, q *query.Query) (string, error) 
 			Node: uint64(owner.ID()), Trace: qid, Arg: int64(len(q.Relations)),
 		})
 	}
-	// place may drop (and pool-Release) an unplaceable query, so the ID
-	// must be captured before it runs.
-	p.place(e.sim.Now(), q)
+	// The sharing registry decides what actually gets indexed: the query
+	// itself (no sharing possible), a canonical full-row pipeline (first
+	// member of a new equivalence class), or nothing (attached to an
+	// existing pipeline's fan-out). place may drop (and pool-Release) an
+	// unplaceable query, so the ID was captured before it runs.
+	if pq := e.shareSubmit(q); pq != nil {
+		p.place(e.sim.Now(), pq)
+	}
 	// Submission runs in coordinator context, outside any handler, so
 	// the placement walk it may have mirrored (opAddPending) must flush
 	// here — otherwise a crash of the submitting node before its next
@@ -402,6 +445,9 @@ func replicaKey(base relation.Key, i int) relation.Key {
 // only the shared map bookkeeping: per-query delivery order is already
 // fixed by the owner's shard schedule, so locking cannot perturb it.
 func (e *Engine) recordAnswer(now sim.Time, m *answerMsg, p *Proc) {
+	if e.retiredS[m.QueryID] {
+		return // unsubscribed while the answer was in flight
+	}
 	e.answersMu.Lock()
 	defer e.answersMu.Unlock()
 	if e.distinctQs[m.QueryID] {

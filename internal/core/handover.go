@@ -240,6 +240,9 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 	}
 
 	for _, sq := range m.Queries {
+		if p.eng.retiredPipeline(sq.q.ID) {
+			continue // pipeline torn down while the handover was in flight
+		}
 		if !p.ownsKey(sq.key) {
 			if canForward {
 				f := forward(sq.key)
@@ -300,10 +303,16 @@ func (p *Proc) onHandover(now sim.Time, m *handoverMsg) {
 		p.ctMerge(info)
 	}
 	for _, h := range m.Pending {
+		if p.eng.retiredPipeline(h.PP.q.ID) {
+			continue // pipeline torn down while the handover was in flight
+		}
 		p.pending[h.ReqID] = h.PP
 		p.replPendingAdd(h.ReqID, h.PP.q)
 	}
 	for _, h := range m.Aggs {
+		if p.eng.retiredSub(h.G.qid) {
+			continue // subscriber gone; its aggregator state is moot
+		}
 		if canForward && !p.ownsKey(h.Key) {
 			f := forward(h.Key)
 			f.Aggs = append(f.Aggs, h)
@@ -466,6 +475,8 @@ func (e *Engine) CrashNode(n *chord.Node) error {
 		for _, key := range sortedStateKeys(p.queries) {
 			for _, sq := range p.queries[key] {
 				switch {
+				case e.retiredQ[sq.q.ID]:
+					// torn-down shared pipeline: nothing to recover or count
 				case sq.q.Depth == 0 && !sq.q.OneTime:
 					lost = append(lost, lostPlacement{q: sq.q, key: sq.key, level: sq.level})
 				case sq.q.Depth == 0:
@@ -484,6 +495,8 @@ func (e *Engine) CrashNode(n *chord.Node) error {
 		for _, reqID := range sortedReqIDs(p.pending) {
 			pp := p.pending[reqID]
 			switch {
+			case e.retiredQ[pp.q.ID]:
+				// torn-down shared pipeline: nothing to recover or count
 			case pp.q.Depth == 0 && !pp.q.OneTime:
 				rePlace = append(rePlace, pp.q)
 			case pp.q.Depth == 0:

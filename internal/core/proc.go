@@ -416,6 +416,9 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	if clock > q2.AggClock {
 		q2.AggClock = clock // completion clock: max over combined tuples
 	}
+	if t.PubTime < q2.MinPub {
+		q2.MinPub = t.PubTime // fan-out filter: min over combined tuples
+	}
 	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
 	p.replTrigger(sq, t, proj)
@@ -444,11 +447,22 @@ func (p *Proc) completeTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple)
 		p.ctr.DeepRewrites++
 	}
 	p.observeComplete(now, sq.q.ID, int64(sq.q.Depth)+1)
+	clock := sq.q.Window.Clock(t)
+	if sq.q.AggClock > clock {
+		clock = sq.q.AggClock
+	}
+	minPub := t.PubTime
+	if sq.q.MinPub < minPub {
+		minPub = sq.q.MinPub
+	}
+	if fo := p.eng.fanoutOf(sq.q.ID); fo != nil {
+		p.fanoutComplete(now, fo, vals, clock, minPub, t.PubTime)
+		return
+	}
+	if p.eng.retiredPipeline(sq.q.ID) {
+		return // shared pipeline torn down; nobody is listening
+	}
 	if sq.agg {
-		clock := sq.q.Window.Clock(t)
-		if sq.q.AggClock > clock {
-			clock = sq.q.AggClock
-		}
 		p.emitCompletion(now, sq.q, vals, clock, t.PubTime)
 		return
 	}
@@ -529,6 +543,9 @@ func (p *Proc) onEval(now sim.Time, m *evalMsg) {
 	for _, info := range m.RIC {
 		p.ctMerge(info)
 	}
+	if p.eng.retiredPipeline(m.Q.ID) {
+		return // torn-down shared pipeline: never re-index stragglers
+	}
 	if tr := p.eng.trace; tr != nil {
 		tr.Emit(p.shard, obs.Event{
 			At: int64(now), Kind: obs.KindEval, Node: p.nid(),
@@ -602,6 +619,9 @@ func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	}
 	if clock > q2.AggClock {
 		q2.AggClock = clock
+	}
+	if t.PubTime < q2.MinPub {
+		q2.MinPub = t.PubTime
 	}
 	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
@@ -695,7 +715,11 @@ func (p *Proc) dispatch(now sim.Time, q2 *query.Query, pubAt int64) {
 	}
 	if q2.IsComplete() {
 		p.observeComplete(now, q2.ID, int64(q2.Depth))
-		if q2.IsAggregate() {
+		if fo := p.eng.fanoutOf(q2.ID); fo != nil {
+			p.fanoutComplete(now, fo, q2.AnswerValues(), q2.AggClock, q2.MinPub, pubAt)
+		} else if p.eng.retiredPipeline(q2.ID) {
+			// shared pipeline torn down; drop the straggler
+		} else if q2.IsAggregate() {
 			p.emitCompletion(now, q2, q2.AnswerValues(), q2.AggClock, pubAt)
 		} else {
 			p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues(), pubAt))

@@ -869,6 +869,9 @@ func (e *Engine) promoteMirror(p *Proc, ib *replInbox, now sim.Time) {
 
 	for _, key := range sortedStateKeys(mr.queries) {
 		for _, mq := range mr.queries[key] {
+			if e.retiredQ[mq.q.ID] {
+				continue // torn-down shared pipeline: do not resurrect
+			}
 			sq := &storedQuery{
 				q: mq.q, key: mq.key, level: mq.level, agg: mq.q.IsAggregate(),
 				seen: mq.seen, combined: mq.combined, triggers: len(mq.combined),
@@ -904,6 +907,9 @@ func (e *Engine) promoteMirror(p *Proc, ib *replInbox, now sim.Time) {
 	}
 	for _, key := range sortedStateKeys(mr.aggs) {
 		g := mr.aggs[key]
+		if e.retiredS[g.qid] {
+			continue // subscriber unsubscribed: its per-group state is dead
+		}
 		sliding := false
 		if sp := p.eng.aggSpec(g.qid); sp != nil {
 			sliding = sp.Sliding()
@@ -938,6 +944,9 @@ func (e *Engine) promoteMirror(p *Proc, ib *replInbox, now sim.Time) {
 		p.eng.net.WithTag(p.node, TagChurn, func() {
 			for _, reqID := range reqIDs {
 				q := mr.pending[reqID]
+				if e.retiredQ[q.ID] {
+					continue // torn-down shared pipeline: drop the walk
+				}
 				p.ctr.ReplEntriesPromoted++
 				if q.Depth == 0 && !q.OneTime {
 					p.ctr.QueriesRecovered++

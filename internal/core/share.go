@@ -1,0 +1,361 @@
+package core
+
+// This file wires the multi-query sharing subsystem (internal/share)
+// into the engine: submission-time registration/attachment, the
+// completion-node fan-out, containment replay, and the unsubscribe /
+// teardown path. The registry and both tombstone maps are written only
+// from coordinator context (SubmitQuery, Unsubscribe run between
+// drains); handlers read them lock-free, exactly like aggSpecs. Fan-out
+// tables are immutable snapshots replaced wholesale on every membership
+// change, so a handler either sees the old table or the new one, never
+// a partially updated list.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rjoin/internal/id"
+	"rjoin/internal/query"
+	"rjoin/internal/relation"
+	"rjoin/internal/share"
+	"rjoin/internal/sim"
+)
+
+// fanoutOf returns the completion fan-out of a shared pipeline, nil for
+// pipelines that deliver to exactly their own QID (the legacy path —
+// byte-identical behaviour to the pre-sharing engine).
+func (e *Engine) fanoutOf(qid string) *share.Fanout { return e.fanouts[qid] }
+
+// retiredPipeline reports whether qid names a torn-down shared
+// pipeline: its straggler rewrites must be dropped, not re-indexed.
+func (e *Engine) retiredPipeline(qid string) bool { return e.retiredQ[qid] }
+
+// retiredSub reports whether qid names an unsubscribed subscriber: its
+// in-flight answers and aggregation partials must be dropped.
+func (e *Engine) retiredSub(qid string) bool { return e.retiredS[qid] }
+
+// SharedClasses reports the number of live pipeline equivalence
+// classes (every live subscription belongs to exactly one).
+func (e *Engine) SharedClasses() int { return e.reg.Classes() }
+
+// shareSubmit registers a freshly stamped input query with the sharing
+// registry and decides what to index: it returns the query to place
+// (the input itself, or a canonical full-row pipeline standing in for
+// it), or nil when the submission attached to an existing pipeline and
+// nothing new needs placing. Every submission is registered — even with
+// all sharing off the class bookkeeping is what makes Unsubscribe able
+// to find and tear down the pipeline later.
+func (e *Engine) shareSubmit(q *query.Query) *query.Query {
+	sub := &share.Subscriber{QID: q.ID, Owner: q.Owner, InsertTime: q.InsertTime}
+	if q.OneTime {
+		// One-time snapshots never share: they keep no standing state to
+		// share, and an attacher's snapshot semantics would differ.
+		// Registered with no Exact key so nothing ever attaches.
+		e.reg.Register(&share.Class{QID: q.ID, Pipeline: q}, sub)
+		return q
+	}
+	exact := q.String()
+	if cls := e.reg.LookupExact(exact); cls != nil && e.canAttach(cls, q) {
+		if e.attach(cls, sub, q) {
+			return nil
+		}
+	}
+	if e.Cfg.ShareQueries {
+		if can, ok := share.Canonicalize(q, e.Cfg.Catalog); ok {
+			if cls := e.reg.LookupForm(can.Form); cls != nil && cls.Canonical {
+				if e.attach(cls, sub, q) {
+					return nil
+				}
+			} else if pipe := e.registerCanonical(can, sub, q, exact); pipe != nil {
+				return pipe
+			} else if e.reg.ClassOf(q.ID) != nil {
+				return nil // containment child: registered, nothing placed
+			}
+		}
+	}
+	// No sharing possible: the query is its own singleton class and its
+	// own pipeline.
+	e.reg.Register(&share.Class{QID: q.ID, Exact: exact, Pipeline: q}, sub)
+	return q
+}
+
+// canAttach reports whether a new subscriber may ride an existing
+// class's pipeline. Sharing must be enabled; mid-stream attachment is
+// only sound when completions cannot happen on the attach tick itself
+// (ShareExact is gated on MinHopDelay >= 1 by the caller). DISTINCT
+// queries may not attach to a non-canonical pipeline: that pipeline
+// suppresses repeated trigger projections in-network, so a late
+// attacher would silently miss rows that are first-time answers for
+// it. Canonical pipelines carry no DISTINCT marker — set semantics are
+// enforced per-subscriber at the owner — so they are safe for anyone.
+func (e *Engine) canAttach(cls *share.Class, q *query.Query) bool {
+	if !e.Cfg.ShareExact && !e.Cfg.ShareQueries {
+		return false
+	}
+	if cls.Pipeline == nil || cls.Pipeline.OneTime {
+		return false
+	}
+	if q.Distinct && !cls.Canonical {
+		return false
+	}
+	return true
+}
+
+// attach adds a subscriber to an existing class and publishes the
+// refreshed fan-out snapshot. For canonical classes the subscriber's
+// residual (predicates over constants, projection) is extracted
+// against the class form; for exact classes the residual is nil and
+// rows pass through unchanged. Returns false if the residual cannot be
+// built (a column outside the form — impossible for queries that
+// canonicalized to it, kept as a safe fallback).
+func (e *Engine) attach(cls *share.Class, sub *share.Subscriber, q *query.Query) bool {
+	if cls.Canonical {
+		res, ok := cls.Can.ResidualOf(q)
+		if !ok {
+			return false
+		}
+		sub.Res = res
+	}
+	e.reg.Attach(cls, sub)
+	e.fanouts[cls.QID] = cls.Snapshot()
+	e.Counters.QueriesShared++
+	return true
+}
+
+// registerCanonical opens a new canonical equivalence class for q. If
+// an existing class's join graph is a strict prefix of can's, the new
+// class becomes a containment child: it places no pipeline of its own
+// (the parent's completions are replayed through it) and the function
+// returns nil. Otherwise the canonical full-row pipeline is returned
+// for placement. A nil return with no registered class means the
+// residual could not be built and the caller should fall back to a
+// singleton.
+func (e *Engine) registerCanonical(can *share.Canonical, sub *share.Subscriber, q *query.Query, exact string) *query.Query {
+	res, ok := can.ResidualOf(q)
+	if !ok {
+		return nil
+	}
+	sub.Res = res
+	pipe := can.Pipeline()
+	pipe.ID = q.ID
+	pipe.Owner = q.Owner
+	pipe.InsertTime = q.InsertTime
+	pipe.Depth = 0
+	pipe.MinPub = math.MaxInt64
+	cls := &share.Class{
+		QID: q.ID, Exact: exact, Form: can.Form,
+		Canonical: true, Pipeline: pipe, Can: can,
+	}
+	if parent := e.reg.FindParent(can); parent != nil {
+		cls.Parent = parent
+		parent.Kids = append(parent.Kids, &share.Kid{
+			QID: q.ID, Pipeline: pipe, InsertTime: q.InsertTime,
+			Rels: parent.Can.RelSlices(),
+		})
+		e.reg.Register(cls, sub)
+		e.fanouts[q.ID] = cls.Snapshot()
+		e.fanouts[parent.QID] = parent.Snapshot()
+		e.Counters.QueriesShared++
+		return nil
+	}
+	e.reg.Register(cls, sub)
+	e.fanouts[q.ID] = cls.Snapshot()
+	return pipe
+}
+
+// Unsubscribe removes a live subscription: the subscriber leaves its
+// class's fan-out, its owner-side answer and aggregate state is
+// released, and — when it was the class's last member — the shared
+// pipeline itself is torn down network-wide. Safe under churn and
+// replication: the tombstone maps make every resurrection path
+// (handover, mirror promotion, crash recovery) skip retired state, and
+// in-flight messages for retired IDs are dropped at their destination.
+func (e *Engine) Unsubscribe(subQID string) error {
+	cls := e.reg.Detach(subQID)
+	if cls == nil {
+		return fmt.Errorf("core: unknown or already-removed subscription %s", subQID)
+	}
+	e.retiredS[subQID] = true
+	e.Counters.QueriesUnsubscribed++
+	e.answersMu.Lock()
+	delete(e.answers, subQID)
+	delete(e.seenRows, subQID)
+	delete(e.aggViews, subQID)
+	delete(e.aggLocal, subQID)
+	e.answersMu.Unlock()
+	delete(e.distinctQs, subQID)
+	// aggSpecs is deliberately kept: in-flight partials and mirrored
+	// aggregator groups look their spec up by QID, and a nil spec on
+	// those paths would be indistinguishable from a bug. One immutable
+	// spec per departed aggregate query is the price of that safety.
+	e.sweepSubscriberAggState(subQID)
+	if cls.Empty() {
+		e.teardownClass(cls)
+	} else {
+		e.fanouts[cls.QID] = cls.Snapshot()
+	}
+	return nil
+}
+
+// teardownClass retires a class nobody references any more: its
+// pipeline QID is tombstoned, its stored rewrites are swept off every
+// node, and a containment child detaches from its parent (cascading if
+// the parent thereby empties).
+func (e *Engine) teardownClass(cls *share.Class) {
+	e.retiredQ[cls.QID] = true
+	delete(e.fanouts, cls.QID)
+	e.reg.Drop(cls)
+	if cls.Parent != nil {
+		// Containment children place no pipeline: detaching from the
+		// parent's fan-out is the whole teardown.
+		e.reg.DetachKid(cls.Parent, cls.QID)
+		if cls.Parent.Empty() {
+			e.teardownClass(cls.Parent)
+		} else {
+			e.fanouts[cls.Parent.QID] = cls.Parent.Snapshot()
+		}
+		return
+	}
+	e.sweepPipeline(cls.QID)
+}
+
+// sweepPipeline removes every stored copy and pending placement of a
+// retired pipeline (the input query and all its rewrites share its
+// QID), in deterministic node/key order, mirroring each removal to the
+// replica group. Rewrites still in flight are caught by the retiredQ
+// guard when they arrive.
+func (e *Engine) sweepPipeline(qid string) {
+	for _, nid := range sortedProcIDs(e.procs) {
+		p := e.procs[nid]
+		touched := false
+		for _, key := range sortedStateKeys(p.queries) {
+			list := p.queries[key]
+			kept := list[:0]
+			for _, sq := range list {
+				if sq.q.ID == qid {
+					p.replQueryRemove(sq)
+					touched = true
+					continue
+				}
+				kept = append(kept, sq)
+			}
+			if len(kept) == 0 {
+				delete(p.queries, key)
+			} else {
+				p.queries[key] = kept
+			}
+		}
+		for _, reqID := range sortedReqIDs(p.pending) {
+			if p.pending[reqID].q.ID == qid {
+				delete(p.pending, reqID)
+				p.replPendingRemove(reqID)
+				touched = true
+			}
+		}
+		if touched {
+			p.replFlush() // coordinator context: ship the removals now
+		}
+	}
+}
+
+// sweepSubscriberAggState removes every aggregator group of an
+// unsubscribed aggregate query, in deterministic node/key order. New
+// partials for the QID are dropped by the retiredS guard in
+// onAggPartial.
+func (e *Engine) sweepSubscriberAggState(subQID string) {
+	for _, nid := range sortedProcIDs(e.procs) {
+		p := e.procs[nid]
+		touched := false
+		for _, key := range sortedStateKeys(p.aggs) {
+			if p.aggs[key].qid == subQID {
+				delete(p.aggs, key)
+				p.replDropKey(key)
+				touched = true
+			}
+		}
+		if touched {
+			p.replFlush()
+		}
+	}
+}
+
+// sortedProcIDs returns the engine's node identifiers in ascending
+// order — the deterministic iteration sequence for coordinator-side
+// sweeps.
+func sortedProcIDs(procs map[id.ID]*Proc) []id.ID {
+	ids := make([]id.ID, 0, len(procs))
+	for nid := range procs {
+		ids = append(ids, nid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// fanoutComplete delivers one completed pipeline row through the
+// class's fan-out table: each subscriber whose insertion time the row
+// predates is skipped (a subscriber may only see rows whose every
+// tuple was published at or after its own insertion — exactly the
+// reference semantics), each residual predicate is evaluated, the
+// subscriber-shaped projection is built, and the row ships to the
+// subscriber — or into its per-subscriber aggregation pipeline. Then
+// every containment child replays the row through its own pipeline.
+func (p *Proc) fanoutComplete(now sim.Time, fo *share.Fanout, vals []relation.Value, clock, minPub, pubAt int64) {
+	for i := range fo.Subs {
+		s := &fo.Subs[i]
+		if minPub < s.InsertTime {
+			continue
+		}
+		if s.Res != nil && !s.Res.Eval(vals) {
+			continue
+		}
+		row := vals
+		if s.Res != nil {
+			row = s.Res.Project(vals)
+		}
+		p.ctr.SharedFanoutRows++
+		owner := id.ID(s.Owner)
+		if spec := p.eng.aggSpec(s.QID); spec != nil {
+			p.emitTo(now, s.QID, owner, spec, row, clock, pubAt)
+		} else {
+			p.eng.net.SendDirect(p.node, owner, newAnswerMsg(s.QID, owner, row, pubAt))
+		}
+	}
+	for _, kid := range fo.Kids {
+		if minPub < kid.InsertTime {
+			continue
+		}
+		p.spawnContainment(now, kid, vals, clock, minPub, pubAt)
+	}
+}
+
+// spawnContainment replays a completed parent-class row through a
+// containment child's pipeline: one pseudo-tuple per parent relation
+// (carved out of the full row by the parent's layout) is substituted
+// in sequence, enforcing along the way any conjunct the child is
+// stricter about, and the resulting partial rewrite — depth equal to
+// the parent's relation count, with the child's remaining relations
+// still open — is dispatched from the completion node exactly as a
+// locally triggered rewrite would be. The pseudo-tuples carry the
+// row's minimum publication time so downstream subscriber filtering
+// stays exact; they are never stored, only substituted.
+func (p *Proc) spawnContainment(now sim.Time, kid *share.Kid, vals []relation.Value, clock, minPub, pubAt int64) {
+	cur := kid.Pipeline
+	owned := false
+	for _, rs := range kid.Rels {
+		t := relation.MustTuple(rs.Schema, vals[rs.Off:rs.Off+rs.Schema.Arity()]...)
+		t.PubTime = minPub
+		next, ok := query.Rewrite(cur, t)
+		if owned {
+			query.Release(cur)
+		}
+		if !ok {
+			return // a child-stricter conjunct rejected the row
+		}
+		cur, owned = next, true
+	}
+	cur.MinPub = minPub
+	cur.AggClock = clock
+	p.ctr.ContainmentRewrites++
+	p.dispatch(now, cur, pubAt)
+}

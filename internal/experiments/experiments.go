@@ -498,5 +498,6 @@ func All(p Params) map[string][]*metrics.Table {
 		"churn":    FigChurn(p),
 		"recovery": FigRecovery(p),
 		"lossy":    FigLossy(p),
+		"sharing":  FigSharing(p),
 	}
 }

@@ -346,3 +346,53 @@ func TestDefaultParams(t *testing.T) {
 		t.Fatal("scaled floor broken")
 	}
 }
+
+// TestFigSharingShapes is the multi-query sharing acceptance
+// criterion: at 90% duplicates the shared run stores at least 3x less
+// state and performs at least 3x fewer rewriting steps per query than
+// the no-sharing ablation, and every subscriber's answer bag is
+// certified exact against the reference evaluator in every scenario —
+// including the churn + ReplicationFactor 2 row.
+func TestFigSharingShapes(t *testing.T) {
+	p := tiny()
+	tabs := FigSharing(p)
+	if len(tabs) != 2 {
+		t.Fatalf("FigSharing returned %d tables", len(tabs))
+	}
+	cost, exact := tableWrap{tabs[0].Rows}, tableWrap{tabs[1].Rows}
+	if len(tabs[0].Rows) != len(sharingDupRatios) {
+		t.Fatalf("cost table has %d rows", len(tabs[0].Rows))
+	}
+	reduction := func(row, col int) float64 {
+		s := strings.TrimSuffix(tabs[0].Rows[row][col], "x")
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("unparsable reduction cell %q", tabs[0].Rows[row][col])
+		}
+		return v
+	}
+	last := len(tabs[0].Rows) - 1 // the 90% duplicate row
+	if got := reduction(last, 5); got < 3 {
+		t.Errorf("state reduction at 90%% duplicates %.2fx, want >= 3x", got)
+	}
+	if got := reduction(last, 8); got < 3 {
+		t.Errorf("rewrite reduction at 90%% duplicates %.2fx, want >= 3x", got)
+	}
+	// Classes collapse as the duplicate ratio grows.
+	if cell(cost, 0, 2) <= cell(cost, last, 2) {
+		t.Errorf("classes did not shrink with duplicates: %v -> %v",
+			cell(cost, 0, 2), cell(cost, last, 2))
+	}
+	// Every scenario — the three ratios plus churn+rf2 — certifies
+	// every subscriber exact.
+	if len(tabs[1].Rows) != len(sharingDupRatios)+1 {
+		t.Fatalf("exactness table has %d rows", len(tabs[1].Rows))
+	}
+	for row := range tabs[1].Rows {
+		subs, ex := cell(exact, row, 1), cell(exact, row, 2)
+		if subs == 0 || ex != subs {
+			t.Errorf("row %d (%s): %v/%v subscribers exact",
+				row, tabs[1].Rows[row][0], ex, subs)
+		}
+	}
+}

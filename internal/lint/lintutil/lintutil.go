@@ -24,6 +24,7 @@ var deterministic = map[string]bool{
 	"reliable": true, // includes what used to be the replication package
 	"query":    true,
 	"obs":      true,
+	"share":    true,
 }
 
 // Deterministic reports whether the package at the given import path

@@ -244,6 +244,14 @@ type Query struct {
 	// finished answer row to its aggregation epoch. Maintained alongside
 	// Start by the trigger sites; zero on input queries.
 	AggClock int64
+	// MinPub is the minimum publication time over the tuples this
+	// rewrite chain has combined. The engine initialises it to MaxInt64
+	// on input queries and the trigger sites min-update it alongside
+	// AggClock; the multi-query sharing fan-out uses it to decide which
+	// subscribers of a shared pipeline a completed row belongs to (a
+	// subscriber may only see rows whose every tuple was published at or
+	// after its own insertion time).
+	MinPub int64
 	// Depth counts how many rewriting steps produced this query; an
 	// input query has Depth 0.
 	Depth int

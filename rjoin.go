@@ -100,6 +100,19 @@ type Options struct {
 	// folds them locally. The aggregate view is identical either way;
 	// this is the ablation baseline of the aggregation experiment.
 	SubscriberSideAgg bool
+	// Sharing enables multi-query optimization: queries whose join
+	// graphs are equivalent up to relation/predicate ordering, constant
+	// selections and projections collapse onto one shared in-network
+	// rewrite pipeline, and a query whose join graph strictly contains
+	// an existing shared pipeline's attaches to its completions instead
+	// of re-joining from scratch. Each subscriber still receives exactly
+	// the answer bag its own query defines — per-subscriber selections,
+	// projections and insertion-time cutoffs are applied at the
+	// completion fan-out. Requires MinHopDelay >= 1 (the default), so a
+	// query attaching to a live pipeline at tick T observes only
+	// completions after T. Byte-identical resubmissions of the same SQL
+	// are always deduplicated, with or without this option.
+	Sharing bool
 	// BatchWindow buffers each node's outgoing keyed messages for up
 	// to this many ticks and flushes them as one grouped multiSend
 	// (the batch-routing future work of Section 10). Zero disables.
@@ -339,6 +352,18 @@ type Stats struct {
 	AckMessages int64
 	Abandoned   int64
 
+	// Multi-query sharing accounting (Options.Sharing and exact-duplicate
+	// dedup). QueriesShared counts submissions that attached to an
+	// existing shared pipeline instead of placing their own;
+	// QueriesUnsubscribed counts Unsubscribe calls; SharedFanoutRows
+	// counts per-subscriber rows produced at shared-pipeline completion
+	// fan-outs; ContainmentRewrites counts rewrite steps spent extending
+	// a contained pipeline's completions into a containing query.
+	QueriesShared       int64
+	QueriesUnsubscribed int64
+	SharedFanoutRows    int64
+	ContainmentRewrites int64
+
 	// TrafficByTag breaks Messages down by the overlay's traffic tags.
 	TrafficByTag TagTraffic
 }
@@ -407,6 +432,9 @@ func NewNetwork(opts Options) (*Network, error) {
 	if opts.MinHopDelay > opts.MaxHopDelay {
 		return nil, fmt.Errorf("rjoin: MinHopDelay %d exceeds MaxHopDelay %d",
 			opts.MinHopDelay, opts.MaxHopDelay)
+	}
+	if opts.Sharing && opts.MinHopDelay < 1 {
+		return nil, fmt.Errorf("rjoin: Sharing requires MinHopDelay >= 1 (attach-time cutoff needs a strict completion delay)")
 	}
 	churnRates := workload.ChurnConfig{
 		JoinRate:  opts.Churn.JoinRate,
@@ -536,6 +564,10 @@ func NewNetwork(opts Options) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	cat, err := relation.NewCatalog()
+	if err != nil {
+		return nil, err
+	}
 	cfg := core.DefaultConfig()
 	cfg.Strategy = opts.Strategy
 	cfg.Delta = opts.Delta
@@ -548,6 +580,13 @@ func NewNetwork(opts Options) (*Network, error) {
 	cfg.ReplicationFactor = opts.ReplicationFactor
 	cfg.Trace = tracer
 	cfg.Metrics = om
+	// Exact-duplicate dedup is sound whenever completions are strictly
+	// delayed past the attach tick; with the defaulted 1/1 delay model
+	// that is always the case, so byte-identical resubmissions share
+	// unconditionally. Full canonical-form sharing is opt-in.
+	cfg.ShareExact = opts.MinHopDelay >= 1
+	cfg.ShareQueries = opts.Sharing
+	cfg.Catalog = cat
 	eng := core.NewEngine(ring, se, nw, cfg)
 	mgr := churn.New(eng, churn.Config{
 		Rates:          churnRates,
@@ -562,10 +601,6 @@ func NewNetwork(opts Options) (*Network, error) {
 	// network pays nothing for stabilization it cannot need.
 	if churnRates.Enabled() {
 		mgr.Start()
-	}
-	cat, err := relation.NewCatalog()
-	if err != nil {
-		return nil, err
 	}
 	return &Network{
 		eng:   eng,
@@ -782,6 +817,10 @@ func (n *Network) Stats() Stats {
 		Retransmits:         n.eng.Net().Retransmits,
 		AckMessages:         n.eng.Net().AckMessages,
 		Abandoned:           n.eng.Net().Abandoned,
+		QueriesShared:       n.eng.Counters.QueriesShared,
+		QueriesUnsubscribed: n.eng.Counters.QueriesUnsubscribed,
+		SharedFanoutRows:    n.eng.Counters.SharedFanoutRows,
+		ContainmentRewrites: n.eng.Counters.ContainmentRewrites,
 		TrafficByTag:        byTag,
 	}
 }
@@ -902,6 +941,21 @@ func (s *Subscription) AnswersSince(cursor int) []Answer {
 // Count returns the number of answers delivered so far, without
 // converting or allocating anything.
 func (s *Subscription) Count() int { return len(s.net.eng.Answers(s.ID)) }
+
+// Unsubscribe removes this continuous query from the network. The
+// subscriber's answer and aggregate state is released immediately; the
+// in-network rewrite state follows — when the subscription shares a
+// pipeline with others, only its private fan-out entry is dropped, and
+// the pipeline itself is torn down once its last subscriber leaves.
+// Answers already in flight are discarded on arrival. A second call
+// returns an error.
+func (s *Subscription) Unsubscribe() error {
+	if err := s.net.eng.Unsubscribe(s.ID); err != nil {
+		return err
+	}
+	delete(s.net.subs, s.ID)
+	return nil
+}
 
 // LatencyStats summarizes this subscription's answer latency: the
 // virtual ticks between each triggering publish and the delivery of
