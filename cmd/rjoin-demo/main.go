@@ -19,11 +19,16 @@
 // Chrome trace-event file (one lane per node; load it at
 // https://ui.perfetto.dev), -metrics-csv FILE the windowed rate series.
 // -pprof ADDR serves net/http/pprof and expvar (live network stats
-// under /debug/vars) on ADDR and keeps the process alive after the
-// walkthrough so the endpoints can be scraped.
+// under /debug/vars, per-query placement profiles under
+// rjoin.profile) on ADDR and keeps the process alive after the
+// walkthrough so the endpoints can be scraped. -explain turns on the
+// placement profiler and answer provenance, prints each step's EXPLAIN
+// ANALYZE report after the final event, and annotates every delivered
+// answer with the base tuples it joined.
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -31,6 +36,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strings"
 
 	"rjoin"
 	"rjoin/internal/experiments"
@@ -46,6 +52,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write the walkthrough's Chrome/Perfetto trace to FILE")
 	metricsFile := flag.String("metrics-csv", "", "write the walkthrough's rate-series CSV to FILE")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on ADDR (e.g. localhost:6060) and stay alive")
+	explain := flag.Bool("explain", false, "profile placements and provenance; print EXPLAIN ANALYZE and per-answer lineage")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -89,8 +96,19 @@ func main() {
 	if *metricsFile != "" {
 		opts.Metrics = &rjoin.MetricsOptions{SampleInterval: 16}
 	}
+	if *explain {
+		opts.Profile = &rjoin.ProfileOptions{SampleInterval: 16}
+		opts.Provenance = true
+	}
 	net := rjoin.MustNetwork(opts)
 	expvar.Publish("rjoin.stats", expvar.Func(func() any { return net.Stats() }))
+	expvar.Publish("rjoin.profile", expvar.Func(func() any {
+		var b strings.Builder
+		if err := net.WriteProfileJSON(&b); err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return json.RawMessage(b.String())
+	}))
 	for _, rel := range []string{"R", "S", "J", "M"} {
 		net.MustDefineRelation(rel, "A", "B", "C")
 	}
@@ -122,6 +140,22 @@ func main() {
 	fmt.Println("Final answers:")
 	for _, a := range sub.Answers() {
 		fmt.Printf("  S.B=%s, M.A=%s (delivered at tick %d)\n", a.Row[0], a.Row[1], a.At)
+		if *explain {
+			for _, l := range a.Lineage {
+				fmt.Printf("    <- tuple #%d from publisher %016x, joined at node %016x\n",
+					l.Seq, l.Pub, l.Node)
+			}
+		}
+	}
+	if *explain {
+		rep, err := sub.Explain()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rjoin-demo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(rep.Text())
+		fmt.Printf("explain digest: %#016x\n", rep.Digest())
 	}
 	st := net.Stats()
 	fmt.Printf("\nNetwork stats: %d messages (%d for RIC), %d rewrites, QPL=%d, SL=%d over %d nodes\n",

@@ -74,21 +74,22 @@ func main() {
 		"lossy":    experiments.FigLossy,
 		"latency":  experiments.FigLatency,
 		"sharing":  experiments.FigSharing,
+		"explain":  experiments.FigExplain,
 	}
 
 	var figs []string
 	if *fig == "" {
 		// Figures 7 and 8 share one experiment run; the sentinel "7+8"
 		// computes both together. "churn", "agg", "recovery", "lossy",
-		// "latency" and "sharing" are this reproduction's own
-		// extensions: dynamic membership, in-network aggregation,
+		// "latency", "sharing" and "explain" are this reproduction's
+		// own extensions: dynamic membership, in-network aggregation,
 		// durable state replication, reliable delivery over an
-		// unreliable network, the observability figure and multi-query
-		// sharing.
-		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery", "lossy", "latency", "sharing"}
+		// unreliable network, the observability figure, multi-query
+		// sharing and per-query introspection.
+		figs = []string{"2", "3", "4", "5", "6", "7+8", "9", "churn", "agg", "recovery", "lossy", "latency", "sharing", "explain"}
 	} else {
 		if _, ok := runners[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg, recovery, lossy, latency or sharing)\n", *fig)
+			fmt.Fprintf(os.Stderr, "rjoin-experiments: unknown figure %q (want 2-9, churn, agg, recovery, lossy, latency, sharing or explain)\n", *fig)
 			os.Exit(2)
 		}
 		figs = []string{*fig}

@@ -15,6 +15,11 @@ type ViewRow struct {
 	Group string
 	Epoch int64
 	Row   []relation.Value
+	// Lineage is the sorted union of the lineage of every answer row
+	// folded into this view row — the contributing base tuples by
+	// (publisher, pubSeq) with their rewrite hop nodes. Populated only
+	// by the engine when provenance is enabled; Reference leaves it nil.
+	Lineage []query.LineageStep
 }
 
 // SortViewRows orders view rows by (group key, epoch) — the canonical

@@ -6,6 +6,7 @@ import (
 	"rjoin/internal/agg"
 	"rjoin/internal/id"
 	"rjoin/internal/obs"
+	"rjoin/internal/obs/profile"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
 	"rjoin/internal/sim"
@@ -60,6 +61,58 @@ type aggGroup struct {
 	// emitted group updates so the subscriber can measure answer
 	// latency for aggregates the same way it does for plain answers.
 	pubAt int64
+
+	// lins is the group's per-epoch provenance: the union of the
+	// lineage steps of every row folded into the epoch's partial. Set
+	// union commutes like the pubAt max, so the union is deterministic
+	// under any fold order; flushes snapshot it sorted. Nil unless
+	// Config.Provenance is set.
+	lins map[int64]map[query.LineageStep]struct{}
+}
+
+// foldLineage unions one row's lineage into an epoch's provenance set.
+func (g *aggGroup) foldLineage(epoch int64, lin []query.LineageStep) {
+	if len(lin) == 0 {
+		return
+	}
+	if g.lins == nil {
+		g.lins = make(map[int64]map[query.LineageStep]struct{})
+	}
+	set, ok := g.lins[epoch]
+	if !ok {
+		set = make(map[query.LineageStep]struct{}, len(lin))
+		g.lins[epoch] = set
+	}
+	for _, s := range lin {
+		set[s] = struct{}{}
+	}
+}
+
+// lineageOf snapshots the sorted union of the given epochs' provenance
+// sets; nil when provenance is off or the epochs are empty.
+func (g *aggGroup) lineageOf(epochs ...int64) []query.LineageStep {
+	if g.lins == nil {
+		return nil
+	}
+	n := 0
+	for _, ep := range epochs {
+		n += len(g.lins[ep])
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]query.LineageStep, 0, n)
+	seen := make(map[query.LineageStep]struct{}, n)
+	for _, ep := range epochs {
+		for s := range g.lins[ep] {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				out = append(out, s)
+			}
+		}
+	}
+	query.SortLineage(out)
+	return out
 }
 
 // mergeInto folds g into dst (the handover-collision path: partials for
@@ -70,6 +123,19 @@ type aggGroup struct {
 func (g *aggGroup) mergeInto(sliding bool, dst *aggGroup) {
 	if g.pubAt > dst.pubAt {
 		dst.pubAt = g.pubAt
+	}
+	for e, set := range g.lins {
+		if dst.lins == nil {
+			dst.lins = make(map[int64]map[query.LineageStep]struct{})
+		}
+		dstSet, ok := dst.lins[e]
+		if !ok {
+			dstSet = make(map[query.LineageStep]struct{}, len(set))
+			dst.lins[e] = dstSet
+		}
+		for s := range set {
+			dstSet[s] = struct{}{}
+		}
 	}
 	for e, part := range g.epochs {
 		if cur, ok := dst.epochs[e]; ok {
@@ -98,8 +164,8 @@ func (e *Engine) aggSpec(queryID string) *agg.Spec { return e.aggSpecs[queryID] 
 // queries fold it into the aggregation pipeline. clock is the
 // completion clock — the maximum window-clock over the combined tuples
 // — which assigns the row to its epoch.
-func (p *Proc) emitCompletion(now sim.Time, q *query.Query, vals []relation.Value, clock int64, pubAt int64) {
-	p.emitTo(now, q.ID, id.ID(q.Owner), p.eng.aggSpec(q.ID), vals, clock, pubAt)
+func (p *Proc) emitCompletion(now sim.Time, q *query.Query, vals []relation.Value, clock int64, pubAt int64, lin []query.LineageStep) {
+	p.emitTo(now, q.ID, id.ID(q.Owner), p.eng.aggSpec(q.ID), vals, clock, pubAt, lin)
 }
 
 // emitTo is emitCompletion with the routing identity (query ID, owner,
@@ -107,20 +173,20 @@ func (p *Proc) emitCompletion(now sim.Time, q *query.Query, vals []relation.Valu
 // shared-pipeline fan-out emits one subscriber-shaped row per attached
 // query, each under its own identity and aggregation spec, through
 // exactly this path.
-func (p *Proc) emitTo(now sim.Time, qid string, owner id.ID, spec *agg.Spec, vals []relation.Value, clock int64, pubAt int64) {
+func (p *Proc) emitTo(now sim.Time, qid string, owner id.ID, spec *agg.Spec, vals []relation.Value, clock int64, pubAt int64, lin []query.LineageStep) {
 	if spec == nil {
-		p.eng.net.SendDirect(p.node, owner, newAnswerMsg(qid, owner, vals, pubAt))
+		p.eng.net.SendDirect(p.node, owner, newAnswerMsg(qid, owner, vals, pubAt, lin))
 		return
 	}
 	epoch := spec.Window.EpochOf(clock)
 	if p.eng.Cfg.SubscriberSideAgg {
 		p.eng.net.WithTag(p.node, TagAgg, func() {
-			p.eng.net.SendDirect(p.node, owner, newAggRowMsg(qid, owner, epoch, vals, pubAt))
+			p.eng.net.SendDirect(p.node, owner, newAggRowMsg(qid, owner, epoch, vals, pubAt, lin))
 		})
 		return
 	}
 	key := aggKeyOf(qid, spec.GroupKey(vals))
-	msg := newAggPartialMsg(qid, key, owner, epoch, vals, pubAt)
+	msg := newAggPartialMsg(qid, key, owner, epoch, vals, pubAt, lin)
 	p.eng.net.WithTag(p.node, TagAgg, func() {
 		// One-hop fast path: the candidate table remembers which node a
 		// previous partial for this group was routed to (the same trick
@@ -151,6 +217,9 @@ func (p *Proc) onAggPartial(now sim.Time, m *aggPartialMsg) {
 	}
 	p.qpl.Add(p.node.ID(), 1)
 	p.ctr.AggPartials++
+	if pf := p.eng.prof; pf != nil {
+		pf.Add(p.shard, m.QueryID, m.Key.String(), profile.AggPartials, 1)
+	}
 	if tr := p.eng.trace; tr != nil {
 		tr.Emit(p.shard, obs.Event{
 			At: int64(now), Kind: obs.KindAggPartial, Node: p.nid(),
@@ -179,13 +248,16 @@ func (p *Proc) onAggPartial(now sim.Time, m *aggPartialMsg) {
 	if m.PubAt > g.pubAt {
 		g.pubAt = m.PubAt
 	}
+	if p.eng.prov {
+		g.foldLineage(m.Epoch, m.Lineage)
+	}
 	g.dirty[m.Epoch] = true
 	if spec.Sliding() {
 		// The next epoch's sliding view merges this epoch's partial, so
 		// its row changed too.
 		g.dirty[m.Epoch+1] = true
 	}
-	p.replAggFold(m.Key, m.QueryID, m.Owner, m.Epoch, m.Row)
+	p.replAggFold(m.Key, m.QueryID, m.Owner, m.Epoch, m.Row, m.Lineage)
 }
 
 // viewKey addresses one row of a query's aggregate view.
@@ -198,6 +270,9 @@ type viewKey struct {
 type viewEntry struct {
 	row []relation.Value
 	ver int64
+	// lin is the row's provenance snapshot (see aggUpdateMsg.Lineage);
+	// nil unless Config.Provenance is set.
+	lin []query.LineageStep
 }
 
 // recordAggUpdate installs a group-update row into the owner-side
@@ -231,7 +306,7 @@ func (e *Engine) recordAggUpdate(now sim.Time, m *aggUpdateMsg, p *Proc) {
 	if cur, ok := vw[k]; ok && cur.ver > m.Ver {
 		return
 	}
-	vw[k] = viewEntry{row: m.Row, ver: m.Ver}
+	vw[k] = viewEntry{row: m.Row, ver: m.Ver, lin: m.Lineage}
 }
 
 // localAggGroup is the subscriber-side fold state of one group when
@@ -239,6 +314,9 @@ func (e *Engine) recordAggUpdate(now sim.Time, m *aggUpdateMsg, p *Proc) {
 type localAggGroup struct {
 	group  []relation.Value
 	epochs map[int64]*agg.Partial
+	// lins mirrors aggGroup.lins for the subscriber-side fold; nil
+	// unless Config.Provenance is set.
+	lins map[int64]map[query.LineageStep]struct{}
 }
 
 // recordAggRow folds a raw answer row into the owner-held aggregate
@@ -280,6 +358,19 @@ func (e *Engine) recordAggRow(now sim.Time, m *aggRowMsg, p *Proc) {
 		lg.epochs[m.Epoch] = part
 	}
 	part.Add(spec, m.Row)
+	if e.prov && len(m.Lineage) > 0 {
+		if lg.lins == nil {
+			lg.lins = make(map[int64]map[query.LineageStep]struct{})
+		}
+		set, ok := lg.lins[m.Epoch]
+		if !ok {
+			set = make(map[query.LineageStep]struct{}, len(m.Lineage))
+			lg.lins[m.Epoch] = set
+		}
+		for _, s := range m.Lineage {
+			set[s] = struct{}{}
+		}
+	}
 
 	vw, ok := e.aggViews[m.QueryID]
 	if !ok {
@@ -294,9 +385,19 @@ func (e *Engine) recordAggRow(now sim.Time, m *aggRowMsg, p *Proc) {
 		if agg.MergedRows(parts...) == 0 {
 			return
 		}
+		var lin []query.LineageStep
+		if lg.lins != nil {
+			g := aggGroup{lins: lg.lins}
+			if spec.Sliding() {
+				lin = g.lineageOf(epoch, epoch-1)
+			} else {
+				lin = g.lineageOf(epoch)
+			}
+		}
 		vw[viewKey{group: gk, epoch: epoch}] = viewEntry{
 			row: spec.FinalizeRow(lg.group, parts...),
 			ver: agg.MergedRows(parts...),
+			lin: lin,
 		}
 	}
 	refresh(m.Epoch)
@@ -349,6 +450,12 @@ func (e *Engine) flushAggregates() bool {
 				if agg.MergedRows(parts...) == 0 {
 					continue // dirty via a neighbour that has no data yet
 				}
+				var lin []query.LineageStep
+				if spec.Sliding() {
+					lin = g.lineageOf(ep, ep-1)
+				} else {
+					lin = g.lineageOf(ep)
+				}
 				msg := &aggUpdateMsg{
 					QueryID: g.qid,
 					Owner:   g.owner,
@@ -357,6 +464,7 @@ func (e *Engine) flushAggregates() bool {
 					Ver:     agg.MergedRows(parts...),
 					Row:     spec.FinalizeRow(g.group, parts...),
 					PubAt:   g.pubAt,
+					Lineage: lin,
 				}
 				e.net.WithTag(p.node, TagAgg, func() {
 					e.net.SendDirect(p.node, g.owner, msg)
@@ -379,7 +487,7 @@ func (e *Engine) AggRows(queryID string) []agg.ViewRow {
 	vw := e.aggViews[queryID]
 	out := make([]agg.ViewRow, 0, len(vw))
 	for k, ent := range vw {
-		out = append(out, agg.ViewRow{Group: k.group, Epoch: k.epoch, Row: ent.row})
+		out = append(out, agg.ViewRow{Group: k.group, Epoch: k.epoch, Row: ent.row, Lineage: ent.lin})
 	}
 	agg.SortViewRows(out)
 	return out

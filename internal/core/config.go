@@ -14,6 +14,7 @@ package core
 
 import (
 	"rjoin/internal/obs"
+	"rjoin/internal/obs/profile"
 	"rjoin/internal/relation"
 )
 
@@ -205,6 +206,23 @@ type Config struct {
 	// observations and windowed per-node/per-query rate counts. Same
 	// nil-guard discipline as Trace.
 	Metrics *obs.Metrics
+
+	// Profile, when non-nil, receives per-(query, placement)
+	// attribution — arrivals, evals, stored copies, rewrite steps,
+	// candidate-table outcomes, state bytes, aggregation partials —
+	// merged at Sync barriers and read back by Engine.Explain. Same
+	// nil-guard discipline as Trace.
+	Profile *profile.Profiler
+
+	// Provenance threads answer lineage through the rewrite pipeline:
+	// every rewrite step appends the consumed tuple's (publisher,
+	// pubSeq, node) to the query's Lineage, completed rows carry it to
+	// the subscriber (through sharing fan-out and aggregation, whose
+	// group lineage is the union of contributing rows'), and
+	// Engine.AnswerLineages / ViewRow.Lineage expose it. Off by
+	// default: the hot path then never touches lineage slices and
+	// allocates nothing for them.
+	Provenance bool
 }
 
 // DefaultConfig returns the configuration the paper's experiments run

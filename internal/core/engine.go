@@ -10,6 +10,7 @@ import (
 	"rjoin/internal/id"
 	"rjoin/internal/metrics"
 	"rjoin/internal/obs"
+	"rjoin/internal/obs/profile"
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
@@ -202,6 +203,18 @@ type Engine struct {
 	trace *obs.Tracer
 	obsM  *obs.Metrics
 
+	// prof/prov mirror Cfg.Profile/Cfg.Provenance under the same
+	// discipline: nil/false disables every hook with one branch.
+	// submitted retains each submitted query (coordinator-written at
+	// SubmitQuery, immutable afterwards) so Explain can render the
+	// static plan; provRows holds, when provenance is on, each
+	// delivered answer's lineage index-aligned with answers (guarded by
+	// answersMu like the answers themselves).
+	prof      *profile.Profiler
+	prov      bool
+	submitted map[string]*query.Query
+	provRows  map[string][][]query.LineageStep
+
 	// Parallel-mode accumulators: while workers run, every hot-path
 	// count goes to the acting node's shard slot and merges into the
 	// public Counters/QPL/SL at the next Sync. Nil on a serial engine.
@@ -248,6 +261,12 @@ func NewEngine(ring *chord.Ring, se *sim.Engine, net *overlay.Network, cfg Confi
 	e.lossy = net.Lossy()
 	e.trace = cfg.Trace
 	e.obsM = cfg.Metrics
+	e.prof = cfg.Profile
+	e.prov = cfg.Provenance
+	e.submitted = make(map[string]*query.Query)
+	if e.prov {
+		e.provRows = make(map[string][][]query.LineageStep)
+	}
 	if se.Workers() > 0 {
 		e.par = true
 		e.shardCtr = make([]Counters, sim.Shards)
@@ -343,6 +362,7 @@ func (e *Engine) SubmitQuery(owner *chord.Node, q *query.Query) (string, error) 
 	q.MinPub = math.MaxInt64
 	e.Counters.QueriesSubmitted++
 	qid := q.ID
+	e.submitted[qid] = q
 	if q.Distinct {
 		e.distinctQs[qid] = true
 	}
@@ -380,6 +400,7 @@ func (e *Engine) PublishTuple(publisher *chord.Node, t *relation.Tuple) {
 	e.pubSeq++
 	t.PubSeq = e.pubSeq
 	t.PubTime = int64(e.sim.Now())
+	t.Publisher = uint64(publisher.ID())
 	e.Counters.TuplesPublished++
 	if tr := e.trace; tr != nil {
 		tr.Emit(sim.NoShard, obs.Event{
@@ -469,6 +490,11 @@ func (e *Engine) recordAnswer(now sim.Time, m *answerMsg, p *Proc) {
 		Values:  m.Values,
 		At:      now,
 	})
+	if e.prov {
+		// Index-aligned with answers: suppressed duplicates returned
+		// above, so row i's lineage is provRows[qid][i].
+		e.provRows[m.QueryID] = append(e.provRows[m.QueryID], m.Lineage)
+	}
 	lat := int64(now) - m.PubAt
 	if om := e.obsM; om != nil {
 		om.ObserveLatency(m.QueryID, lat)
@@ -501,6 +527,17 @@ func rowKey(vals []relation.Value) string {
 // Answers returns the rows delivered so far for a query, in delivery
 // order. The returned slice is shared; callers must not mutate it.
 func (e *Engine) Answers(queryID string) []Answer { return e.answers[queryID] }
+
+// AnswerLineages returns, index-aligned with Answers, each delivered
+// row's provenance: the (publisher, pubSeq, node) steps of the rewrite
+// chain that produced it. Nil unless Config.Provenance was set. The
+// returned slices are shared; callers must not mutate them.
+func (e *Engine) AnswerLineages(queryID string) [][]query.LineageStep {
+	if !e.prov {
+		return nil
+	}
+	return e.provRows[queryID]
+}
 
 // AllAnswers returns a snapshot of every query's delivered answers
 // keyed by query ID: the map, its slices and each answer's value row
@@ -538,6 +575,10 @@ func (e *Engine) Sync() {
 	// count — so flush batches, and with them the canonicalized event
 	// order, line up bit-for-bit across serial and parallel runs.
 	e.trace.Flush()
+	// The profiler merges at the same barriers for the same reason: its
+	// per-shard sums are commutative, and draining them only at driver
+	// barriers keeps reports a pure function of the event timeline.
+	e.prof.Flush()
 	if !e.par {
 		return
 	}
@@ -596,6 +637,7 @@ func (e *Engine) ResetMetrics() {
 	e.Counters = Counters{}
 	e.net.ResetTraffic()
 	e.obsM.Reset()
+	e.prof.Reset()
 }
 
 // SweepALTT prunes expired ALTT entries on every node. Expiry is

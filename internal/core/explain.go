@@ -1,0 +1,140 @@
+package core
+
+// Engine.Explain assembles the per-query introspection report: the
+// static placement plan (the pipeline's index candidates in clause
+// order), the per-placement counters the profiler attributed to them,
+// sharing attribution from the multi-query registry, the state
+// footprint series and the subscriber-side delivery totals. It runs
+// from driver context between drains — the same contexts Answers and
+// Stats are read from — so reading the merged profiler maps and the
+// registry is race-free. Everything it reads is either static plan
+// structure or a Sync-merged deterministic counter, so a report taken
+// at a drained virtual time is bit-identical across worker counts.
+
+import (
+	"fmt"
+	"strings"
+
+	"rjoin/internal/obs/profile"
+	"rjoin/internal/query"
+	"rjoin/internal/share"
+)
+
+// Explain returns the introspection report of one submitted query.
+// With Config.Profile unset the report still carries the static plan
+// and delivery totals; the observed counters are zero and the report
+// says so. Unknown (never-submitted) query IDs error.
+func (e *Engine) Explain(queryID string) (*profile.Report, error) {
+	q, ok := e.submitted[queryID]
+	if !ok {
+		return nil, fmt.Errorf("core: Explain of unknown query %s", queryID)
+	}
+	r := &profile.Report{
+		Query:       queryID,
+		SQL:         q.String(),
+		Now:         int64(e.sim.Now()),
+		Pipeline:    queryID,
+		Subscribers: 1,
+		Profiled:    e.prof != nil,
+		Provenance:  e.prov,
+	}
+	// Sharing attribution: whose rewrite pipeline does this query's
+	// in-network work, how many subscribers ride it, and what residual
+	// this subscriber applies at the completion node.
+	pipe := q
+	if cls := e.reg.ClassOf(queryID); cls != nil {
+		r.Pipeline = cls.QID
+		r.Subscribers = len(cls.Subs)
+		if cls.Pipeline != nil {
+			pipe = cls.Pipeline
+		}
+		for _, s := range cls.Subs {
+			if s.QID == queryID && s.Res != nil {
+				r.Residual = residualText(s.Res)
+			}
+		}
+	}
+
+	// Static placements: the pipeline's candidate set in clause order —
+	// the arrival-order baseline a rate-informed planner is compared
+	// against. Runtime-discovered keys (rewrites indexed at value-level
+	// keys derived from tuple contents, aggregator group keys) follow,
+	// sorted, marked clause -1.
+	seen := make(map[string]bool)
+	for i, c := range pipe.Candidates() {
+		seen[c.Key.String()] = true
+		r.Placements = append(r.Placements, profile.Placement{
+			Key: c.Key.String(), Rel: c.Col.Rel,
+			Level: c.Level.String(), Clause: i,
+		})
+	}
+	if pf := e.prof; pf != nil {
+		for _, k := range pf.Keys(r.Pipeline) {
+			if !seen[k] {
+				r.Placements = append(r.Placements, profile.Placement{
+					Key: k, Level: levelOfKey(k), Clause: -1,
+				})
+			}
+		}
+		for i := range r.Placements {
+			pl := &r.Placements[i]
+			pl.Arrivals = pf.Count("", pl.Key, profile.Arrivals)
+			pl.Evals = pf.Count(r.Pipeline, pl.Key, profile.Evals)
+			pl.Stored = pf.Count(r.Pipeline, pl.Key, profile.StoredQueries)
+			pl.Rewrites = pf.Count(r.Pipeline, pl.Key, profile.Rewrites)
+			pl.Completions = pf.Count(r.Pipeline, pl.Key, profile.Completions)
+			pl.CTHits = pf.Count(r.Pipeline, pl.Key, profile.CTHits)
+			pl.CTMisses = pf.Count(r.Pipeline, pl.Key, profile.CTMisses)
+			pl.StateBytes = pf.Count(r.Pipeline, pl.Key, profile.StateBytes)
+			pl.AggPartials = pf.Count(r.Pipeline, pl.Key, profile.AggPartials)
+		}
+		r.FanoutRows = pf.Count(queryID, "", profile.FanoutRows)
+		r.Series = pf.SeriesFor(r.Pipeline)
+	}
+
+	e.answersMu.Lock()
+	r.Answers = int64(len(e.answers[queryID]))
+	r.AggUpdates = int64(len(e.aggViews[queryID]))
+	e.answersMu.Unlock()
+	return r, nil
+}
+
+// levelOfKey classifies a runtime-discovered profiling key: aggregator
+// group keys carry the NUL-fenced agg prefix, value-level index keys
+// have at least two '+' separators (Rel+Attr+Value), attribute-level
+// ones exactly one.
+func levelOfKey(k string) string {
+	if strings.HasPrefix(k, aggKeyPrefix) {
+		return "aggregate"
+	}
+	if strings.Count(k, "+") >= 2 {
+		return query.ValueLevel.String()
+	}
+	return query.AttrLevel.String()
+}
+
+// residualText renders a subscriber's residual deterministically:
+// filter conjuncts over full-row positions, then the projection.
+func residualText(res *share.Residual) string {
+	var b strings.Builder
+	b.WriteString("filter[")
+	for i, p := range res.Preds {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		fmt.Fprintf(&b, "row[%d]=%s", p.Pos, p.Val)
+	}
+	b.WriteString("] project[")
+	for i, it := range res.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.IsConst {
+			b.WriteString(it.Const.String())
+		} else {
+			fmt.Fprintf(&b, "row[%d]", it.Pos)
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -35,9 +35,9 @@ func newEvalMsg(q *query.Query, key relation.Key, level query.Level, ric []ricIn
 	return m
 }
 
-func newAnswerMsg(queryID string, owner id.ID, values []relation.Value, pubAt int64) *answerMsg {
+func newAnswerMsg(queryID string, owner id.ID, values []relation.Value, pubAt int64, lin []query.LineageStep) *answerMsg {
 	m := answerMsgPool.Get().(*answerMsg)
-	*m = answerMsg{QueryID: queryID, Owner: owner, Values: values, PubAt: pubAt}
+	*m = answerMsg{QueryID: queryID, Owner: owner, Values: values, PubAt: pubAt, Lineage: lin}
 	return m
 }
 
@@ -84,21 +84,25 @@ type answerMsg struct {
 	// completed the rewrite chain — the trigger of this answer. The
 	// owner's answer-latency measurement is delivery vtime minus PubAt.
 	PubAt int64
+	// Lineage is the answer's provenance — the (publisher, pubSeq,
+	// node) of every tuple the rewrite chain consumed, in consumption
+	// order. Nil unless Config.Provenance is set.
+	Lineage []query.LineageStep
 }
 
 // RingKey implements overlay.Rekeyable: answers re-route to the
 // current successor of the owner's ring position.
 func (m *answerMsg) RingKey() id.ID { return m.Owner }
 
-func newAggPartialMsg(queryID string, key relation.Key, owner id.ID, epoch int64, row []relation.Value, pubAt int64) *aggPartialMsg {
+func newAggPartialMsg(queryID string, key relation.Key, owner id.ID, epoch int64, row []relation.Value, pubAt int64, lin []query.LineageStep) *aggPartialMsg {
 	m := aggPartialMsgPool.Get().(*aggPartialMsg)
-	*m = aggPartialMsg{QueryID: queryID, Key: key, Owner: owner, Epoch: epoch, Row: row, PubAt: pubAt}
+	*m = aggPartialMsg{QueryID: queryID, Key: key, Owner: owner, Epoch: epoch, Row: row, PubAt: pubAt, Lineage: lin}
 	return m
 }
 
-func newAggRowMsg(queryID string, owner id.ID, epoch int64, row []relation.Value, pubAt int64) *aggRowMsg {
+func newAggRowMsg(queryID string, owner id.ID, epoch int64, row []relation.Value, pubAt int64, lin []query.LineageStep) *aggRowMsg {
 	m := aggRowMsgPool.Get().(*aggRowMsg)
-	*m = aggRowMsg{QueryID: queryID, Owner: owner, Epoch: epoch, Row: row, PubAt: pubAt}
+	*m = aggRowMsg{QueryID: queryID, Owner: owner, Epoch: epoch, Row: row, PubAt: pubAt, Lineage: lin}
 	return m
 }
 
@@ -117,6 +121,9 @@ type aggPartialMsg struct {
 	// latency watermark.
 	PubAt    int64
 	Reroutes uint8
+	// Lineage is the row's provenance (see answerMsg.Lineage); the
+	// aggregator folds it into the group's per-epoch lineage union.
+	Lineage []query.LineageStep
 }
 
 // RingKey implements overlay.Rekeyable: a partial in flight to a
@@ -134,6 +141,8 @@ type aggRowMsg struct {
 	// PubAt is the triggering tuple's publication vtime (see
 	// answerMsg.PubAt).
 	PubAt int64
+	// Lineage is the row's provenance (see answerMsg.Lineage).
+	Lineage []query.LineageStep
 }
 
 // RingKey implements overlay.Rekeyable.
@@ -156,6 +165,10 @@ type aggUpdateMsg struct {
 	// publication vtime folded into the row (a commutative max, so it
 	// is deterministic under any fold order).
 	PubAt int64
+	// Lineage is the sorted snapshot of the group's per-epoch lineage
+	// union — every (publisher, pubSeq, node) step of every row folded
+	// into the view row. Nil unless Config.Provenance is set.
+	Lineage []query.LineageStep
 }
 
 // RingKey implements overlay.Rekeyable: updates re-route to the current

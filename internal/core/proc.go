@@ -7,6 +7,7 @@ import (
 	"rjoin/internal/id"
 	"rjoin/internal/metrics"
 	"rjoin/internal/obs"
+	"rjoin/internal/obs/profile"
 	"rjoin/internal/overlay"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
@@ -282,6 +283,46 @@ func (p *Proc) reroute(key relation.Key, hops *uint8, m overlay.Message) bool {
 // nid is the node's 64-bit identity as trace events carry it.
 func (p *Proc) nid() uint64 { return uint64(p.node.ID()) }
 
+// profTrigger attributes one trigger outcome — a rewrite step or a
+// chain completion — to the (pipeline query, placement key) that
+// performed it. Nil-guarded like every observability hook.
+func (p *Proc) profTrigger(sq *storedQuery, complete bool) {
+	pf := p.eng.prof
+	if pf == nil {
+		return
+	}
+	m := profile.Rewrites
+	if complete {
+		m = profile.Completions
+	}
+	pf.Add(p.shard, sq.q.ID, sq.key.String(), m, 1)
+}
+
+// stateSizeOf estimates the retained bytes of one stored query copy:
+// the struct header plus its clause and select lists. A fixed counting
+// rule rather than a measurement, so the estimate is identical across
+// worker counts and Go versions.
+func stateSizeOf(q *query.Query) int64 {
+	return 112 +
+		16*int64(len(q.Relations)) +
+		48*int64(len(q.Select)) +
+		32*int64(len(q.Joins)) +
+		40*int64(len(q.Selections)) +
+		8*int64(len(q.Exclude))
+}
+
+// profStateDrop debits a removed stored query's estimated footprint
+// from its placement counter and the query's state-footprint series.
+func (p *Proc) profStateDrop(now sim.Time, sq *storedQuery) {
+	pf := p.eng.prof
+	if pf == nil {
+		return
+	}
+	sz := stateSizeOf(sq.q)
+	pf.Add(p.shard, sq.q.ID, sq.key.String(), profile.StateBytes, -sz)
+	pf.State(p.shard, int64(now), sq.q.ID, -sz)
+}
+
 func (p *Proc) recordArrival(key relation.Key, now sim.Time) {
 	st, ok := p.stats[key]
 	if !ok {
@@ -323,6 +364,12 @@ func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 	p.recordArrival(m.Key, now)
 	p.qpl.Add(p.node.ID(), 1)
 	p.ctr.TuplesReceived++
+	if pf := p.eng.prof; pf != nil {
+		// Arrival counts are a property of the key, not of any one
+		// query: profiled under the empty query ID, joined to each
+		// query's placements by key at Explain time.
+		pf.Add(p.shard, "", m.Key.String(), profile.Arrivals, 1)
+	}
 	if tr := p.eng.trace; tr != nil {
 		tr.Emit(p.shard, obs.Event{
 			At: int64(now), Kind: obs.KindTupleArrive, Node: p.nid(),
@@ -340,11 +387,13 @@ func (p *Proc) onTuple(now sim.Time, m *tupleMsg) {
 			// window when triggered is deleted.
 			if sq.q.Depth > 0 && sq.q.Window.Enabled() && !sq.q.Window.Valid(sq.q.Start, clock) {
 				p.ctr.QueriesExpired++
+				p.profStateDrop(now, sq)
 				p.replQueryRemove(sq)
 				continue
 			}
 			p.tryTrigger(now, sq, m.T)
 			if p.eng.Cfg.EnableMigration && p.maybeMigrate(now, sq) {
+				p.profStateDrop(now, sq)
 				p.replQueryRemove(sq)
 				continue // relocated to a colder candidate
 			}
@@ -419,9 +468,14 @@ func (p *Proc) tryTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	if t.PubTime < q2.MinPub {
 		q2.MinPub = t.PubTime // fan-out filter: min over combined tuples
 	}
+	if p.eng.prov {
+		q2.Lineage = query.AppendLineage(sq.q.Lineage,
+			query.LineageStep{Pub: t.Publisher, Seq: t.PubSeq, Node: p.nid()})
+	}
 	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
 	p.replTrigger(sq, t, proj)
+	p.profTrigger(sq, q2.IsComplete())
 	p.dispatch(now, q2, t.PubTime)
 }
 
@@ -446,7 +500,13 @@ func (p *Proc) completeTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple)
 	if sq.q.Depth+1 >= 2 {
 		p.ctr.DeepRewrites++
 	}
+	p.profTrigger(sq, true)
 	p.observeComplete(now, sq.q.ID, int64(sq.q.Depth)+1)
+	var lin []query.LineageStep
+	if p.eng.prov {
+		lin = query.AppendLineage(sq.q.Lineage,
+			query.LineageStep{Pub: t.Publisher, Seq: t.PubSeq, Node: p.nid()})
+	}
 	clock := sq.q.Window.Clock(t)
 	if sq.q.AggClock > clock {
 		clock = sq.q.AggClock
@@ -456,17 +516,17 @@ func (p *Proc) completeTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple)
 		minPub = sq.q.MinPub
 	}
 	if fo := p.eng.fanoutOf(sq.q.ID); fo != nil {
-		p.fanoutComplete(now, fo, vals, clock, minPub, t.PubTime)
+		p.fanoutComplete(now, fo, vals, clock, minPub, t.PubTime, lin)
 		return
 	}
 	if p.eng.retiredPipeline(sq.q.ID) {
 		return // shared pipeline torn down; nobody is listening
 	}
 	if sq.agg {
-		p.emitCompletion(now, sq.q, vals, clock, t.PubTime)
+		p.emitCompletion(now, sq.q, vals, clock, t.PubTime, lin)
 		return
 	}
-	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, id.ID(sq.q.Owner), vals, t.PubTime))
+	p.eng.net.SendDirect(p.node, id.ID(sq.q.Owner), newAnswerMsg(sq.q.ID, id.ID(sq.q.Owner), vals, t.PubTime, lin))
 }
 
 // observeComplete records one completed rewrite chain: its depth into
@@ -552,6 +612,9 @@ func (p *Proc) onEval(now sim.Time, m *evalMsg) {
 			Trace: m.Q.ID, Key: m.Key.String(), Arg: int64(m.Q.Depth),
 		})
 	}
+	if pf := p.eng.prof; pf != nil {
+		pf.Add(p.shard, m.Q.ID, m.Key.String(), profile.Evals, 1)
+	}
 	sq := &storedQuery{q: m.Q, key: m.Key, level: m.Level, agg: m.Q.IsAggregate()}
 	if m.Q.OneTime {
 		// One-time queries keep no standing state: all qualifying
@@ -563,6 +626,12 @@ func (p *Proc) onEval(now sim.Time, m *evalMsg) {
 	} else {
 		p.queries[m.Key] = append(p.queries[m.Key], sq)
 		p.replQueryAdd(sq)
+		if pf := p.eng.prof; pf != nil {
+			sz := stateSizeOf(m.Q)
+			pf.Add(p.shard, m.Q.ID, m.Key.String(), profile.StoredQueries, 1)
+			pf.Add(p.shard, m.Q.ID, m.Key.String(), profile.StateBytes, sz)
+			pf.State(p.shard, int64(now), m.Q.ID, sz)
+		}
 		if m.Q.Depth > 0 {
 			p.qpl.Add(p.node.ID(), 1)
 			p.sl.Add(p.node.ID(), 1)
@@ -623,9 +692,14 @@ func (p *Proc) scanTrigger(now sim.Time, sq *storedQuery, t *relation.Tuple) {
 	if t.PubTime < q2.MinPub {
 		q2.MinPub = t.PubTime
 	}
+	if p.eng.prov {
+		q2.Lineage = query.AppendLineage(sq.q.Lineage,
+			query.LineageStep{Pub: t.Publisher, Seq: t.PubSeq, Node: p.nid()})
+	}
 	proj := sq.markTrigger(t)
 	sq.noteCombine(p.eng.Cfg.EnableMigration, t)
 	p.replTrigger(sq, t, proj)
+	p.profTrigger(sq, q2.IsComplete())
 	p.dispatch(now, q2, t.PubTime)
 }
 
@@ -716,13 +790,13 @@ func (p *Proc) dispatch(now sim.Time, q2 *query.Query, pubAt int64) {
 	if q2.IsComplete() {
 		p.observeComplete(now, q2.ID, int64(q2.Depth))
 		if fo := p.eng.fanoutOf(q2.ID); fo != nil {
-			p.fanoutComplete(now, fo, q2.AnswerValues(), q2.AggClock, q2.MinPub, pubAt)
+			p.fanoutComplete(now, fo, q2.AnswerValues(), q2.AggClock, q2.MinPub, pubAt, q2.Lineage)
 		} else if p.eng.retiredPipeline(q2.ID) {
 			// shared pipeline torn down; drop the straggler
 		} else if q2.IsAggregate() {
-			p.emitCompletion(now, q2, q2.AnswerValues(), q2.AggClock, pubAt)
+			p.emitCompletion(now, q2, q2.AnswerValues(), q2.AggClock, pubAt, q2.Lineage)
 		} else {
-			p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues(), pubAt))
+			p.eng.net.SendDirect(p.node, id.ID(q2.Owner), newAnswerMsg(q2.ID, id.ID(q2.Owner), q2.AnswerValues(), pubAt, q2.Lineage))
 		}
 		query.Release(q2)
 		return
@@ -800,6 +874,9 @@ func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
 		if p.eng.Cfg.UseCT {
 			if e, ok := p.ct.fresh(c.Key, now, p.eng.Cfg.CTValidity); ok {
 				known = append(known, ricInfo{Key: c.Key, Rate: e.Rate, Addr: e.Addr, At: e.At})
+				if pf := p.eng.prof; pf != nil {
+					pf.Add(p.shard, q.ID, c.Key.String(), profile.CTHits, 1)
+				}
 				if tr != nil {
 					tr.Emit(p.shard, obs.Event{
 						At: int64(now), Kind: obs.KindCTHit, Node: p.nid(),
@@ -807,6 +884,9 @@ func (p *Proc) placeRIC(now sim.Time, q *query.Query, cands []query.Candidate) {
 					})
 				}
 				continue
+			}
+			if pf := p.eng.prof; pf != nil {
+				pf.Add(p.shard, q.ID, c.Key.String(), profile.CTMisses, 1)
 			}
 			if tr != nil {
 				tr.Emit(p.shard, obs.Event{

@@ -88,9 +88,14 @@ type replOp struct {
 	owner id.ID                  // opAggFold / opAggMerge
 	epoch int64                  // opAggFold
 	row   []relation.Value       // opAggFold
+	lin   []query.LineageStep    // opAggFold: the folded row's provenance
 	gkey  string                 // opAggMerge: canonical group key
 	group []relation.Value       // opAggMerge: grouping values copy
 	parts map[int64]*agg.Partial // opAggMerge: cloned delta partials by epoch
+	// lins is opAggMerge's cloned per-epoch lineage sets — mirrored
+	// alongside the partials so a promoted group's provenance matches
+	// what the dead primary would have emitted.
+	lins map[int64]map[query.LineageStep]struct{}
 
 	info ricInfo // opCT
 }
@@ -274,11 +279,11 @@ func (p *Proc) replALTTAdd(key relation.Key, e alttEntry) {
 // replAggFold mirrors one partial folded into aggregator state; the
 // replica folds the same row into its own mirror partial, which is
 // bit-equal because every aggregate's fold is order-insensitive.
-func (p *Proc) replAggFold(key relation.Key, qid string, owner id.ID, epoch int64, row []relation.Value) {
+func (p *Proc) replAggFold(key relation.Key, qid string, owner id.ID, epoch int64, row []relation.Value, lin []query.LineageStep) {
 	if !p.replOn() {
 		return
 	}
-	p.replEnqueue(replOp{kind: opAggFold, key: key, qid: qid, owner: owner, epoch: epoch, row: row})
+	p.replEnqueue(replOp{kind: opAggFold, key: key, qid: qid, owner: owner, epoch: epoch, row: row, lin: lin})
 }
 
 // replAggMerge mirrors a whole-group delta (handover merge, promotion
@@ -298,8 +303,25 @@ func (p *Proc) replAggMerge(key relation.Key, g *aggGroup) {
 	p.replEnqueue(replOp{
 		kind: opAggMerge, key: key, qid: g.qid, owner: g.owner,
 		gkey: g.gkey, group: append([]relation.Value(nil), g.group...),
-		parts: parts,
+		parts: parts, lins: cloneLins(g.lins),
 	})
+}
+
+// cloneLins deep-copies per-epoch lineage sets for an operation that
+// will be applied at several replicas concurrently.
+func cloneLins(lins map[int64]map[query.LineageStep]struct{}) map[int64]map[query.LineageStep]struct{} {
+	if len(lins) == 0 {
+		return nil
+	}
+	out := make(map[int64]map[query.LineageStep]struct{}, len(lins))
+	for e, set := range lins {
+		cp := make(map[query.LineageStep]struct{}, len(set))
+		for s := range set {
+			cp[s] = struct{}{}
+		}
+		out[e] = cp
+	}
+	return out
 }
 
 // ctMerge is the candidate-table write path: it merges the report into
@@ -474,6 +496,7 @@ func (mr *replMirror) apply(p *Proc, op *replOp, now sim.Time) {
 			g.epochs[op.epoch] = part
 		}
 		part.Add(spec, op.row)
+		g.foldLineage(op.epoch, op.lin)
 	case opAggMerge:
 		if p.eng.aggSpec(op.qid) == nil {
 			return
@@ -493,6 +516,19 @@ func (mr *replMirror) apply(p *Proc, op *replOp, now sim.Time) {
 				cur.Merge(part)
 			} else {
 				g.epochs[e] = part.Clone() // op.parts is shared across replicas
+			}
+		}
+		for e, set := range op.lins {
+			if g.lins == nil {
+				g.lins = make(map[int64]map[query.LineageStep]struct{})
+			}
+			dstSet, ok := g.lins[e]
+			if !ok {
+				dstSet = make(map[query.LineageStep]struct{}, len(set))
+				g.lins[e] = dstSet
+			}
+			for s := range set {
+				dstSet[s] = struct{}{}
 			}
 		}
 	case opCT:

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"rjoin/internal/id"
+	"rjoin/internal/obs/profile"
 	"rjoin/internal/query"
 	"rjoin/internal/relation"
 	"rjoin/internal/share"
@@ -183,6 +184,7 @@ func (e *Engine) Unsubscribe(subQID string) error {
 	delete(e.seenRows, subQID)
 	delete(e.aggViews, subQID)
 	delete(e.aggLocal, subQID)
+	delete(e.provRows, subQID)
 	e.answersMu.Unlock()
 	delete(e.distinctQs, subQID)
 	// aggSpecs is deliberately kept: in-flight partials and mirrored
@@ -300,7 +302,11 @@ func sortedProcIDs(procs map[id.ID]*Proc) []id.ID {
 // subscriber-shaped projection is built, and the row ships to the
 // subscriber — or into its per-subscriber aggregation pipeline. Then
 // every containment child replays the row through its own pipeline.
-func (p *Proc) fanoutComplete(now sim.Time, fo *share.Fanout, vals []relation.Value, clock, minPub, pubAt int64) {
+// lin is the completed row's provenance (nil unless Config.Provenance):
+// every subscriber's copy of the row shares it, and containment replays
+// inherit it — the child's rows are built from exactly the parent
+// row's base tuples.
+func (p *Proc) fanoutComplete(now sim.Time, fo *share.Fanout, vals []relation.Value, clock, minPub, pubAt int64, lin []query.LineageStep) {
 	for i := range fo.Subs {
 		s := &fo.Subs[i]
 		if minPub < s.InsertTime {
@@ -314,18 +320,21 @@ func (p *Proc) fanoutComplete(now sim.Time, fo *share.Fanout, vals []relation.Va
 			row = s.Res.Project(vals)
 		}
 		p.ctr.SharedFanoutRows++
+		if pf := p.eng.prof; pf != nil {
+			pf.Add(p.shard, s.QID, "", profile.FanoutRows, 1)
+		}
 		owner := id.ID(s.Owner)
 		if spec := p.eng.aggSpec(s.QID); spec != nil {
-			p.emitTo(now, s.QID, owner, spec, row, clock, pubAt)
+			p.emitTo(now, s.QID, owner, spec, row, clock, pubAt, lin)
 		} else {
-			p.eng.net.SendDirect(p.node, owner, newAnswerMsg(s.QID, owner, row, pubAt))
+			p.eng.net.SendDirect(p.node, owner, newAnswerMsg(s.QID, owner, row, pubAt, lin))
 		}
 	}
 	for _, kid := range fo.Kids {
 		if minPub < kid.InsertTime {
 			continue
 		}
-		p.spawnContainment(now, kid, vals, clock, minPub, pubAt)
+		p.spawnContainment(now, kid, vals, clock, minPub, pubAt, lin)
 	}
 }
 
@@ -339,7 +348,7 @@ func (p *Proc) fanoutComplete(now sim.Time, fo *share.Fanout, vals []relation.Va
 // locally triggered rewrite would be. The pseudo-tuples carry the
 // row's minimum publication time so downstream subscriber filtering
 // stays exact; they are never stored, only substituted.
-func (p *Proc) spawnContainment(now sim.Time, kid *share.Kid, vals []relation.Value, clock, minPub, pubAt int64) {
+func (p *Proc) spawnContainment(now sim.Time, kid *share.Kid, vals []relation.Value, clock, minPub, pubAt int64, lin []query.LineageStep) {
 	cur := kid.Pipeline
 	owned := false
 	for _, rs := range kid.Rels {
@@ -356,6 +365,9 @@ func (p *Proc) spawnContainment(now sim.Time, kid *share.Kid, vals []relation.Va
 	}
 	cur.MinPub = minPub
 	cur.AggClock = clock
+	// The pseudo-tuples are carved out of the parent row, so the
+	// replayed rewrite's provenance is the parent row's, not new steps.
+	cur.Lineage = lin
 	p.ctr.ContainmentRewrites++
 	p.dispatch(now, cur, pubAt)
 }

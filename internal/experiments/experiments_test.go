@@ -396,3 +396,56 @@ func TestFigSharingShapes(t *testing.T) {
 		}
 	}
 }
+
+// TestFigExplainShapes: the introspection figure must profile every
+// query it submits, deliver answers, report a coherent per-placement
+// table for the busiest query (arrival ranks a permutation of 1..n,
+// every static clause present) and a fleet summary whose lineage cost
+// reflects real provenance (>= 2 base tuples per 2-way-join answer).
+func TestFigExplainShapes(t *testing.T) {
+	p := tiny()
+	tabs := FigExplain(p)
+	if len(tabs) != 2 {
+		t.Fatalf("FigExplain returned %d tables", len(tabs))
+	}
+	ta, tb := tableWrap{tabs[0].Rows}, tableWrap{tabs[1].Rows}
+	if len(tabs[0].Rows) == 0 {
+		t.Fatal("per-placement table is empty")
+	}
+	seen := map[float64]bool{}
+	static := 0
+	for row := range tabs[0].Rows {
+		rank := cell(ta, row, 3)
+		if rank < 1 || rank > float64(len(tabs[0].Rows)) || seen[rank] {
+			t.Errorf("row %d: arrival rank %v out of range or duplicated", row, rank)
+		}
+		seen[rank] = true
+		if tabs[0].Rows[row][2] != "runtime" {
+			static++
+		}
+		if sel := cell(ta, row, 8); sel < -1 {
+			t.Errorf("row %d: selectivity %v below -1", row, sel)
+		}
+	}
+	if static < 2 {
+		t.Errorf("busiest query shows %d static placements, want >= 2 (2-way join)", static)
+	}
+	if len(tabs[1].Rows) != 8 {
+		t.Fatalf("summary table has %d rows", len(tabs[1].Rows))
+	}
+	profiled, answered := cell(tb, 0, 1), cell(tb, 1, 1)
+	answers, hitRate := cell(tb, 2, 1), cell(tb, 5, 1)
+	steps := cell(tb, 7, 1)
+	if profiled != float64(p.scaled(p.Queries)) {
+		t.Errorf("profiled %v queries, submitted %d", profiled, p.scaled(p.Queries))
+	}
+	if answered == 0 || answers == 0 {
+		t.Fatalf("no answers delivered (answered=%v answers=%v)", answered, answers)
+	}
+	if hitRate < 0 || hitRate > 1 {
+		t.Errorf("candidate-table hit rate %v outside [0,1]", hitRate)
+	}
+	if steps < 2 {
+		t.Errorf("lineage steps per answer %v, want >= 2 for 2-way joins", steps)
+	}
+}

@@ -24,7 +24,11 @@ var deterministic = map[string]bool{
 	"reliable": true, // includes what used to be the replication package
 	"query":    true,
 	"obs":      true,
-	"share":    true,
+	// profile (internal/obs/profile) already matches via its "obs" path
+	// segment; the explicit entry keeps it covered if it ever moves out
+	// from under internal/obs.
+	"profile": true,
+	"share":   true,
 }
 
 // Deterministic reports whether the package at the given import path

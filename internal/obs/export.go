@@ -46,12 +46,16 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 
 // chromeEvent is one entry of the Chrome trace-event JSON array. Only
 // the fields Perfetto reads are emitted: instant events ("ph":"i",
-// thread scope) on pid 1, tid = the node's lane.
+// thread scope) on pid 1, tid = the node's lane, plus flow events
+// ("ph":"s"/"t"/"f") that draw each tuple's causal chain as arrows
+// across lanes.
 type chromeEvent struct {
 	Name  string                 `json:"name"`
 	Cat   string                 `json:"cat,omitempty"`
 	Phase string                 `json:"ph"`
 	Scope string                 `json:"s,omitempty"`
+	ID    int64                  `json:"id,omitempty"`
+	BP    string                 `json:"bp,omitempty"`
 	TS    int64                  `json:"ts"`
 	PID   int                    `json:"pid"`
 	TID   int                    `json:"tid"`
@@ -129,6 +133,58 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Args:  args,
 		}); err != nil {
 			return err
+		}
+	}
+	// Flow events: one arrow chain per trace ID (the tuple's lineage
+	// identity, derived from publisher and publish sequence), linking
+	// publish → each rewrite hop → answer delivery across node lanes.
+	// The chain id is the trace's rank in first-appearance order — the
+	// stream is canonically ordered, so ids are deterministic. ph "s"
+	// opens the chain at the trace's first event, "t" continues it, "f"
+	// with bp "e" closes it; each flow event shares the ts/tid of the
+	// instant event it decorates. Single-event traces draw no arrow and
+	// are skipped.
+	flowID := make(map[string]int64)
+	chains := make([][]int, 0, 64)
+	for i, ev := range events {
+		if ev.Trace == "" {
+			continue
+		}
+		id, ok := flowID[ev.Trace]
+		if !ok {
+			id = int64(len(chains)) + 1 // ids are 1-based: 0 is omitted by the encoder
+			flowID[ev.Trace] = id
+			chains = append(chains, nil)
+		}
+		chains[id-1] = append(chains[id-1], i)
+	}
+	for ci, chain := range chains {
+		if len(chain) < 2 {
+			continue
+		}
+		for pos, ei := range chain {
+			ev := events[ei]
+			ce := chromeEvent{
+				Name: "lineage",
+				Cat:  "rjoin.flow",
+				ID:   int64(ci) + 1,
+				TS:   ev.At,
+				PID:  1,
+				TID:  laneOf[ev.Node],
+				Args: map[string]interface{}{"trace": ev.Trace},
+			}
+			switch {
+			case pos == 0:
+				ce.Phase = "s"
+			case pos == len(chain)-1:
+				ce.Phase = "f"
+				ce.BP = "e"
+			default:
+				ce.Phase = "t"
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
 		}
 	}
 	if _, err := bw.WriteString("\n]\n"); err != nil {

@@ -236,3 +236,141 @@ func TestEnabledHistogramZeroAlloc(t *testing.T) {
 		t.Fatalf("Histogram.Observe allocated %.1f times per run", n)
 	}
 }
+
+// TestExportChromeTraceFlows: events sharing a trace ID must emit a
+// flow-event chain — ph "s" at the first event, "t" in the middle, "f"
+// with bp "e" at the last, all under one id — while traces with a
+// single event draw no arrows.
+func TestExportChromeTraceFlows(t *testing.T) {
+	tr := NewTracer(0)
+	chain := PubTrace(3, 0)
+	tr.Emit(0, Event{At: 1, Kind: KindPublish, Node: 3, Trace: chain})
+	tr.Emit(0, Event{At: 2, Kind: KindRewrite, Node: 5, Trace: chain})
+	tr.Emit(0, Event{At: 4, Kind: KindAnswer, Node: 9, Trace: chain})
+	tr.Emit(0, Event{At: 6, Kind: KindPublish, Node: 3, Trace: PubTrace(3, 1)}) // lone trace: no flow
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v\n%s", err, buf.String())
+	}
+	phases := map[string]int{}
+	var ids []any
+	for _, e := range evs {
+		ph := e["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "s", "t", "f":
+			ids = append(ids, e["id"])
+			if e["cat"] != "rjoin.flow" || e["name"] != "lineage" {
+				t.Fatalf("flow event mislabelled: %v", e)
+			}
+			if ph == "f" && e["bp"] != "e" {
+				t.Fatalf(`final flow event must bind with bp "e": %v`, e)
+			}
+		}
+	}
+	if phases["s"] != 1 || phases["t"] != 1 || phases["f"] != 1 {
+		t.Fatalf("want one s/t/f chain, got %v", phases)
+	}
+	if phases["i"] != 4 {
+		t.Fatalf("instant events must be unaffected: %v", phases)
+	}
+	for _, id := range ids {
+		if id != ids[0] {
+			t.Fatalf("flow chain ids diverge: %v", ids)
+		}
+	}
+}
+
+// TestHistogramZeroObservations: an untouched histogram summarizes to
+// all zeros — no phantom min/max, quantiles zero, empty buckets.
+func TestHistogramZeroObservations(t *testing.T) {
+	h := &Histogram{}
+	s := h.Summary()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Fatalf("zero-observation summary not zero: %+v", s)
+	}
+	if s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("quantiles of empty histogram must be 0, got P50=%d P99=%d", s.P50, s.P99)
+	}
+	for i, c := range s.Buckets {
+		if c != 0 {
+			t.Fatalf("bucket %d nonzero on empty histogram", i)
+		}
+	}
+}
+
+// TestHistogramSingleBucket: identical observations land in exactly one
+// bucket, and every quantile is that bucket's bound.
+func TestHistogramSingleBucket(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 7; i++ {
+		h.Observe(5) // bucket (4, 8]
+	}
+	s := h.Summary()
+	if s.Count != 7 || s.Min != 5 || s.Max != 5 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	occupied := -1
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if occupied != -1 {
+			t.Fatalf("observations spread over buckets %d and %d", occupied, i)
+		}
+		if c != 7 {
+			t.Fatalf("bucket %d holds %d of 7", i, c)
+		}
+		occupied = i
+	}
+	if occupied != bucketOf(5) {
+		t.Fatalf("landed in bucket %d, want %d", occupied, bucketOf(5))
+	}
+	if s.P50 != BucketBound(occupied) || s.P99 != BucketBound(occupied) {
+		t.Fatalf("quantiles %d/%d, want both %d", s.P50, s.P99, BucketBound(occupied))
+	}
+}
+
+// TestHistogramMaxValueOverflow: values beyond the last finite bucket
+// bound clamp into the overflow bucket without corrupting count, sum,
+// max or the quantile walk.
+func TestHistogramMaxValueOverflow(t *testing.T) {
+	h := &Histogram{}
+	huge := int64(1) << 60 // far past BucketBound(HistBuckets-2)
+	h.Observe(huge)
+	h.Observe(1 << 62)
+	h.Observe(3) // one small value for contrast
+	s := h.Summary()
+	if s.Count != 3 || s.Max != 1<<62 || s.Min != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if got := s.Buckets[HistBuckets-1]; got != 2 {
+		t.Fatalf("overflow bucket holds %d, want 2", got)
+	}
+	if s.P99 != BucketBound(HistBuckets-1) {
+		t.Fatalf("P99 = %d, want overflow bound %d", s.P99, BucketBound(HistBuckets-1))
+	}
+	if s.P50 != BucketBound(HistBuckets-1) {
+		// 3 observations: the median (index 1) is in the overflow bucket.
+		t.Fatalf("P50 = %d, want overflow bound %d", s.P50, BucketBound(HistBuckets-1))
+	}
+}
+
+// TestMetricsCSVEmptyRegistry: a registry that never saw an event must
+// still write valid CSV — the header alone, no phantom rows.
+func TestMetricsCSVEmptyRegistry(t *testing.T) {
+	m := NewMetrics(10)
+	m.Drain(100)
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "window_start") {
+		t.Fatalf("empty registry CSV should be header only:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,240 @@
+// Package profile is the per-query, per-placement profiler behind
+// Explain(): it attributes rewrites, evals, candidate-table hits and
+// misses, stored-state bytes, sharing fan-out rows and aggregation
+// partials to the (query, relation-placement) that caused them, all on
+// the virtual clock.
+//
+// Determinism: every counter is a commutative sum attributed to a
+// stable identity — a query ID and a placement key string, never a
+// goroutine, worker or wall-clock value. Worker contexts accumulate
+// into per-shard cells (the same discipline as obs.Metrics); the
+// driver merges them at barriers with Flush, so reports built after a
+// Sync are pure functions of (seed, workload, options) and invariant
+// across worker counts on workloads whose event timeline is itself
+// schedule-independent. The state-footprint series buckets by event
+// timestamp (the virtual time the mutation was scheduled at), not by
+// observation time, for the same reason.
+//
+// A nil *Profiler is a valid no-op receiver and every hook site also
+// guards with a nil check, so the disabled path costs one branch and
+// allocates nothing.
+package profile
+
+import (
+	"sort"
+
+	"rjoin/internal/sim"
+)
+
+// Metric enumerates the per-(query, placement) counters.
+type Metric uint8
+
+const (
+	// Arrivals counts tuples delivered to a placement key. It is
+	// attributed per key (query ID ""): the arrival stream at an index
+	// key is shared by every query placed there.
+	Arrivals Metric = iota
+	// Evals counts query placements (eval messages) processed at a key.
+	Evals
+	// StoredQueries counts query copies stored at a key (both levels).
+	StoredQueries
+	// Rewrites counts rewrite steps a trigger at this placement
+	// produced that did not complete the query.
+	Rewrites
+	// Completions counts rewrite steps at this placement that completed
+	// the query into an answer row.
+	Completions
+	// CTHits / CTMisses count candidate-table outcomes for this
+	// placement key while placing the query's rewrites.
+	CTHits
+	CTMisses
+	// StateBytes accumulates the estimated bytes of rewrite state
+	// retained at this placement (cumulative; see the window series for
+	// the net footprint over time).
+	StateBytes
+	// FanoutRows counts per-subscriber rows produced for this query at
+	// shared-pipeline completion fan-outs (attributed per query,
+	// placement key "").
+	FanoutRows
+	// AggPartials counts answer rows folded into aggregation partials
+	// at this placement (the aggregator key).
+	AggPartials
+
+	metricCount
+)
+
+var metricNames = [metricCount]string{
+	"arrivals", "evals", "stored", "rewrites", "completions",
+	"ct_hits", "ct_misses", "state_bytes", "fanout_rows", "agg_partials",
+}
+
+func (m Metric) String() string {
+	if int(m) < len(metricNames) {
+		return metricNames[m]
+	}
+	return "unknown"
+}
+
+// ckey identifies one counter: a query, a placement key and a metric.
+// The query ID is "" for per-key attribution shared across queries
+// (arrivals); the placement key is "" for query-level attribution with
+// no single placement (fan-out rows).
+type ckey struct {
+	qid, key string
+	m        Metric
+}
+
+// skey identifies one window of a query's state-footprint series.
+type skey struct {
+	qid string
+	win int64
+}
+
+// cell is one execution context's unmerged attribution. Worker shards
+// write only their own cell; the driver's Flush drains all of them.
+type cell struct {
+	counts map[ckey]int64
+	series map[skey]int64
+}
+
+// Profiler accumulates per-(query, placement) attribution. Method
+// receivers are nil-safe: a nil Profiler ignores every call.
+type Profiler struct {
+	interval int64
+	shards   [sim.ShardSlots]cell
+
+	// Merged at Flush (driver context only).
+	counts map[ckey]int64
+	series map[skey]int64
+}
+
+// New returns an empty profiler. interval is the window width of the
+// state-footprint series in virtual ticks; 0 or negative means 64.
+func New(interval int64) *Profiler {
+	if interval <= 0 {
+		interval = 64
+	}
+	return &Profiler{
+		interval: interval,
+		counts:   make(map[ckey]int64),
+		series:   make(map[skey]int64),
+	}
+}
+
+// Interval returns the state-series window width in ticks.
+func (p *Profiler) Interval() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.interval
+}
+
+// Add bumps one counter from the given scheduling shard (sim.NoShard
+// for driver/global context).
+func (p *Profiler) Add(shard int, qid, key string, m Metric, d int64) {
+	if p == nil || d == 0 {
+		return
+	}
+	c := &p.shards[sim.ShardSlot(shard)]
+	if c.counts == nil {
+		c.counts = make(map[ckey]int64)
+	}
+	c.counts[ckey{qid: qid, key: key, m: m}] += d
+}
+
+// State records a net change of d bytes in the query's retained
+// rewrite state at virtual time at, bucketed into the series window
+// the event falls in.
+func (p *Profiler) State(shard int, at int64, qid string, d int64) {
+	if p == nil || d == 0 {
+		return
+	}
+	c := &p.shards[sim.ShardSlot(shard)]
+	if c.series == nil {
+		c.series = make(map[skey]int64)
+	}
+	c.series[skey{qid: qid, win: at - at%p.interval}] += d
+}
+
+// Flush folds every shard cell into the merged maps. Driver context
+// only (Engine.Sync barriers), like obs.Tracer.Flush: sums are
+// commutative, so the merge order cannot influence the result.
+func (p *Profiler) Flush() {
+	if p == nil {
+		return
+	}
+	for i := range p.shards {
+		c := &p.shards[i]
+		for k, v := range c.counts {
+			p.counts[k] += v
+			delete(c.counts, k)
+		}
+		for k, v := range c.series {
+			p.series[k] += v
+			delete(c.series, k)
+		}
+	}
+}
+
+// Reset discards all attribution (driver context only).
+func (p *Profiler) Reset() {
+	if p == nil {
+		return
+	}
+	for i := range p.shards {
+		p.shards[i] = cell{}
+	}
+	p.counts = make(map[ckey]int64)
+	p.series = make(map[skey]int64)
+}
+
+// Count returns one merged counter. Call after Flush.
+func (p *Profiler) Count(qid, key string, m Metric) int64 {
+	if p == nil {
+		return 0
+	}
+	return p.counts[ckey{qid: qid, key: key, m: m}]
+}
+
+// Keys returns, sorted, every placement key with attribution under the
+// given query ID. Call after Flush.
+func (p *Profiler) Keys(qid string) []string {
+	if p == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for k := range p.counts {
+		if k.qid == qid && k.key != "" && !seen[k.key] {
+			seen[k.key] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SeriesFor returns the query's state-footprint series: one point per
+// window that saw a net change, sorted by window start, with Bytes the
+// running footprint at the end of that window. Call after Flush.
+func (p *Profiler) SeriesFor(qid string) []StatePoint {
+	if p == nil {
+		return nil
+	}
+	var wins []int64
+	for k := range p.series {
+		if k.qid == qid {
+			wins = append(wins, k.win)
+		}
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i] < wins[j] })
+	pts := make([]StatePoint, 0, len(wins))
+	var run int64
+	for _, w := range wins {
+		run += p.series[skey{qid: qid, win: w}]
+		pts = append(pts, StatePoint{Win: w, Bytes: run})
+	}
+	return pts
+}

@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"rjoin/internal/sim"
+)
+
+// TestCounterMerge: counts written from different shards for the same
+// (query, key, metric) must fold into one merged sum at Flush,
+// regardless of which shard contributed what.
+func TestCounterMerge(t *testing.T) {
+	p := New(0)
+	p.Add(0, "q1", "R+A", Rewrites, 2)
+	p.Add(1, "q1", "R+A", Rewrites, 3)
+	p.Add(sim.NoShard, "q1", "R+A", Rewrites, 1)
+	p.Add(0, "q2", "R+A", Rewrites, 7) // different query: separate counter
+	p.Add(0, "q1", "S+B", Evals, 4)    // different key and metric
+	if got := p.Count("q1", "R+A", Rewrites); got != 0 {
+		t.Fatalf("pre-Flush count leaked: %d", got)
+	}
+	p.Flush()
+	if got := p.Count("q1", "R+A", Rewrites); got != 6 {
+		t.Fatalf("merged count = %d, want 6", got)
+	}
+	if got := p.Count("q2", "R+A", Rewrites); got != 7 {
+		t.Fatalf("q2 count = %d, want 7", got)
+	}
+	if got := p.Count("q1", "S+B", Evals); got != 4 {
+		t.Fatalf("eval count = %d, want 4", got)
+	}
+	// Flush drains: a second Flush must not double anything.
+	p.Flush()
+	if got := p.Count("q1", "R+A", Rewrites); got != 6 {
+		t.Fatalf("second Flush changed count to %d", got)
+	}
+}
+
+// TestKeysSorted: Keys returns every placement key attributed under a
+// query, sorted, and excludes the key-less query-level counters.
+func TestKeysSorted(t *testing.T) {
+	p := New(0)
+	p.Add(0, "q", "S+B", Evals, 1)
+	p.Add(0, "q", "R+A", Rewrites, 1)
+	p.Add(0, "q", "R+A", Evals, 1) // same key twice: no duplicate
+	p.Add(0, "q", "", FanoutRows, 5)
+	p.Add(0, "other", "Z+Z", Evals, 1)
+	p.Flush()
+	if got := p.Keys("q"); !reflect.DeepEqual(got, []string{"R+A", "S+B"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+// TestStateSeries: state deltas bucket into interval-aligned windows by
+// event time, merge across shards, and SeriesFor reports the running
+// footprint in window order.
+func TestStateSeries(t *testing.T) {
+	p := New(10)
+	p.State(0, 3, "q", 100)   // window 0
+	p.State(1, 7, "q", 50)    // window 0, different shard: merged
+	p.State(0, 25, "q", -30)  // window 20
+	p.State(0, 14, "q2", 999) // other query: invisible to q
+	p.Flush()
+	got := p.SeriesFor("q")
+	want := []StatePoint{{Win: 0, Bytes: 150}, {Win: 20, Bytes: 120}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SeriesFor = %+v, want %+v", got, want)
+	}
+}
+
+// TestNilProfilerInert: every method of a nil profiler is a no-op that
+// returns zero values — the disabled-observability contract.
+func TestNilProfilerInert(t *testing.T) {
+	var p *Profiler
+	p.Add(0, "q", "k", Rewrites, 1)
+	p.State(0, 5, "q", 10)
+	p.Flush()
+	p.Reset()
+	if p.Count("q", "k", Rewrites) != 0 || p.Keys("q") != nil ||
+		p.SeriesFor("q") != nil || p.Interval() != 0 {
+		t.Fatal("nil profiler must be inert")
+	}
+}
+
+// TestNilProfilerZeroAlloc pins the off-path cost: with profiling
+// disabled (nil receiver) the hook calls must allocate nothing.
+func TestNilProfilerZeroAlloc(t *testing.T) {
+	var p *Profiler
+	if n := testing.AllocsPerRun(100, func() {
+		p.Add(2, "q", "R+A", Rewrites, 1)
+		p.State(2, 17, "q", 64)
+		p.Flush()
+	}); n != 0 {
+		t.Fatalf("nil profiler allocated %.1f times per run", n)
+	}
+}
+
+// TestReset: Reset discards both merged and unmerged attribution.
+func TestReset(t *testing.T) {
+	p := New(0)
+	p.Add(0, "q", "k", Evals, 3)
+	p.Flush()
+	p.Add(1, "q", "k", Evals, 2) // unmerged at Reset time
+	p.Reset()
+	p.Flush()
+	if got := p.Count("q", "k", Evals); got != 0 {
+		t.Fatalf("count after Reset = %d", got)
+	}
+}
+
+// TestMetricStrings: every metric renders a distinct stable name.
+func TestMetricStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for m := Metric(0); m < metricCount; m++ {
+		s := m.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("metric %d name %q invalid or duplicated", m, s)
+		}
+		seen[s] = true
+	}
+	if metricCount.String() != "unknown" {
+		t.Fatal("out-of-range metric must render unknown")
+	}
+}

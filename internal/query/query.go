@@ -262,6 +262,54 @@ type Query struct {
 	// migrated plan never recombines a tuple and duplicates answers.
 	// Kept sorted for binary search.
 	Exclude []int64
+	// Lineage is the provenance of this rewrite chain: one step per
+	// tuple combined, in rewrite order. It is populated only when the
+	// engine runs with provenance enabled, and only by the core trigger
+	// sites — Rewrite itself shares the parent's slice header (like
+	// every other untouched slice), so appends MUST go through
+	// AppendLineage, which always copies into a fresh slice.
+	Lineage []LineageStep
+}
+
+// LineageStep records one tuple a rewrite chain combined: the base
+// tuple's network-wide identity ((publisher, publication sequence))
+// and the ring identifier of the node whose trigger consumed it — the
+// rewrite hop path of an answer row.
+type LineageStep struct {
+	// Pub is the publishing node's ring identifier; Seq the tuple's
+	// network-wide publication sequence number.
+	Pub uint64 `json:"pub"`
+	Seq int64  `json:"seq"`
+	// Node is the ring identifier of the node where the rewrite step
+	// consumed the tuple.
+	Node uint64 `json:"node"`
+}
+
+// AppendLineage returns lin extended by step, always in freshly
+// allocated backing storage: rewritten queries share their parent's
+// slice headers, so an in-place append could corrupt a sibling
+// rewrite's provenance.
+func AppendLineage(lin []LineageStep, step LineageStep) []LineageStep {
+	out := make([]LineageStep, len(lin)+1)
+	copy(out, lin)
+	out[len(lin)] = step
+	return out
+}
+
+// SortLineage orders steps by (Pub, Seq, Node) — the canonical order
+// lineage set unions are snapshotted in, so equal sets render equal
+// slices regardless of fold order.
+func SortLineage(lin []LineageStep) {
+	sort.Slice(lin, func(i, j int) bool {
+		a, b := lin[i], lin[j]
+		if a.Pub != b.Pub {
+			return a.Pub < b.Pub
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Node < b.Node
+	})
 }
 
 // Excluded reports whether the tuple with the given publication
@@ -280,6 +328,7 @@ func (q *Query) Clone() *Query {
 	c.Selections = append([]SelCond(nil), q.Selections...)
 	c.GroupBy = append([]ColRef(nil), q.GroupBy...)
 	c.Exclude = append([]int64(nil), q.Exclude...)
+	c.Lineage = append([]LineageStep(nil), q.Lineage...)
 	return &c
 }
 

@@ -130,12 +130,15 @@ func (s *Schema) AttrIndex(attr string) (int, bool) {
 // Tuple is one published row. PubTime is pubT(t), the virtual time the
 // tuple entered the network; PubSeq is a network-wide publication
 // sequence number used as the "tuple clock" for tuple-based windows and
-// as a unique identity for bag semantics.
+// as a unique identity for bag semantics. Publisher is the ring
+// identifier of the publishing node — with PubSeq it is the identity
+// answer provenance reports a contributing base tuple by.
 type Tuple struct {
-	Schema  *Schema
-	Values  []Value
-	PubTime int64
-	PubSeq  int64
+	Schema    *Schema
+	Values    []Value
+	PubTime   int64
+	PubSeq    int64
+	Publisher uint64
 }
 
 // NewTuple validates arity and builds a tuple.

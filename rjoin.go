@@ -24,16 +24,20 @@
 package rjoin
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	"rjoin/internal/chord"
 	"rjoin/internal/churn"
 	"rjoin/internal/core"
 	"rjoin/internal/id"
 	"rjoin/internal/obs"
+	"rjoin/internal/obs/profile"
 	"rjoin/internal/overlay"
+	"rjoin/internal/query"
 	"rjoin/internal/relation"
 	"rjoin/internal/sim"
 	"rjoin/internal/sqlparse"
@@ -183,6 +187,34 @@ type Options struct {
 	// and per-query rate series sampled on the virtual clock. nil (the
 	// default) disables collection at zero cost.
 	Metrics *MetricsOptions
+	// Profile enables the per-placement query profiler behind
+	// Subscription.Explain: every arrival, evaluation, stored rewrite,
+	// rewrite step, completion, candidate-table hit/miss, aggregation
+	// partial and state byte is attributed to the (query, placement key)
+	// that caused it, plus a virtual-time state-footprint series per
+	// pipeline. All counters are per-shard accumulators merged at
+	// barriers, so a profile read at a drained virtual time is
+	// bit-identical at every worker count. nil (the default) disables
+	// profiling; the hot paths then pay one nil check and allocate
+	// nothing. Explain still works without it — the report carries the
+	// static plan and delivery totals, with observed counters zero.
+	Profile *ProfileOptions
+	// Provenance threads answer lineage through the network: every
+	// delivered row (and aggregate view row) carries the base tuples it
+	// joins — by (publisher, publish sequence) — together with the node
+	// each rewrite hop executed on, in consumption order. Lineage
+	// survives shared-pipeline fan-out, containment replay, in-network
+	// aggregation (a view row's lineage is the union over its
+	// contributing rows) and replica promotion. Off (the default), rows
+	// carry no lineage and the rewrite path allocates nothing extra.
+	Provenance bool
+}
+
+// ProfileOptions configures the placement profiler (Options.Profile).
+type ProfileOptions struct {
+	// SampleInterval is the window width, in virtual ticks, of the
+	// per-pipeline state-footprint series. 0 means 64.
+	SampleInterval int64
 }
 
 // TraceOptions configures the causal tracer (Options.Trace).
@@ -270,7 +302,24 @@ type Answer struct {
 	Row []Value
 	// At is the virtual time of delivery.
 	At int64
+	// Lineage is the row's provenance: the base tuples that joined into
+	// it, by (publisher, publish sequence), with the node each rewrite
+	// hop executed on, in consumption order. Nil unless
+	// Options.Provenance is set.
+	Lineage []LineageStep
 }
+
+// LineageStep is one hop of an answer row's provenance: the base tuple
+// consumed (Pub, Seq) and the node whose stored rewrite it triggered.
+type LineageStep = query.LineageStep
+
+// ExplainReport is the structured introspection report returned by
+// Subscription.Explain: the placement plan with per-placement observed
+// counters, sharing attribution, the state-footprint series and
+// delivery totals. Its Text method renders the canonical EXPLAIN
+// ANALYZE text and Digest folds that text into one 64-bit value
+// (bit-identical across worker counts for a drained run).
+type ExplainReport = profile.Report
 
 // Stats is a snapshot of network-wide cost measures, in the paper's
 // units.
@@ -398,8 +447,9 @@ type Network struct {
 	mgr   *churn.Manager
 	rng   *rand.Rand
 	subs  map[string]*Subscription
-	trace *obs.Tracer  // nil unless Options.Trace was set
-	obsM  *obs.Metrics // nil unless Options.Metrics was set
+	trace *obs.Tracer       // nil unless Options.Trace was set
+	obsM  *obs.Metrics      // nil unless Options.Metrics was set
+	prof  *profile.Profiler // nil unless Options.Profile was set
 }
 
 // Subscription is a live continuous query.
@@ -546,6 +596,10 @@ func NewNetwork(opts Options) (*Network, error) {
 		om = obs.NewMetrics(opts.Metrics.SampleInterval)
 		om.Start(se)
 	}
+	var prof *profile.Profiler
+	if opts.Profile != nil {
+		prof = profile.New(opts.Profile.SampleInterval)
+	}
 	nw, err := overlay.NewNetwork(ring, se, overlay.Config{
 		MinHopDelay:    opts.MinHopDelay,
 		MaxHopDelay:    opts.MaxHopDelay,
@@ -580,6 +634,8 @@ func NewNetwork(opts Options) (*Network, error) {
 	cfg.ReplicationFactor = opts.ReplicationFactor
 	cfg.Trace = tracer
 	cfg.Metrics = om
+	cfg.Profile = prof
+	cfg.Provenance = opts.Provenance
 	// Exact-duplicate dedup is sound whenever completions are strictly
 	// delayed past the attach tick; with the defaulted 1/1 delay model
 	// that is always the case, so byte-identical resubmissions share
@@ -610,6 +666,7 @@ func NewNetwork(opts Options) (*Network, error) {
 		subs:  make(map[string]*Subscription),
 		trace: tracer,
 		obsM:  om,
+		prof:  prof,
 	}, nil
 }
 
@@ -904,6 +961,42 @@ func (n *Network) WriteMetricsCSV(w io.Writer) error {
 	return n.obsM.WriteCSV(w)
 }
 
+// Explain returns the introspection report of one live or past
+// subscription by query ID; see Subscription.Explain.
+func (n *Network) Explain(queryID string) (*ExplainReport, error) {
+	n.eng.Sync()
+	return n.eng.Explain(queryID)
+}
+
+// WriteProfileJSON writes the current introspection reports of every
+// live subscription as one JSON object keyed by query ID, in sorted
+// ID order — the payload the demo binary serves over expvar for live
+// inspection. It works with profiling off (reports then carry only
+// the static plan and delivery totals), but errors when the network
+// has no live subscriptions to report on.
+func (n *Network) WriteProfileJSON(w io.Writer) error {
+	n.eng.Sync()
+	if len(n.subs) == 0 {
+		return fmt.Errorf("rjoin: no live subscriptions to profile")
+	}
+	ids := make([]string, 0, len(n.subs))
+	for qid := range n.subs {
+		ids = append(ids, qid)
+	}
+	sort.Strings(ids)
+	reports := make(map[string]*ExplainReport, len(ids))
+	for _, qid := range ids {
+		r, err := n.eng.Explain(qid)
+		if err != nil {
+			return err
+		}
+		reports[qid] = r
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
 // Engine exposes the underlying engine for advanced use (experiment
 // harnesses, metric distributions). Most applications only need the
 // Network API.
@@ -915,9 +1008,17 @@ func (n *Network) Engine() *core.Engine { return n.eng }
 // shared with the subscription; callers must not mutate it.
 func (s *Subscription) Answers() []Answer {
 	raw := s.net.eng.Answers(s.ID)
+	if len(s.cache) == len(raw) {
+		return s.cache
+	}
+	lins := s.net.eng.AnswerLineages(s.ID) // index-aligned; nil unless provenance is on
 	for i := len(s.cache); i < len(raw); i++ {
 		a := raw[i]
-		s.cache = append(s.cache, Answer{Query: a.QueryID, Row: a.Values, At: int64(a.At)})
+		out := Answer{Query: a.QueryID, Row: a.Values, At: int64(a.At)}
+		if i < len(lins) {
+			out.Lineage = lins[i]
+		}
+		s.cache = append(s.cache, out)
 	}
 	return s.cache
 }
@@ -969,6 +1070,24 @@ func (s *Subscription) LatencyStats() LatencySummary {
 	return s.net.obsM.QueryHist(s.ID).Summary()
 }
 
+// Explain returns this subscription's introspection report: the
+// placement plan (every index key the query's pipeline occupies, in
+// clause order, plus runtime-discovered value-level and aggregator
+// keys), the per-placement observed counters when Options.Profile is
+// on (arrival rate, evaluations, stored rewrites, rewrite steps,
+// completions, candidate-table hits/misses, live state bytes,
+// aggregation partials — from which per-placement selectivity and
+// fan-out derive), sharing attribution (which pipeline serves this
+// query, how many subscribers ride it, the residual applied at
+// fan-out), the pipeline's state-footprint series over virtual time,
+// and delivery totals. Report.Text renders the EXPLAIN ANALYZE text;
+// Report.Digest pins it. Reads are deterministic: at a drained virtual
+// time the report is bit-identical at every worker count.
+func (s *Subscription) Explain() (*ExplainReport, error) {
+	s.net.eng.Sync()
+	return s.net.eng.Explain(s.ID)
+}
+
 // AggregateRow is one row of an aggregate query's view: the latest
 // finalized aggregates of one group in one window epoch. Row has the
 // query's select-list shape — grouping columns carry the group's
@@ -981,6 +1100,9 @@ type AggregateRow struct {
 	Epoch int64
 	// Row holds the select-list values.
 	Row []Value
+	// Lineage is the sorted union of the lineage of every answer row
+	// folded into this view row. Nil unless Options.Provenance is set.
+	Lineage []LineageStep
 }
 
 // AggregateRows returns the current aggregate view of a GROUP BY /
@@ -992,7 +1114,7 @@ func (s *Subscription) AggregateRows() []AggregateRow {
 	view := s.net.eng.AggRows(s.ID)
 	out := make([]AggregateRow, len(view))
 	for i, v := range view {
-		out[i] = AggregateRow{Query: s.ID, Epoch: v.Epoch, Row: v.Row}
+		out[i] = AggregateRow{Query: s.ID, Epoch: v.Epoch, Row: v.Row, Lineage: v.Lineage}
 	}
 	return out
 }
